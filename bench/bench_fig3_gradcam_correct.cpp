@@ -1,0 +1,20 @@
+// Reproduces Fig. 3: Grad-CAM for the correctly-masked class. The paper's
+// reading: the BNNs focus on key facial lineaments above the mask (nose
+// bridge, cheekbones) rather than the mask itself.
+#include "bench_gradcam_common.hpp"
+
+using namespace bcop;
+using bench::base_subject;
+using facegen::MaskClass;
+
+int main() {
+  auto child = base_subject(MaskClass::kCorrect, 301);
+  child.age = facegen::AgeGroup::kInfant;
+  auto adult = base_subject(MaskClass::kCorrect, 302);
+  auto adult2 = base_subject(MaskClass::kCorrect, 303);
+  adult2.skin = {0.45f, 0.30f, 0.22f};  // darker skin tone row
+
+  return bench::run_gradcam_figure(
+      "FIG3", "correctly-masked class",
+      {{"child", child}, {"adult", adult}, {"adult_dark_skin", adult2}});
+}

@@ -1,0 +1,20 @@
+// Reproduces Fig. 4: Grad-CAM for the nose-exposed class. The paper's
+// reading: the BNNs focus on the exposed nose and the straight upper edge
+// of the lowered mask.
+#include "bench_gradcam_common.hpp"
+
+using namespace bcop;
+using bench::base_subject;
+using facegen::MaskClass;
+
+int main() {
+  auto a = base_subject(MaskClass::kNoseExposed, 401);
+  auto b = base_subject(MaskClass::kNoseExposed, 402);
+  b.skin = {0.95f, 0.80f, 0.68f};
+  auto c = base_subject(MaskClass::kNoseExposed, 403);
+  c.mask_color = {0.92f, 0.93f, 0.94f};  // white mask row
+
+  return bench::run_gradcam_figure(
+      "FIG4", "nose-exposed class",
+      {{"subject_a", a}, {"subject_b", b}, {"white_mask", c}});
+}

@@ -1,0 +1,20 @@
+// Reproduces Fig. 5: Grad-CAM for the nose-and-mouth-exposed class. The
+// paper's reading: all models distribute attention over several exposed
+// facial features.
+#include "bench_gradcam_common.hpp"
+
+using namespace bcop;
+using bench::base_subject;
+using facegen::MaskClass;
+
+int main() {
+  auto a = base_subject(MaskClass::kNoseMouthExposed, 501);
+  auto b = base_subject(MaskClass::kNoseMouthExposed, 502);
+  b.hair_style = facegen::HairStyle::kLong;
+  auto c = base_subject(MaskClass::kNoseMouthExposed, 503);
+  c.mask_color = {0.15f, 0.15f, 0.18f};  // black chin-mask row
+
+  return bench::run_gradcam_figure(
+      "FIG5", "nose-and-mouth-exposed class",
+      {{"subject_a", a}, {"long_hair", b}, {"black_mask", c}});
+}

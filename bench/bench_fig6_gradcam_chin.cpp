@@ -1,0 +1,20 @@
+// Reproduces Fig. 6: Grad-CAM for the chin-exposed class. The paper's
+// reading: the mask's top edge looks like a correctly worn mask, so the
+// BNNs attend to the neck and the exposed chin instead.
+#include "bench_gradcam_common.hpp"
+
+using namespace bcop;
+using bench::base_subject;
+using facegen::MaskClass;
+
+int main() {
+  auto a = base_subject(MaskClass::kChinExposed, 601);
+  auto b = base_subject(MaskClass::kChinExposed, 602);
+  b.age = facegen::AgeGroup::kElderly;
+  auto c = base_subject(MaskClass::kChinExposed, 603);
+  c.skin = {0.55f, 0.38f, 0.28f};
+
+  return bench::run_gradcam_figure(
+      "FIG6", "chin-exposed class",
+      {{"subject_a", a}, {"elderly", b}, {"subject_c", c}});
+}

@@ -1,0 +1,22 @@
+// Reproduces Fig. 7: Grad-CAM age generalization for correctly-masked
+// subjects. The paper's reading: the smaller eyes of infants and the
+// elderly do not stop Binary-CoP from focusing on the top edge of a
+// correctly worn mask.
+#include "bench_gradcam_common.hpp"
+
+using namespace bcop;
+using bench::base_subject;
+using facegen::MaskClass;
+
+int main() {
+  auto infant = base_subject(MaskClass::kCorrect, 701);
+  infant.age = facegen::AgeGroup::kInfant;
+  auto adult = base_subject(MaskClass::kCorrect, 702);
+  auto elderly = base_subject(MaskClass::kCorrect, 703);
+  elderly.age = facegen::AgeGroup::kElderly;
+  elderly.hair = {0.82f, 0.82f, 0.84f};
+
+  return bench::run_gradcam_figure(
+      "FIG7", "age generalization (infant / adult / elderly)",
+      {{"infant", infant}, {"adult", adult}, {"elderly", elderly}});
+}

@@ -1,0 +1,30 @@
+// Reproduces Fig. 8: Grad-CAM hair/head-gear generalization. The paper's
+// key case: hair or head-gear dyed in the same light blue as the surgical
+// mask -- BCoP-CNV stays on the mask-relevant features while the FP32
+// model's attention drifts to the hair/head-gear.
+#include "bench_gradcam_common.hpp"
+
+using namespace bcop;
+using bench::base_subject;
+using facegen::MaskClass;
+
+int main() {
+  auto dark = base_subject(MaskClass::kCorrect, 801);
+  dark.hair = {0.12f, 0.09f, 0.07f};
+
+  auto blue_hair = base_subject(MaskClass::kCorrect, 802);
+  blue_hair.hair = {0.60f, 0.78f, 0.92f};  // mask-coloured hair
+  blue_hair.hair_style = facegen::HairStyle::kLong;
+  blue_hair.mask_color = {0.62f, 0.80f, 0.93f};
+
+  auto blue_gear = base_subject(MaskClass::kCorrect, 803);
+  blue_gear.headgear = true;
+  blue_gear.headgear_color = {0.60f, 0.78f, 0.92f};  // mask-coloured cap
+  blue_gear.mask_color = {0.62f, 0.80f, 0.93f};
+
+  return bench::run_gradcam_figure(
+      "FIG8", "hair/head-gear generalization (incl. mask-coloured hair)",
+      {{"dark_hair", dark},
+       {"mask_coloured_hair", blue_hair},
+       {"mask_coloured_headgear", blue_gear}});
+}

@@ -1,0 +1,27 @@
+// Reproduces Fig. 9: Grad-CAM under face manipulation -- double masks,
+// face paint and sunglasses. The paper's reading: both BNN variants keep
+// focusing on the label-relevant features despite the manipulations.
+#include "bench_gradcam_common.hpp"
+
+using namespace bcop;
+using bench::base_subject;
+using facegen::MaskClass;
+
+int main() {
+  auto double_mask = base_subject(MaskClass::kCorrect, 901);
+  double_mask.double_mask = true;
+  double_mask.mask2_color = {0.15f, 0.15f, 0.18f};  // black over blue
+
+  auto painted = base_subject(MaskClass::kNoseExposed, 902);
+  painted.face_paint = true;
+  painted.paint_color = {0.9f, 0.2f, 0.2f};
+
+  auto shades = base_subject(MaskClass::kChinExposed, 903);
+  shades.sunglasses = true;
+
+  return bench::run_gradcam_figure(
+      "FIG9", "face manipulation (double mask / face paint / sunglasses)",
+      {{"double_mask", double_mask},
+       {"face_paint", painted},
+       {"sunglasses", shades}});
+}

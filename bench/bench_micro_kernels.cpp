@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) for the kernels behind the system:
+// float GEMM vs XNOR-popcount GEMM (the paper's core efficiency claim in
+// software form), patch extraction, bit packing, face rendering, folding
+// and whole-network inference.
+#include <benchmark/benchmark.h>
+
+#include "core/architecture.hpp"
+#include "deploy/pipeline.hpp"
+#include "facegen/dataset.hpp"
+#include "facegen/renderer.hpp"
+#include "tensor/bit_tensor.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2row.hpp"
+#include "util/rng.hpp"
+#include "xnor/engine.hpp"
+
+namespace {
+
+using namespace bcop;
+using tensor::BitMatrix;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::vector<float> random_signs(std::int64_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.bernoulli(0.5) ? 1.f : -1.f;
+  return v;
+}
+
+// conv1.2 of CNV as a GEMM: [784, 576] x [576, 64].
+void BM_FloatGemmConv12(benchmark::State& state) {
+  const std::int64_t M = 784, N = 64, K = 576;
+  const auto a = random_signs(M * K, 1);
+  const auto b = random_signs(K * N, 2);
+  std::vector<float> c(static_cast<std::size_t>(M * N));
+  for (auto _ : state) {
+    tensor::gemm_nn(M, N, K, a.data(), b.data(), c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * M * N * K);
+}
+BENCHMARK(BM_FloatGemmConv12);
+
+void BM_XnorGemmConv12(benchmark::State& state) {
+  const std::int64_t M = 784, N = 64, K = 576;
+  const auto a = random_signs(M * K, 3);
+  const auto b = random_signs(N * K, 4);
+  const BitMatrix pa = tensor::pack_matrix(a.data(), M, K);
+  const BitMatrix pb = tensor::pack_matrix(b.data(), N, K);
+  std::vector<std::int32_t> c;
+  for (auto _ : state) {
+    tensor::binary_gemm(pa, pb, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * M * N * K);
+}
+BENCHMARK(BM_XnorGemmConv12);
+
+void BM_PackMatrix(benchmark::State& state) {
+  const std::int64_t M = 784, K = 576;
+  const auto a = random_signs(M * K, 5);
+  for (auto _ : state) {
+    const BitMatrix p = tensor::pack_matrix(a.data(), M, K);
+    benchmark::DoNotOptimize(p.storage().data());
+  }
+  state.SetItemsProcessed(state.iterations() * M * K);
+}
+BENCHMARK(BM_PackMatrix);
+
+void BM_Im2Row32x32(benchmark::State& state) {
+  util::Rng rng(6);
+  Tensor x(Shape{1, 32, 32, 64});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.uniform(-1, 1));
+  Tensor rows;
+  for (auto _ : state) {
+    tensor::im2row(x, 3, rows);
+    benchmark::DoNotOptimize(rows.data());
+  }
+}
+BENCHMARK(BM_Im2Row32x32);
+
+void BM_RenderFace(benchmark::State& state) {
+  util::Rng rng(7);
+  for (auto _ : state) {
+    const auto attrs = facegen::sample_attributes(
+        static_cast<facegen::MaskClass>(state.iterations() % 4), rng);
+    const auto r = facegen::render_face(attrs);
+    benchmark::DoNotOptimize(r.image.data().data());
+  }
+}
+BENCHMARK(BM_RenderFace);
+
+void BM_FoldNCnv(benchmark::State& state) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kNCnv, 8);
+  for (auto _ : state) {
+    xnor::XnorNetwork net = xnor::XnorNetwork::fold(model);
+    benchmark::DoNotOptimize(&net);
+  }
+}
+BENCHMARK(BM_FoldNCnv);
+
+void BM_XnorForwardNCnv(benchmark::State& state) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kNCnv, 9);
+  const xnor::XnorNetwork net = xnor::XnorNetwork::fold(model);
+  util::Rng rng(10);
+  const auto attrs =
+      facegen::sample_attributes(facegen::MaskClass::kCorrect, rng);
+  const auto x = facegen::MaskedFaceDataset::image_to_tensor(
+      facegen::render_face(attrs).image);
+  for (auto _ : state) {
+    const Tensor logits = net.forward(x);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_XnorForwardNCnv);
+
+void BM_FloatForwardNCnv(benchmark::State& state) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kNCnv, 11);
+  util::Rng rng(12);
+  const auto attrs =
+      facegen::sample_attributes(facegen::MaskClass::kCorrect, rng);
+  const auto x = facegen::MaskedFaceDataset::image_to_tensor(
+      facegen::render_face(attrs).image);
+  for (auto _ : state) {
+    const Tensor logits = model.forward(x, false);
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_FloatForwardNCnv);
+
+void BM_PipelineRunNCnv(benchmark::State& state) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kNCnv, 13);
+  xnor::XnorNetwork net = xnor::XnorNetwork::fold(model);
+  deploy::StreamingPipeline pipeline(
+      net, core::layer_specs(core::ArchitectureId::kNCnv));
+  util::Rng rng(14);
+  const auto attrs =
+      facegen::sample_attributes(facegen::MaskClass::kCorrect, rng);
+  const auto x = facegen::MaskedFaceDataset::image_to_tensor(
+      facegen::render_face(attrs).image);
+  for (auto _ : state) {
+    const auto result = pipeline.run(x);
+    benchmark::DoNotOptimize(result.logits.data());
+  }
+}
+BENCHMARK(BM_PipelineRunNCnv);
+
+}  // namespace

@@ -1,0 +1,74 @@
+// Dynamic pipeline behaviour: the analytical initiation interval is a
+// steady-state number; this bench runs the frame-level stream simulator to
+// show how the n-CNV pipeline fills, how FIFO depth trades blocking time
+// for buffer space, and what happens when the camera is slower than the
+// accelerator (the single-gate regime).
+#include <cstdio>
+
+#include "core/architecture.hpp"
+#include "deploy/stream_sim.hpp"
+#include "util/table.hpp"
+
+using namespace bcop;
+
+int main() {
+  try {
+    const auto perf = deploy::analyze_performance(
+        core::layer_specs(core::ArchitectureId::kNCnv));
+
+    std::printf("Frame-level stream simulation, n-CNV (analytic II = %lld "
+                "cycles, fill latency = %lld cycles)\n\n",
+                static_cast<long long>(perf.initiation_interval),
+                static_cast<long long>(perf.pipeline_latency_cycles));
+
+    util::AsciiTable t({"scenario", "measured II", "FPS", "mean latency",
+                        "max latency", "bottleneck util."});
+    struct Case {
+      const char* name;
+      deploy::StreamConfig cfg;
+    };
+    deploy::StreamConfig full;
+    full.frames = 500;
+    deploy::StreamConfig shallow = full;
+    shallow.fifo_depth = 1;
+    deploy::StreamConfig deep = full;
+    deep.fifo_depth = 8;
+    deploy::StreamConfig gate = full;
+    gate.frames = 50;
+    gate.arrival_interval = 40 * perf.initiation_interval;  // sparse subjects
+    const Case cases[] = {{"pipeline full, FIFO depth 1", shallow},
+                          {"pipeline full, FIFO depth 8", deep},
+                          {"gate mode (sparse arrivals)", gate}};
+    for (const auto& c : cases) {
+      const auto rep = deploy::simulate_stream(perf, c.cfg);
+      double bottleneck_util = 0;
+      for (const auto& s : rep.stages)
+        bottleneck_util = std::max(bottleneck_util, s.utilization);
+      t.add_row({c.name, util::fmt(rep.measured_ii, 0),
+                 util::fmt(rep.throughput_fps(), 0),
+                 util::fmt(rep.mean_latency_cycles, 0) + " cyc",
+                 std::to_string(rep.max_latency_cycles) + " cyc",
+                 util::fmt(100 * bottleneck_util, 1) + "%"});
+    }
+    std::printf("%s", t.render().c_str());
+
+    const auto rep = deploy::simulate_stream(perf, shallow);
+    std::printf("\nPer-stage view (pipeline full, FIFO depth 1):\n");
+    util::AsciiTable t2({"stage", "service cyc", "utilization", "blocked cyc"});
+    for (const auto& s : rep.stages)
+      t2.add_row({s.name, std::to_string(s.service_cycles),
+                  util::fmt(100 * s.utilization, 1) + "%",
+                  std::to_string(s.blocked_cycles)});
+    std::printf("%s", t2.render().c_str());
+    std::printf("\nThe measured II equals the analytic bottleneck for every "
+                "FIFO depth >= 1 (deterministic service times), while "
+                "shallow FIFOs convert queueing into upstream blocked "
+                "cycles -- matching the paper's matched-throughput argument "
+                "that a single under-dimensioned MVTU throttles the whole "
+                "pipeline.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_stream_sim: %s\n", e.what());
+    return 1;
+  }
+}

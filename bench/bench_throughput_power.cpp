@@ -1,0 +1,47 @@
+// Reproduces the Sec. IV-B throughput and power claims: ~6400
+// classifications per second for n-CNV with a full pipeline, and ~1.6 W
+// idle power in the single-entrance/gate setting for every prototype.
+#include <cstdio>
+
+#include "core/architecture.hpp"
+#include "deploy/performance.hpp"
+#include "deploy/power.hpp"
+#include "deploy/resource.hpp"
+#include "util/table.hpp"
+
+using namespace bcop;
+
+int main() {
+  try {
+    std::printf("Sec. IV-B: throughput and power of the Binary-CoP "
+                "prototypes (100 MHz target clock)\n\n");
+    util::AsciiTable t({"Config", "II (cycles)", "bottleneck", "FPS (model)",
+                        "latency (ms)", "idle W", "active W", "mJ/frame",
+                        "gate avg W @1% duty"});
+    for (const auto arch :
+         {core::ArchitectureId::kCnv, core::ArchitectureId::kNCnv,
+          core::ArchitectureId::kMicroCnv}) {
+      const auto specs = core::layer_specs(arch);
+      const auto perf = deploy::analyze_performance(specs);
+      const bool offload = arch == core::ArchitectureId::kMicroCnv;
+      const auto power =
+          deploy::estimate_power(deploy::estimate_resources(specs, offload));
+      t.add_row({core::arch_name(arch),
+                 std::to_string(perf.initiation_interval), perf.bottleneck,
+                 util::fmt(perf.fps(), 0), util::fmt(perf.latency_ms(), 3),
+                 util::fmt(power.idle_w, 1), util::fmt(power.active_w, 2),
+                 util::fmt(power.energy_per_frame_mj(perf.fps()), 3),
+                 util::fmt(power.average_w(0.01), 3)});
+    }
+    std::printf("%s", t.render().c_str());
+    std::printf("\npaper claims: n-CNV ~6400 FPS when the pipeline is full; "
+                "~1.6 W idle on single entrances/gates (all prototypes).\n");
+    std::printf("model efficiency constant: %.2f (calibrated once against "
+                "the n-CNV figure; see EXPERIMENTS.md).\n",
+                deploy::kImplementationEfficiency);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_throughput_power: %s\n", e.what());
+    return 1;
+  }
+}

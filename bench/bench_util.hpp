@@ -1,0 +1,100 @@
+// Shared helpers for the table/figure reproduction binaries.
+//
+// Each bench loads the pre-trained model produced by examples/
+// train_binarycop when available (searching a few likely run directories)
+// and otherwise quick-trains a reduced model so that every binary is
+// runnable from a fresh checkout. The test sets used for accuracy numbers
+// are regenerated deterministically from fixed seeds.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/architecture.hpp"
+#include "core/trainer.hpp"
+#include "facegen/augment.hpp"
+#include "facegen/dataset.hpp"
+#include "nn/sequential.hpp"
+#include "util/log.hpp"
+
+namespace bcop::bench {
+
+inline std::string find_model_file(const std::string& stem) {
+  for (const char* prefix : {"models/", "../models/", "../../models/"}) {
+    const std::string path = std::string(prefix) + stem + ".bcop";
+    if (std::filesystem::exists(path)) return path;
+  }
+  return {};
+}
+
+inline std::string model_stem(core::ArchitectureId arch) {
+  switch (arch) {
+    case core::ArchitectureId::kCnv: return "cnv";
+    case core::ArchitectureId::kNCnv: return "ncnv";
+    case core::ArchitectureId::kMicroCnv: return "ucnv";
+  }
+  return "unknown";
+}
+
+/// Load the trained prototype, or quick-train a reduced stand-in.
+inline nn::Sequential load_model(core::ArchitectureId arch) {
+  const std::string path = find_model_file(model_stem(arch));
+  if (!path.empty()) {
+    util::log_info("using pre-trained ", core::arch_name(arch), " from ", path);
+    return nn::Sequential::load_file(path);
+  }
+  util::log_warn("no pre-trained ", core::arch_name(arch),
+                 " found -- quick-training a reduced model (run "
+                 "examples/train_binarycop for full numbers)");
+  facegen::DatasetConfig dcfg;
+  dcfg.per_class_train = 250;
+  dcfg.per_class_test = 50;
+  const auto ds = facegen::MaskedFaceDataset::generate(dcfg);
+  nn::Sequential model = core::build_bnn(arch, 7);
+  core::TrainConfig tcfg;
+  tcfg.epochs = 5;
+  tcfg.eval_every = 0;
+  core::Trainer(model, tcfg).fit(ds.train(), {});
+  return model;
+}
+
+/// Load the FP32 CNV Grad-CAM baseline, or quick-train a stand-in.
+inline nn::Sequential load_fp32_model() {
+  const std::string path = find_model_file("fp32_cnv");
+  if (!path.empty()) {
+    util::log_info("using pre-trained FP32-CNV from ", path);
+    return nn::Sequential::load_file(path);
+  }
+  util::log_warn("no pre-trained FP32-CNV found -- quick-training");
+  facegen::DatasetConfig dcfg;
+  dcfg.per_class_train = 200;
+  dcfg.per_class_test = 50;
+  const auto ds = facegen::MaskedFaceDataset::generate(dcfg);
+  nn::Sequential model = core::build_fp32_cnv(7);
+  core::TrainConfig tcfg;
+  tcfg.epochs = 4;
+  tcfg.eval_every = 0;
+  core::Trainer(model, tcfg).fit(ds.train(), {});
+  return model;
+}
+
+/// Deterministic evaluation set shared by the accuracy benches.
+inline std::vector<facegen::Sample> make_eval_set(int per_class,
+                                                  std::uint64_t seed = 0x7e57) {
+  facegen::DatasetConfig cfg;
+  cfg.per_class_train = 4;  // unused but must be positive
+  cfg.per_class_test = per_class;
+  cfg.seed = seed;
+  return facegen::MaskedFaceDataset::generate(cfg).test();
+}
+
+/// Heavily-augmented variant of an evaluation set (the "hard" split).
+inline std::vector<facegen::Sample> make_hard_eval_set(
+    int per_class, std::uint64_t seed = 0x7e57) {
+  auto set = make_eval_set(per_class, seed);
+  util::Rng rng(seed ^ 0x5eed);
+  for (auto& s : set) facegen::random_augment_heavy(s.image, rng);
+  return set;
+}
+
+}  // namespace bcop::bench

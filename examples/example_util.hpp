@@ -1,0 +1,50 @@
+// Shared helper for the example programs: load a pre-trained model if one
+// exists (produced by train_binarycop), otherwise quick-train a small one
+// so every example is runnable out of the box.
+#pragma once
+
+#include <filesystem>
+#include <string>
+
+#include "core/architecture.hpp"
+#include "core/trainer.hpp"
+#include "facegen/dataset.hpp"
+#include "nn/sequential.hpp"
+#include "util/log.hpp"
+
+namespace bcop::examples {
+
+inline nn::Sequential load_or_train(core::ArchitectureId arch,
+                                    const std::string& path,
+                                    int per_class = 400, int epochs = 8) {
+  if (std::filesystem::exists(path)) {
+    util::log_info("loading pre-trained model from ", path);
+    return nn::Sequential::load_file(path);
+  }
+  util::log_info("no model at ", path, " -- quick-training ",
+                 core::arch_name(arch), " (", per_class, "/class, ", epochs,
+                 " epochs); run train_binarycop for a full model");
+  facegen::DatasetConfig dcfg;
+  dcfg.per_class_train = per_class;
+  dcfg.per_class_test = 50;
+  const auto dataset = facegen::MaskedFaceDataset::generate(dcfg);
+  nn::Sequential model = core::build_bnn(arch, /*seed=*/7);
+  core::TrainConfig tcfg;
+  tcfg.epochs = epochs;
+  tcfg.eval_every = 0;
+  core::Trainer trainer(model, tcfg);
+  trainer.fit(dataset.train(), {});
+  return model;
+}
+
+/// Default model file locations written by train_binarycop.
+inline std::string model_path(core::ArchitectureId arch) {
+  switch (arch) {
+    case core::ArchitectureId::kCnv: return "models/cnv.bcop";
+    case core::ArchitectureId::kNCnv: return "models/ncnv.bcop";
+    case core::ArchitectureId::kMicroCnv: return "models/ucnv.bcop";
+  }
+  return "models/unknown.bcop";
+}
+
+}  // namespace bcop::examples

@@ -1,0 +1,88 @@
+// Single-entrance gate scenario (paper Sec. IV-B, "low-power" mode).
+//
+// A camera at a speed gate triggers one classification per arriving
+// subject. Arrivals follow a Poisson process; between arrivals the
+// accelerator idles at ~1.6 W. The example simulates a shift, classifies
+// every subject with the folded BNN, decides admission, and reports the
+// duty cycle and the average board power predicted by the deploy power
+// model -- demonstrating why the event-triggered mode barely exceeds the
+// idle floor.
+#include <cmath>
+#include <cstdio>
+
+#include "core/predictor.hpp"
+#include "deploy/performance.hpp"
+#include "deploy/power.hpp"
+#include "deploy/resource.hpp"
+#include "example_util.hpp"
+#include "facegen/renderer.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace bcop;
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv);
+    const int subjects = args.get_int("subjects", 40);
+    const double arrivals_per_min = args.get_double("rate", 6.0);
+
+    core::Predictor predictor(examples::load_or_train(
+        core::ArchitectureId::kNCnv,
+        examples::model_path(core::ArchitectureId::kNCnv)));
+
+    util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 11)));
+    double clock_s = 0.0;
+    std::int64_t admitted = 0, denied = 0, correct = 0;
+    std::array<std::int64_t, facegen::kNumClasses> denials_by_class{};
+
+    for (int i = 0; i < subjects; ++i) {
+      // Exponential inter-arrival times.
+      clock_s += -std::log(1.0 - rng.uniform()) * 60.0 / arrivals_per_min;
+      const auto cls = static_cast<facegen::MaskClass>(
+          rng.uniform_int(0, facegen::kNumClasses - 1));
+      const auto rendered =
+          facegen::render_face(facegen::sample_attributes(cls, rng));
+      const auto r = predictor.classify(rendered.image);
+      if (r.label == cls) ++correct;
+      if (r.admit()) {
+        ++admitted;
+      } else {
+        ++denied;
+        ++denials_by_class[static_cast<std::size_t>(r.label)];
+      }
+      std::printf("[t=%7.1fs] subject %2d: true=%-22s pred=%-22s %s\n",
+                  clock_s, i + 1, facegen::class_name(cls),
+                  facegen::class_name(r.label),
+                  r.admit() ? "ADMIT" : "DENY");
+    }
+
+    // Power accounting: each classification occupies the pipeline for its
+    // latency; the rest of the shift is idle.
+    const auto specs = core::layer_specs(core::ArchitectureId::kNCnv);
+    const auto perf = deploy::analyze_performance(specs);
+    const auto power =
+        deploy::estimate_power(deploy::estimate_resources(specs, false));
+    const double busy_s =
+        static_cast<double>(subjects) * perf.latency_ms() / 1e3;
+    const double duty = clock_s > 0 ? busy_s / clock_s : 0.0;
+
+    std::printf("\n--- shift summary ---\n");
+    util::AsciiTable t({"metric", "value"});
+    t.add_row({"subjects", std::to_string(subjects)});
+    t.add_row({"classifier accuracy", util::fmt(100.0 * correct / subjects, 1) + "%"});
+    t.add_row({"admitted", std::to_string(admitted)});
+    t.add_row({"denied", std::to_string(denied)});
+    t.add_row({"duty cycle", util::fmt(100.0 * duty, 4) + "%"});
+    t.add_row({"idle power", util::fmt(power.idle_w, 2) + " W"});
+    t.add_row({"avg board power", util::fmt(power.average_w(duty), 3) + " W"});
+    std::printf("%s", t.render().c_str());
+    std::printf("event-triggered gating keeps power within %.3f W of the "
+                "1.6 W idle floor (paper Sec. IV-B)\n",
+                power.average_w(duty) - power.idle_w);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "gate_monitor: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,44 @@
+// Quickstart: the BinaryCoP public API in ~40 lines.
+//
+// 1. Get a trained BNN (loads models/ncnv.bcop if present, else trains a
+//    small one on the spot).
+// 2. Wrap it in a core::Predictor -- this folds BatchNorm into thresholds
+//    and bit-packs the weights, i.e. builds the network the FPGA would run.
+// 3. Render a synthetic subject for each of the four wear classes and
+//    classify it.
+#include <cstdio>
+
+#include "core/predictor.hpp"
+#include "example_util.hpp"
+#include "facegen/renderer.hpp"
+#include "util/rng.hpp"
+
+using namespace bcop;
+
+int main() {
+  try {
+    core::Predictor predictor(examples::load_or_train(
+        core::ArchitectureId::kNCnv,
+        examples::model_path(core::ArchitectureId::kNCnv)));
+
+    util::Rng rng(2026);
+    int correct = 0;
+    for (int c = 0; c < facegen::kNumClasses; ++c) {
+      const auto cls = static_cast<facegen::MaskClass>(c);
+      const auto attrs = facegen::sample_attributes(cls, rng);
+      const auto rendered = facegen::render_face(attrs);
+
+      const core::Predictor::Result r = predictor.classify(rendered.image);
+      std::printf("subject with '%s' mask -> predicted '%s' (%.0f%%), %s\n",
+                  facegen::class_name(cls), facegen::class_name(r.label),
+                  100.f * r.scores[static_cast<std::size_t>(r.label)],
+                  r.admit() ? "gate opens" : "gate stays closed");
+      if (r.label == cls) ++correct;
+    }
+    std::printf("%d/4 classified correctly\n", correct);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 1;
+  }
+}

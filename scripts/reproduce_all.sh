@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, train the four models, run every
+# table/figure bench. Run from the repository root. Training dominates the
+# runtime; pass QUICK=1 to use reduced training schedules.
+set -euo pipefail
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+TRAIN=build/examples/train_binarycop
+if [[ "${QUICK:-0}" == "1" ]]; then
+  $TRAIN --arch ncnv --per-class 400 --epochs 6 --eval-every 3 --out models/ncnv.bcop
+  $TRAIN --arch ucnv --per-class 400 --epochs 6 --eval-every 3 --out models/ucnv.bcop
+  $TRAIN --arch cnv  --per-class 300 --epochs 3 --eval-every 3 --out models/cnv.bcop
+  $TRAIN --arch fp32 --per-class 300 --epochs 3 --eval-every 3 --out models/fp32_cnv.bcop
+else
+  $TRAIN --arch ncnv --per-class 1200 --epochs 18 --eval-every 6 --out models/ncnv.bcop
+  $TRAIN --arch ucnv --per-class 1200 --epochs 18 --eval-every 6 --out models/ucnv.bcop
+  $TRAIN --arch cnv  --per-class 800  --epochs 6  --eval-every 3 --out models/cnv.bcop
+  $TRAIN --arch fp32 --per-class 600  --epochs 5  --eval-every 3 --out models/fp32_cnv.bcop
+fi
+
+for b in build/bench/*; do
+  echo "=== $b ==="
+  "$b"
+done

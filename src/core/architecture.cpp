@@ -1,0 +1,177 @@
+#include "core/architecture.hpp"
+
+#include <stdexcept>
+
+#include "nn/batchnorm.hpp"
+#include "nn/binary_conv2d.hpp"
+#include "nn/binary_dense.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+#include "nn/sign_activation.hpp"
+#include "util/rng.hpp"
+
+namespace bcop::core {
+
+const char* arch_name(ArchitectureId id) {
+  switch (id) {
+    case ArchitectureId::kCnv: return "CNV";
+    case ArchitectureId::kNCnv: return "n-CNV";
+    case ArchitectureId::kMicroCnv: return "u-CNV";
+  }
+  throw std::invalid_argument("arch_name: bad id");
+}
+
+namespace {
+
+struct ConvDef {
+  std::string name;
+  std::int64_t ci, co;
+  bool pool_after;
+};
+
+std::vector<LayerSpec> make_specs(const std::vector<ConvDef>& convs,
+                                  const std::vector<std::int64_t>& fc_sizes,
+                                  const std::vector<std::int64_t>& pe,
+                                  const std::vector<std::int64_t>& simd) {
+  std::vector<LayerSpec> specs;
+  std::int64_t h = 32, w = 32;
+  for (const ConvDef& c : convs) {
+    LayerSpec s;
+    s.name = c.name;
+    s.is_conv = true;
+    s.k = 3;
+    s.ci = c.ci;
+    s.co = c.co;
+    s.in_h = h;
+    s.in_w = w;
+    s.out_h = h - 2;
+    s.out_w = w - 2;
+    s.pool_after = c.pool_after;
+    h = s.out_h;
+    w = s.out_w;
+    if (c.pool_after) {
+      h /= 2;
+      w /= 2;
+    }
+    specs.push_back(std::move(s));
+  }
+  std::int64_t features = h * w * convs.back().co;
+  int fc_index = 1;
+  for (const std::int64_t out : fc_sizes) {
+    LayerSpec s;
+    s.name = "FC." + std::to_string(fc_index++);
+    s.is_conv = false;
+    s.ci = features;
+    s.co = out;
+    s.in_h = s.in_w = s.out_h = s.out_w = 1;
+    features = out;
+    specs.push_back(std::move(s));
+  }
+  if (pe.size() != specs.size() || simd.size() != specs.size())
+    throw std::logic_error("make_specs: PE/SIMD arity mismatch");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].pe = pe[i];
+    specs[i].simd = simd[i];
+  }
+  return specs;
+}
+
+}  // namespace
+
+std::vector<LayerSpec> layer_specs(ArchitectureId id) {
+  // Table I of the paper: architectures and hardware dimensioning.
+  switch (id) {
+    case ArchitectureId::kCnv:
+      return make_specs(
+          {{"Conv1.1", 3, 64, false},
+           {"Conv1.2", 64, 64, true},
+           {"Conv2.1", 64, 128, false},
+           {"Conv2.2", 128, 128, true},
+           {"Conv3.1", 128, 256, false},
+           {"Conv3.2", 256, 256, false}},
+          {512, 512, 4},
+          {16, 32, 16, 16, 4, 1, 1, 1, 4},
+          {3, 32, 32, 32, 32, 32, 4, 8, 1});
+    case ArchitectureId::kNCnv:
+      return make_specs(
+          {{"Conv1.1", 3, 16, false},
+           {"Conv1.2", 16, 16, true},
+           {"Conv2.1", 16, 32, false},
+           {"Conv2.2", 32, 32, true},
+           {"Conv3.1", 32, 64, false},
+           {"Conv3.2", 64, 64, false}},
+          {128, 128, 4},
+          {16, 16, 16, 16, 4, 1, 1, 1, 1},
+          {3, 16, 16, 32, 32, 32, 4, 8, 1});
+    case ArchitectureId::kMicroCnv:
+      return make_specs(
+          {{"Conv1.1", 3, 16, false},
+           {"Conv1.2", 16, 16, true},
+           {"Conv2.1", 16, 32, false},
+           {"Conv2.2", 32, 32, true},
+           {"Conv3.1", 32, 64, false}},
+          {128, 4},
+          {4, 4, 4, 4, 1, 1, 1},
+          {3, 16, 16, 32, 32, 16, 1});
+  }
+  throw std::invalid_argument("layer_specs: bad id");
+}
+
+nn::Sequential build_bnn(ArchitectureId id, std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Sequential model(arch_name(id));
+  const std::vector<LayerSpec> specs = layer_specs(id);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const LayerSpec& s = specs[i];
+    if (s.is_conv) {
+      model.emplace<nn::BinaryConv2d>(s.k, s.ci, s.co, rng);
+      model.emplace<nn::BatchNorm>(s.co);
+      model.emplace<nn::SignActivation>();
+      if (s.pool_after) model.emplace<nn::MaxPool2>();
+    } else {
+      if (s.name == "FC.1") model.emplace<nn::Flatten>();
+      model.emplace<nn::BinaryDense>(s.ci, s.co, rng);
+      if (i + 1 < specs.size()) {  // classifier layer has no BN/sign
+        model.emplace<nn::BatchNorm>(s.co);
+        model.emplace<nn::SignActivation>();
+      }
+    }
+  }
+  return model;
+}
+
+nn::Sequential build_fp32_cnv(std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Sequential model("FP32-CNV");
+  for (const LayerSpec& s : layer_specs(ArchitectureId::kCnv)) {
+    if (s.is_conv) {
+      model.emplace<nn::Conv2d>(s.k, s.ci, s.co, rng);
+      model.emplace<nn::BatchNorm>(s.co);
+      model.emplace<nn::ReLU>();
+      if (s.pool_after) model.emplace<nn::MaxPool2>();
+    } else {
+      if (s.name == "FC.1") model.emplace<nn::Flatten>();
+      model.emplace<nn::Dense>(s.ci, s.co, rng);
+      if (s.name != "FC.3") {
+        model.emplace<nn::BatchNorm>(s.co);
+        model.emplace<nn::ReLU>();
+      }
+    }
+  }
+  return model;
+}
+
+std::size_t gradcam_layer_index(const nn::Sequential& model) {
+  int pools = 0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    if (std::string(model.layer(i).type()) == "MaxPool2" && ++pools == 2)
+      return i;
+  }
+  throw std::runtime_error(
+      "gradcam_layer_index: model lacks a second MaxPool2 (conv2_2 group)");
+}
+
+}  // namespace bcop::core

@@ -1,0 +1,67 @@
+// The three Binary-CoP prototypes of Table I: CNV, n-CNV and u-CNV.
+//
+// CNV is the FINN reference topology (VGG-like, BinaryNet-style) [7], [11],
+// [28]; n-CNV shrinks every layer's width for a smaller memory footprint;
+// u-CNV additionally drops Conv3.2 to shrink the synthesized design (at the
+// cost of a larger pre-FC tensor, as the paper notes). All convolutions are
+// 3x3 valid, stride 1; groups 1 and 2 end in a 2x2 max pool; every layer
+// except the classifier is followed by BatchNorm + sign.
+//
+// The LayerSpec table also carries Table I's hardware dimensioning (PE
+// count and SIMD lanes per matrix-vector-threshold unit), which the deploy
+// module uses to compute cycle counts and resource usage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace bcop::core {
+
+enum class ArchitectureId { kCnv = 0, kNCnv = 1, kMicroCnv = 2 };
+
+const char* arch_name(ArchitectureId id);  // "CNV", "n-CNV", "u-CNV"
+
+/// One compute layer of a prototype, with its FINN dimensioning.
+struct LayerSpec {
+  std::string name;       // e.g. "Conv1.1", "FC.2"
+  bool is_conv = false;
+  std::int64_t k = 0;     // kernel (convs only)
+  std::int64_t ci = 0;    // input channels / features
+  std::int64_t co = 0;    // output channels / features
+  std::int64_t in_h = 0, in_w = 0;    // input spatial dims (1 for FC)
+  std::int64_t out_h = 0, out_w = 0;  // output spatial dims (1 for FC)
+  bool pool_after = false;
+  std::int64_t pe = 0;    // processing elements in the layer's MVTU
+  std::int64_t simd = 0;  // SIMD lanes per PE
+
+  /// Rows x cols of the layer's weight matrix as the MVTU sees it.
+  std::int64_t matrix_rows() const { return co; }
+  std::int64_t matrix_cols() const { return is_conv ? k * k * ci : ci; }
+  /// Output vectors the MVTU must produce per image.
+  std::int64_t output_vectors() const { return out_h * out_w; }
+  /// XNOR-popcount (or fixed-point MAC) operations per image.
+  std::int64_t ops_per_image() const {
+    return output_vectors() * matrix_rows() * matrix_cols();
+  }
+  std::int64_t weight_count() const { return matrix_rows() * matrix_cols(); }
+};
+
+/// Table I layer/hw data for a prototype (input 32x32x3, 4 classes).
+std::vector<LayerSpec> layer_specs(ArchitectureId id);
+
+/// Build the trainable BNN for a prototype (fresh Glorot weights).
+nn::Sequential build_bnn(ArchitectureId id, std::uint64_t seed);
+
+/// Build the FP32 CNV baseline (Conv2d + BatchNorm + ReLU, Dense head)
+/// used by the paper for the Grad-CAM comparison column.
+nn::Sequential build_fp32_cnv(std::uint64_t seed);
+
+/// Index of the layer whose output the paper uses for Grad-CAM: the pool
+/// after conv2_2 (spatial 5x5). Works for BNN and FP32 models built here.
+/// Throws if the model has fewer than two MaxPool2 layers.
+std::size_t gradcam_layer_index(const nn::Sequential& model);
+
+}  // namespace bcop::core

@@ -1,0 +1,108 @@
+#include "core/evaluator.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "util/table.hpp"
+
+namespace bcop::core {
+
+using facegen::kNumClasses;
+
+void ConfusionMatrix::add(std::int64_t true_class, std::int64_t predicted) {
+  if (true_class < 0 || true_class >= kNumClasses || predicted < 0 ||
+      predicted >= kNumClasses)
+    throw std::invalid_argument("ConfusionMatrix::add: class out of range");
+  ++counts[static_cast<std::size_t>(true_class)][static_cast<std::size_t>(predicted)];
+}
+
+std::int64_t ConfusionMatrix::total() const {
+  std::int64_t n = 0;
+  for (const auto& row : counts)
+    for (const auto v : row) n += v;
+  return n;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const std::int64_t n = total();
+  if (n == 0) return 0.0;
+  std::int64_t diag = 0;
+  for (int c = 0; c < kNumClasses; ++c)
+    diag += counts[static_cast<std::size_t>(c)][static_cast<std::size_t>(c)];
+  return static_cast<double>(diag) / static_cast<double>(n);
+}
+
+double ConfusionMatrix::recall(std::int64_t c) const {
+  const auto& row = counts.at(static_cast<std::size_t>(c));
+  const std::int64_t n = std::accumulate(row.begin(), row.end(), std::int64_t{0});
+  if (n == 0) return 0.0;
+  return static_cast<double>(row[static_cast<std::size_t>(c)]) /
+         static_cast<double>(n);
+}
+
+std::string ConfusionMatrix::render() const {
+  util::AsciiTable t({"True \\ Pred", "Correct", "Nose", "N+M", "Chin"});
+  for (int r = 0; r < kNumClasses; ++r) {
+    const auto& row = counts[static_cast<std::size_t>(r)];
+    const auto n = std::accumulate(row.begin(), row.end(), std::int64_t{0});
+    std::vector<std::string> cells{
+        facegen::class_short_name(static_cast<facegen::MaskClass>(r))};
+    for (int c = 0; c < kNumClasses; ++c) {
+      const double pct =
+          n == 0 ? 0.0
+                 : 100.0 * static_cast<double>(row[static_cast<std::size_t>(c)]) /
+                       static_cast<double>(n);
+      cells.push_back(std::to_string(row[static_cast<std::size_t>(c)]) + " (" +
+                      util::fmt(pct, 0) + "%)");
+    }
+    t.add_row(std::move(cells));
+  }
+  return t.render();
+}
+
+namespace {
+
+template <typename PredictFn>
+ConfusionMatrix evaluate_batched(const std::vector<facegen::Sample>& samples,
+                                 std::int64_t batch_size, PredictFn&& predict) {
+  if (samples.empty())
+    throw std::invalid_argument("Evaluator: empty sample set");
+  if (batch_size <= 0)
+    throw std::invalid_argument("Evaluator: non-positive batch size");
+  ConfusionMatrix cm;
+  std::vector<std::int64_t> indices(samples.size());
+  std::iota(indices.begin(), indices.end(), 0);
+  tensor::Tensor x;
+  std::vector<std::int64_t> y;
+  for (std::size_t first = 0; first < samples.size();
+       first += static_cast<std::size_t>(batch_size)) {
+    const std::size_t last =
+        std::min(samples.size(), first + static_cast<std::size_t>(batch_size));
+    facegen::MaskedFaceDataset::to_batch(samples, indices, first, last, x, y);
+    const std::vector<std::int64_t> pred = predict(x);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      cm.add(y[i], pred[i]);
+  }
+  return cm;
+}
+
+}  // namespace
+
+ConfusionMatrix Evaluator::evaluate_model(
+    nn::Sequential& model, const std::vector<facegen::Sample>& samples,
+    std::int64_t batch_size) {
+  return evaluate_batched(samples, batch_size, [&](const tensor::Tensor& x) {
+    return tensor::argmax_rows(model.forward(x, /*training=*/false));
+  });
+}
+
+ConfusionMatrix Evaluator::evaluate_xnor(
+    const xnor::XnorNetwork& net, const std::vector<facegen::Sample>& samples,
+    std::int64_t batch_size) {
+  return evaluate_batched(samples, batch_size, [&](const tensor::Tensor& x) {
+    return net.predict(x);
+  });
+}
+
+}  // namespace bcop::core

@@ -1,0 +1,45 @@
+// Accuracy and confusion-matrix evaluation (paper Fig. 2).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "facegen/dataset.hpp"
+#include "nn/sequential.hpp"
+#include "xnor/engine.hpp"
+
+namespace bcop::core {
+
+/// 4x4 confusion matrix; rows = true class, columns = predicted class,
+/// using the MaskClass order Correct / Nose / N+M / Chin (paper Fig. 2
+/// orders rows Correct, Nose, N+M, Chin -- render() follows it).
+struct ConfusionMatrix {
+  std::array<std::array<std::int64_t, facegen::kNumClasses>,
+             facegen::kNumClasses>
+      counts{};
+
+  void add(std::int64_t true_class, std::int64_t predicted);
+  std::int64_t total() const;
+  double accuracy() const;
+  /// Recall of class c (diagonal / row sum); 0 for empty rows.
+  double recall(std::int64_t c) const;
+  /// ASCII rendering in the style of the paper's Fig. 2 (count + row %).
+  std::string render() const;
+};
+
+class Evaluator {
+ public:
+  /// Evaluate the float training graph (inference mode, batched).
+  static ConfusionMatrix evaluate_model(nn::Sequential& model,
+                                        const std::vector<facegen::Sample>& samples,
+                                        std::int64_t batch_size = 128);
+
+  /// Evaluate a folded XNOR network (the deployment path; much faster).
+  static ConfusionMatrix evaluate_xnor(const xnor::XnorNetwork& net,
+                                       const std::vector<facegen::Sample>& samples,
+                                       std::int64_t batch_size = 128);
+};
+
+}  // namespace bcop::core

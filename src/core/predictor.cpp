@@ -1,0 +1,41 @@
+#include "core/predictor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "facegen/dataset.hpp"
+#include "tensor/ops.hpp"
+
+namespace bcop::core {
+
+Predictor::Predictor(nn::Sequential model) : model_(std::move(model)) {
+  net_ = xnor::XnorNetwork::fold(model_);
+}
+
+Predictor Predictor::from_file(const std::string& path) {
+  return Predictor(nn::Sequential::load_file(path));
+}
+
+std::vector<Predictor::Result> Predictor::classify_batch(
+    const tensor::Tensor& batch) const {
+  const tensor::Tensor logits = net_.forward(batch);
+  const tensor::Tensor probs = tensor::softmax_rows(logits);
+  const auto pred = tensor::argmax_rows(logits);
+  std::vector<Result> results(pred.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    results[i].label = static_cast<facegen::MaskClass>(pred[i]);
+    for (int c = 0; c < facegen::kNumClasses; ++c)
+      results[i].scores[static_cast<std::size_t>(c)] =
+          probs.at2(static_cast<std::int64_t>(i), c);
+  }
+  return results;
+}
+
+Predictor::Result Predictor::classify(const util::Image& image) const {
+  if (image.height() != image.width())
+    throw std::invalid_argument("Predictor::classify: square image required");
+  return classify_batch(facegen::MaskedFaceDataset::image_to_tensor(image))
+      .front();
+}
+
+}  // namespace bcop::core

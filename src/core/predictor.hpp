@@ -1,0 +1,49 @@
+// Public facade: classify a face image with a trained Binary-CoP model.
+//
+// The Predictor owns both views of a trained network: the float training
+// graph (needed for Grad-CAM) and the folded XNOR network (the deployment
+// path used for classification). This is what the examples and the gate /
+// crowd applications program against.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "facegen/attributes.hpp"
+#include "nn/sequential.hpp"
+#include "util/image.hpp"
+#include "xnor/engine.hpp"
+
+namespace bcop::core {
+
+class Predictor {
+ public:
+  /// Take ownership of a trained BNN and fold it for deployment.
+  explicit Predictor(nn::Sequential model);
+
+  /// Load a model file written by nn::Sequential::save().
+  static Predictor from_file(const std::string& path);
+
+  struct Result {
+    facegen::MaskClass label = facegen::MaskClass::kCorrect;
+    std::array<float, facegen::kNumClasses> scores{};  // softmax of logits
+    /// True when the subject may pass a gate (mask correctly worn).
+    bool admit() const { return label == facegen::MaskClass::kCorrect; }
+  };
+
+  /// Classify one image (any square size matching the model input).
+  Result classify(const util::Image& image) const;
+
+  /// Classify a prepared [N, S, S, 3] tensor; returns one Result per row.
+  std::vector<Result> classify_batch(const tensor::Tensor& batch) const;
+
+  const nn::Sequential& model() const { return model_; }
+  nn::Sequential& mutable_model() { return model_; }
+  const xnor::XnorNetwork& network() const { return net_; }
+
+ private:
+  nn::Sequential model_;
+  xnor::XnorNetwork net_;
+};
+
+}  // namespace bcop::core

@@ -1,0 +1,98 @@
+#include "core/trainer.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "core/evaluator.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/softmax_xent.hpp"
+#include "tensor/ops.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace bcop::core {
+
+Trainer::Trainer(nn::Sequential& model, TrainConfig config)
+    : model_(&model), config_(config) {
+  if (config.epochs <= 0 || config.batch_size <= 0)
+    throw std::invalid_argument("TrainConfig: non-positive epochs/batch");
+  if (config.lr_start <= 0.f || config.lr_end <= 0.f)
+    throw std::invalid_argument("TrainConfig: non-positive learning rate");
+}
+
+std::vector<EpochStats> Trainer::fit(
+    const std::vector<facegen::Sample>& train,
+    const std::vector<facegen::Sample>& val) {
+  if (train.empty()) throw std::invalid_argument("Trainer::fit: empty train set");
+  using clock = std::chrono::steady_clock;
+
+  nn::Adam opt(*model_, config_.lr_start);
+  nn::SoftmaxCrossEntropy loss_head;
+  util::Rng rng(config_.seed);
+
+  std::vector<std::int64_t> indices(train.size());
+  std::iota(indices.begin(), indices.end(), 0);
+
+  const float decay =
+      config_.epochs > 1
+          ? std::pow(config_.lr_end / config_.lr_start,
+                     1.f / static_cast<float>(config_.epochs - 1))
+          : 1.f;
+
+  std::vector<EpochStats> history;
+  tensor::Tensor x;
+  std::vector<std::int64_t> y;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const auto t0 = clock::now();
+    opt.set_learning_rate(config_.lr_start *
+                          std::pow(decay, static_cast<float>(epoch)));
+    rng.shuffle(indices);
+
+    double loss_sum = 0.0;
+    std::int64_t correct = 0, seen = 0, batches = 0;
+    for (std::size_t first = 0; first < indices.size();
+         first += static_cast<std::size_t>(config_.batch_size)) {
+      if (config_.max_batches_per_epoch > 0 &&
+          batches >= config_.max_batches_per_epoch)
+        break;
+      const std::size_t last = std::min(
+          indices.size(), first + static_cast<std::size_t>(config_.batch_size));
+      facegen::MaskedFaceDataset::to_batch(train, indices, first, last, x, y);
+      const tensor::Tensor logits = model_->forward(x, /*training=*/true);
+      const float loss = loss_head.forward(logits, y);
+      model_->backward(loss_head.backward());
+      opt.step();
+
+      loss_sum += loss * static_cast<double>(y.size());
+      const auto pred = tensor::argmax_rows(logits);
+      for (std::size_t i = 0; i < y.size(); ++i)
+        if (pred[i] == y[i]) ++correct;
+      seen += static_cast<std::int64_t>(y.size());
+      ++batches;
+    }
+
+    EpochStats stats;
+    stats.epoch = epoch;
+    stats.mean_loss = static_cast<float>(loss_sum / static_cast<double>(seen));
+    stats.train_accuracy =
+        static_cast<double>(correct) / static_cast<double>(seen);
+    const bool do_eval =
+        !val.empty() && (epoch == config_.epochs - 1 ||
+                         (config_.eval_every > 0 &&
+                          (epoch + 1) % config_.eval_every == 0));
+    if (do_eval)
+      stats.val_accuracy =
+          Evaluator::evaluate_model(*model_, val, config_.batch_size).accuracy();
+    stats.seconds = std::chrono::duration<double>(clock::now() - t0).count();
+    util::log_info("epoch ", epoch, " loss=", stats.mean_loss,
+                   " train_acc=", stats.train_accuracy,
+                   " val_acc=", stats.val_accuracy, " (", stats.seconds, "s)");
+    if (on_epoch) on_epoch(stats);
+    history.push_back(stats);
+  }
+  return history;
+}
+
+}  // namespace bcop::core

@@ -1,0 +1,55 @@
+// Mini-batch BNN training loop (Adam + softmax cross-entropy).
+//
+// The paper trains up to 300 epochs on 110K samples; this CPU-scale harness
+// keeps the identical algorithm (latent weights, STE, per-step latent
+// clipping) while letting dataset size and epoch count shrink to the
+// machine at hand. Learning rate decays exponentially from lr_start to
+// lr_end over the epochs, as in the BinaryNet reference code.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "facegen/dataset.hpp"
+#include "nn/sequential.hpp"
+
+namespace bcop::core {
+
+struct TrainConfig {
+  int epochs = 20;
+  std::int64_t batch_size = 50;
+  float lr_start = 3e-3f;
+  float lr_end = 1e-4f;
+  std::uint64_t seed = 7;
+  /// Run validation every `eval_every` epochs (and always on the last).
+  int eval_every = 1;
+  /// 0 = use every batch; otherwise cap the batches per epoch (smoke tests).
+  std::int64_t max_batches_per_epoch = 0;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  float mean_loss = 0.f;
+  double train_accuracy = 0.0;  // on the training batches as seen
+  double val_accuracy = -1.0;   // -1 when validation was skipped this epoch
+  double seconds = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(nn::Sequential& model, TrainConfig config);
+
+  /// Train on `train`; validate on `val` (may be empty to skip).
+  /// Returns per-epoch statistics; also invokes `on_epoch` if set.
+  std::vector<EpochStats> fit(const std::vector<facegen::Sample>& train,
+                              const std::vector<facegen::Sample>& val);
+
+  std::function<void(const EpochStats&)> on_epoch;
+
+ private:
+  nn::Sequential* model_;
+  TrainConfig config_;
+};
+
+}  // namespace bcop::core

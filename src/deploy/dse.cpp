@@ -1,0 +1,106 @@
+#include "deploy/dse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcop::deploy {
+
+namespace {
+
+/// SIMD ceiling for a layer: matrix columns, but the first conv consumes
+/// channel-interleaved pixels so its SIMD cannot exceed its input channels.
+std::int64_t simd_cap(const core::LayerSpec& s, bool is_first_conv) {
+  return is_first_conv ? s.ci : s.matrix_cols();
+}
+
+std::size_t bottleneck_index(const PerfReport& perf) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < perf.layers.size(); ++i)
+    if (perf.layers[i].effective_cycles >
+        perf.layers[best].effective_cycles)
+      best = i;
+  return best;
+}
+
+}  // namespace
+
+DseResult explore(std::vector<core::LayerSpec> specs, const DseGoal& goal) {
+  if (specs.empty()) throw std::invalid_argument("dse::explore: empty specs");
+  DseResult result;
+
+  // Start from the minimal legal dimensioning.
+  for (auto& s : specs) {
+    s.pe = 1;
+    s.simd = 1;
+  }
+
+  auto evaluate = [&](const std::vector<core::LayerSpec>& cand) {
+    return std::pair{analyze_performance(cand),
+                     estimate_resources(cand, goal.dsp_offload)};
+  };
+
+  auto [perf, res] = evaluate(specs);
+  for (int step = 0; step < goal.max_steps; ++step) {
+    if (goal.target_fps > 0 &&
+        perf.fps(goal.clock_hz, goal.efficiency) >= goal.target_fps) {
+      result.met_target = true;
+      break;
+    }
+    const std::size_t b = bottleneck_index(perf);
+    core::LayerSpec& layer = specs[b];
+    const bool first_conv = b == 0 && layer.is_conv;
+
+    // If the bottleneck is SWU-stream-bound, no MVTU widening can help.
+    if (perf.layers[b].stream_cycles >= perf.layers[b].compute_cycles) break;
+
+    // Candidate moves on the bottleneck: double SIMD (cheaper), double PE.
+    struct Move {
+      const char* axis;
+      std::int64_t* field;
+      std::int64_t cap;
+    };
+    const Move moves[] = {
+        {"SIMD", &layer.simd, simd_cap(layer, first_conv)},
+        {"PE", &layer.pe, layer.matrix_rows()},
+    };
+    bool applied = false;
+    for (const Move& m : moves) {
+      const std::int64_t old = *m.field;
+      const std::int64_t next = std::min(old * 2, m.cap);
+      if (next == old) continue;
+      *m.field = next;
+      auto [perf2, res2] = evaluate(specs);
+      if (!res2.fits(goal.part.lut, goal.part.bram18, goal.part.dsp)) {
+        *m.field = old;  // revert: the move blows the budget
+        continue;
+      }
+      if (perf2.initiation_interval >= perf.initiation_interval &&
+          m.axis == std::string("SIMD")) {
+        // SIMD move did not help (ceil effects); try PE instead.
+        *m.field = old;
+        continue;
+      }
+      perf = std::move(perf2);
+      res = res2;
+      result.trajectory.push_back(
+          {layer.name, m.axis, perf.fps(goal.clock_hz, goal.efficiency),
+           res.lut});
+      applied = true;
+      break;
+    }
+    if (!applied) {
+      result.resource_bound = true;
+      break;
+    }
+  }
+
+  result.performance = std::move(perf);
+  result.resources = res;
+  result.specs = std::move(specs);
+  if (goal.target_fps > 0 &&
+      result.performance.fps(goal.clock_hz, goal.efficiency) >= goal.target_fps)
+    result.met_target = true;
+  return result;
+}
+
+}  // namespace bcop::deploy

@@ -1,0 +1,60 @@
+// Automated design-space exploration for MVTU dimensioning.
+//
+// The paper (Sec. III-B): "Based on the compute complexity of each layer,
+// the available hardware resources need to be distributed over the
+// corresponding MVTUs, such that all parts of the pipeline have a
+// matched-throughput. A single under-dimensioned MVTU could throttle the
+// entire pipeline." This module automates that designer's loop: starting
+// from the minimal dimensioning (PE = SIMD = 1), it repeatedly doubles the
+// folding of the current bottleneck MVTU -- preferring the cheaper SIMD
+// axis -- until either the target throughput is met or the part's
+// resources are exhausted.
+//
+// Hardware legality constraints honoured by every move:
+//   * PE divides into rows by folding, SIMD into columns -- both are
+//     capped at the matrix dimension;
+//   * the first conv layer's SIMD is capped at its 3 input channels
+//     (pixels arrive channel-interleaved), which is exactly why Conv1.1
+//     bottlenecks n-CNV at ~6400 FPS and why Table I pins its SIMD to 3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/architecture.hpp"
+#include "deploy/performance.hpp"
+#include "deploy/resource.hpp"
+
+namespace bcop::deploy {
+
+struct DseGoal {
+  double target_fps = 0;          // stop once reached (0 = maximize)
+  FpgaPart part = z7020();        // resource budget
+  bool dsp_offload = false;       // u-CNV-style XNOR-in-DSP mapping
+  double clock_hz = kClockHz;
+  double efficiency = kImplementationEfficiency;
+  int max_steps = 256;            // search-length backstop
+};
+
+struct DseStep {
+  std::string layer;     // which MVTU was widened
+  std::string axis;      // "PE" or "SIMD"
+  double fps_after = 0;
+  std::int64_t lut_after = 0;
+};
+
+struct DseResult {
+  std::vector<core::LayerSpec> specs;  // final dimensioning
+  PerfReport performance;
+  ResourceEstimate resources;
+  std::vector<DseStep> trajectory;
+  bool met_target = false;
+  /// True when the search stopped because no legal move fits the part.
+  bool resource_bound = false;
+};
+
+/// Explore dimensionings for the given layer topology (the PE/SIMD values
+/// in `specs` are ignored; shapes and pool placement are what matters).
+DseResult explore(std::vector<core::LayerSpec> specs, const DseGoal& goal);
+
+}  // namespace bcop::deploy

@@ -1,0 +1,118 @@
+#include "deploy/mvtu.hpp"
+
+#include <stdexcept>
+
+namespace bcop::deploy {
+
+std::int64_t folds_per_vector(std::int64_t rows, std::int64_t cols,
+                              const MvtuConfig& cfg) {
+  if (cfg.pe <= 0 || cfg.simd <= 0)
+    throw std::invalid_argument("MvtuConfig: non-positive PE/SIMD");
+  const std::int64_t nf = (rows + cfg.pe - 1) / cfg.pe;
+  const std::int64_t sf = (cols + cfg.simd - 1) / cfg.simd;
+  return nf * sf;
+}
+
+namespace {
+/// Extract bit `i` from a packed row.
+inline int bit_at(const std::uint64_t* words, std::int64_t i) {
+  return static_cast<int>((words[i >> 6] >> (i & 63)) & 1ull);
+}
+}  // namespace
+
+BinaryMvtu::BinaryMvtu(const tensor::BitMatrix* weights,
+                       const xnor::ThresholdSpec* thresholds, MvtuConfig cfg)
+    : weights_(weights), thresholds_(thresholds), cfg_(cfg) {
+  if (!weights) throw std::invalid_argument("BinaryMvtu: null weights");
+  if (thresholds && thresholds->channels() != weights->rows())
+    throw std::invalid_argument("BinaryMvtu: threshold/row mismatch");
+}
+
+std::int64_t BinaryMvtu::process(const std::uint64_t* in_words,
+                                 std::vector<std::uint8_t>* out_bits,
+                                 std::vector<std::int32_t>* raw_acc) const {
+  const std::int64_t R = rows(), C = cols();
+  const std::int64_t nf = (R + cfg_.pe - 1) / cfg_.pe;
+  const std::int64_t sf = (C + cfg_.simd - 1) / cfg_.simd;
+  std::int64_t cycles = 0;
+
+  // Neuron folds: each fold maps cfg_.pe consecutive rows onto the PEs.
+  for (std::int64_t f = 0; f < nf; ++f) {
+    std::vector<std::int64_t> match(static_cast<std::size_t>(cfg_.pe), 0);
+    // Synapse folds: every cycle each PE consumes cfg_.simd input bits and
+    // XNORs them against its weight slice, accumulating the popcount.
+    for (std::int64_t sfi = 0; sfi < sf; ++sfi) {
+      ++cycles;
+      const std::int64_t c0 = sfi * cfg_.simd;
+      const std::int64_t c1 = std::min(C, c0 + cfg_.simd);
+      for (std::int64_t p = 0; p < cfg_.pe; ++p) {
+        const std::int64_t r = f * cfg_.pe + p;
+        if (r >= R) continue;
+        const std::uint64_t* wrow = weights_->row(r);
+        std::int64_t m = 0;
+        for (std::int64_t c = c0; c < c1; ++c)
+          m += 1 - (bit_at(in_words, c) ^ bit_at(wrow, c));  // XNOR
+        match[static_cast<std::size_t>(p)] += m;
+      }
+    }
+    // Threshold stage: acc = 2*matches - C, compare against folded T.
+    for (std::int64_t p = 0; p < cfg_.pe; ++p) {
+      const std::int64_t r = f * cfg_.pe + p;
+      if (r >= R) continue;
+      const std::int64_t acc = 2 * match[static_cast<std::size_t>(p)] - C;
+      if (raw_acc) raw_acc->push_back(static_cast<std::int32_t>(acc));
+      if (thresholds_ && out_bits)
+        out_bits->push_back(thresholds_->fire(acc, r) ? 1 : 0);
+    }
+  }
+  return cycles;
+}
+
+FixedMvtu::FixedMvtu(const tensor::Tensor* weights,
+                     const xnor::ThresholdSpec* thresholds, MvtuConfig cfg)
+    : weights_(weights), thresholds_(thresholds), cfg_(cfg) {
+  if (!weights || weights->shape().rank() != 2)
+    throw std::invalid_argument("FixedMvtu: rank-2 weights required");
+  if (thresholds && thresholds->channels() != weights->shape()[1])
+    throw std::invalid_argument("FixedMvtu: threshold/row mismatch");
+}
+
+std::int64_t FixedMvtu::process(const std::int32_t* in_values,
+                                std::vector<std::uint8_t>* out_bits,
+                                std::vector<std::int32_t>* raw_acc) const {
+  const std::int64_t R = rows(), C = cols();
+  const std::int64_t nf = (R + cfg_.pe - 1) / cfg_.pe;
+  const std::int64_t sf = (C + cfg_.simd - 1) / cfg_.simd;
+  std::int64_t cycles = 0;
+
+  for (std::int64_t f = 0; f < nf; ++f) {
+    std::vector<std::int64_t> acc(static_cast<std::size_t>(cfg_.pe), 0);
+    for (std::int64_t sfi = 0; sfi < sf; ++sfi) {
+      ++cycles;
+      const std::int64_t c0 = sfi * cfg_.simd;
+      const std::int64_t c1 = std::min(C, c0 + cfg_.simd);
+      for (std::int64_t p = 0; p < cfg_.pe; ++p) {
+        const std::int64_t r = f * cfg_.pe + p;
+        if (r >= R) continue;
+        std::int64_t a = 0;
+        for (std::int64_t c = c0; c < c1; ++c) {
+          // Binary weight: +x or -x, i.e. a conditional negate on hardware.
+          const float w = weights_->at2(c, r);
+          a += w >= 0.f ? in_values[c] : -in_values[c];
+        }
+        acc[static_cast<std::size_t>(p)] += a;
+      }
+    }
+    for (std::int64_t p = 0; p < cfg_.pe; ++p) {
+      const std::int64_t r = f * cfg_.pe + p;
+      if (r >= R) continue;
+      const std::int64_t a = acc[static_cast<std::size_t>(p)];
+      if (raw_acc) raw_acc->push_back(static_cast<std::int32_t>(a));
+      if (thresholds_ && out_bits)
+        out_bits->push_back(thresholds_->fire(a, r) ? 1 : 0);
+    }
+  }
+  return cycles;
+}
+
+}  // namespace bcop::deploy

@@ -1,0 +1,90 @@
+// Matrix-Vector-Threshold Unit (MVTU) -- the FINN compute engine.
+//
+// One MVTU is instantiated per convolutional/fully-connected layer (paper
+// Sec. III-B, Fig. 1). It is dimensioned by PE count (output neurons
+// processed in parallel) and SIMD lanes (synapses consumed per PE per
+// cycle). A matrix of R rows (output channels) and C columns (fan-in) is
+// processed in ceil(R/PE) neuron folds x ceil(C/SIMD) synapse folds; that
+// product is the unit's cycle cost per output vector and determines the
+// pipeline's throughput.
+//
+// Two variants exist, matching the hardware:
+//  - BinaryMvtu: XNOR + popcount accumulation over packed {-1,+1} bits,
+//    followed by the folded threshold comparison.
+//  - FixedMvtu: the first layer's fixed-point x binary-weight MACs (8-bit
+//    pixels, FINN-style [7]; on DSP-constrained parts the XNORs can also be
+//    offloaded to DSP blocks [27]).
+// The simulation executes the exact fold loops so the cycle accounting and
+// the arithmetic agree with what the RTL would do; outputs are bit-exact
+// against xnor::XnorNetwork by construction (tested).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/bit_tensor.hpp"
+#include "xnor/folding.hpp"
+
+namespace bcop::deploy {
+
+struct MvtuConfig {
+  std::int64_t pe = 1;
+  std::int64_t simd = 1;
+};
+
+/// Cycle cost of one output vector: neuron folds x synapse folds.
+std::int64_t folds_per_vector(std::int64_t rows, std::int64_t cols,
+                              const MvtuConfig& cfg);
+
+class BinaryMvtu {
+ public:
+  /// `weights` is [rows, cols] packed; `thresholds` may be null for the
+  /// classifier MVTU (raw accumulators are streamed out).
+  BinaryMvtu(const tensor::BitMatrix* weights,
+             const xnor::ThresholdSpec* thresholds, MvtuConfig cfg);
+
+  /// Process one packed input vector of `cols` bits. Appends `rows` output
+  /// bits to `out_bits` (ignored if thresholds are absent) and, when
+  /// `raw_acc` is non-null, the raw accumulators. Returns cycles consumed.
+  std::int64_t process(const std::uint64_t* in_words,
+                       std::vector<std::uint8_t>* out_bits,
+                       std::vector<std::int32_t>* raw_acc) const;
+
+  std::int64_t rows() const { return weights_->rows(); }
+  std::int64_t cols() const { return weights_->cols(); }
+  const MvtuConfig& config() const { return cfg_; }
+  std::int64_t cycles_per_vector() const {
+    return folds_per_vector(rows(), cols(), cfg_);
+  }
+
+ private:
+  const tensor::BitMatrix* weights_;
+  const xnor::ThresholdSpec* thresholds_;
+  MvtuConfig cfg_;
+};
+
+class FixedMvtu {
+ public:
+  /// `weights` is the {-1,+1} float matrix [cols, rows] (nn layout);
+  /// inputs are integer pixel codes.
+  FixedMvtu(const tensor::Tensor* weights,
+            const xnor::ThresholdSpec* thresholds, MvtuConfig cfg);
+
+  std::int64_t process(const std::int32_t* in_values,
+                       std::vector<std::uint8_t>* out_bits,
+                       std::vector<std::int32_t>* raw_acc) const;
+
+  std::int64_t rows() const { return weights_->shape()[1]; }
+  std::int64_t cols() const { return weights_->shape()[0]; }
+  const MvtuConfig& config() const { return cfg_; }
+  std::int64_t cycles_per_vector() const {
+    return folds_per_vector(rows(), cols(), cfg_);
+  }
+
+ private:
+  const tensor::Tensor* weights_;
+  const xnor::ThresholdSpec* thresholds_;
+  MvtuConfig cfg_;
+};
+
+}  // namespace bcop::deploy

@@ -1,0 +1,37 @@
+#include "deploy/performance.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "deploy/mvtu.hpp"
+
+namespace bcop::deploy {
+
+PerfReport analyze_performance(const std::vector<core::LayerSpec>& specs) {
+  if (specs.empty())
+    throw std::invalid_argument("analyze_performance: empty spec table");
+  PerfReport report;
+  for (const auto& sp : specs) {
+    LayerPerf lp;
+    lp.name = sp.name;
+    lp.compute_cycles =
+        sp.output_vectors() *
+        folds_per_vector(sp.matrix_rows(), sp.matrix_cols(), {sp.pe, sp.simd});
+    lp.stream_cycles = sp.is_conv ? sp.in_h * sp.in_w : 0;
+    lp.effective_cycles = std::max(lp.compute_cycles, lp.stream_cycles);
+    report.layers.push_back(std::move(lp));
+  }
+  for (const auto& lp : report.layers) {
+    if (lp.effective_cycles > report.initiation_interval) {
+      report.initiation_interval = lp.effective_cycles;
+      report.bottleneck = lp.name;
+    }
+    report.pipeline_latency_cycles += lp.effective_cycles;
+  }
+  for (auto& lp : report.layers)
+    lp.utilization = static_cast<double>(lp.effective_cycles) /
+                     static_cast<double>(report.initiation_interval);
+  return report;
+}
+
+}  // namespace bcop::deploy

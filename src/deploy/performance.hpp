@@ -1,0 +1,75 @@
+// Analytical throughput / latency model (paper Sec. IV-B).
+//
+// Per layer, the MVTU needs
+//   compute = out_vectors * ceil(rows/PE) * ceil(cols/SIMD)   cycles/image
+// and convolutional stages additionally stream in in_h*in_w pixels through
+// the SWU. The pipeline's initiation interval is the slowest stage, and
+//   FPS = f_clk * efficiency / II.
+// `kImplementationEfficiency` is the single calibrated constant in the
+// model (FIFO back-pressure, SWU ramp-in/out, AXI overhead); it is chosen
+// once so n-CNV lands at the paper's ~6400 FPS, and every other number
+// (ordering, ratios, latency) follows from the folding arithmetic alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/architecture.hpp"
+
+namespace bcop::deploy {
+
+/// Target clock of all Binary-CoP designs (paper Sec. IV-B).
+constexpr double kClockHz = 100e6;
+
+/// Measured-vs-peak efficiency; see header comment.
+constexpr double kImplementationEfficiency = 0.52;
+
+struct LayerPerf {
+  std::string name;
+  std::int64_t compute_cycles = 0;
+  std::int64_t stream_cycles = 0;
+  std::int64_t effective_cycles = 0;
+  double utilization = 0.0;  // compute / II: 1.0 for the bottleneck layer
+};
+
+struct PerfReport {
+  std::vector<LayerPerf> layers;
+  std::int64_t initiation_interval = 0;
+  std::int64_t pipeline_latency_cycles = 0;
+  std::string bottleneck;
+
+  double fps(double clock_hz = kClockHz,
+             double efficiency = kImplementationEfficiency) const {
+    return initiation_interval == 0
+               ? 0.0
+               : clock_hz * efficiency /
+                     static_cast<double>(initiation_interval);
+  }
+  double latency_ms(double clock_hz = kClockHz) const {
+    return 1e3 * static_cast<double>(pipeline_latency_cycles) / clock_hz;
+  }
+
+  /// Cycles to classify a back-to-back batch of n frames: the first frame
+  /// pays the full pipeline latency, every further frame one initiation
+  /// interval. This is the "classification rate when the accelerator's
+  /// pipeline is full" accounting of Sec. IV-A.
+  std::int64_t batch_cycles(std::int64_t n) const {
+    if (n <= 0) return 0;
+    return pipeline_latency_cycles + (n - 1) * initiation_interval;
+  }
+
+  /// Effective frames/second for a batch of n (approaches fps() as n grows).
+  double batch_fps(std::int64_t n, double clock_hz = kClockHz,
+                   double efficiency = kImplementationEfficiency) const {
+    const std::int64_t cycles = batch_cycles(n);
+    return cycles <= 0 ? 0.0
+                       : static_cast<double>(n) * clock_hz * efficiency /
+                             static_cast<double>(cycles);
+  }
+};
+
+/// Evaluate the model for a prototype's spec table.
+PerfReport analyze_performance(const std::vector<core::LayerSpec>& specs);
+
+}  // namespace bcop::deploy

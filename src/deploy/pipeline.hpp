@@ -1,0 +1,66 @@
+// Streaming dataflow pipeline simulator (paper Fig. 1).
+//
+// The FINN architecture instantiates one hardware stage per layer -- SWU +
+// MVTU for convolutions, MVTU for fully-connected layers, OR-reduction for
+// max pools -- all connected by FIFOs, with every stage processing a
+// different image simultaneously once the pipeline is full. This simulator
+// executes the exact per-stage arithmetic (fold loops, threshold compares,
+// boolean-OR pooling) for one image at a time and accounts cycles per
+// stage; the slowest stage's cycle count is the pipeline's initiation
+// interval (II), which determines steady-state throughput.
+//
+// Functional output is bit-exact against xnor::XnorNetwork (tested), and
+// through it against the binarized training graph.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/architecture.hpp"
+#include "tensor/tensor.hpp"
+#include "xnor/engine.hpp"
+
+namespace bcop::deploy {
+
+struct StageCycles {
+  std::string name;             // layer name from the spec table
+  std::int64_t compute_cycles = 0;  // MVTU fold cycles for the whole image
+  std::int64_t stream_cycles = 0;   // SWU stream-in cycles (convs)
+  std::int64_t effective() const {
+    return std::max(compute_cycles, stream_cycles);
+  }
+};
+
+struct RunResult {
+  tensor::Tensor logits;            // [1, classes], integer-valued
+  std::vector<StageCycles> stages;  // one entry per compute layer
+  /// Initiation interval: cycles between successive image completions once
+  /// the pipeline is full (max over stages).
+  std::int64_t initiation_interval() const;
+  /// Single-image latency through the empty pipeline (sum over stages).
+  std::int64_t latency_cycles() const;
+};
+
+class StreamingPipeline {
+ public:
+  /// Both `net` and `specs` must describe the same architecture; the
+  /// constructor cross-checks layer shapes and throws on mismatch.
+  /// `net` must outlive the pipeline.
+  StreamingPipeline(const xnor::XnorNetwork& net,
+                    std::vector<core::LayerSpec> specs);
+
+  /// Execute one [1, S, S, 3] image through every stage.
+  RunResult run(const tensor::Tensor& image) const;
+
+  const std::vector<core::LayerSpec>& specs() const { return specs_; }
+
+  /// Human-readable pipeline description (Fig. 1-style stage listing).
+  std::string describe() const;
+
+ private:
+  const xnor::XnorNetwork* net_;
+  std::vector<core::LayerSpec> specs_;
+};
+
+}  // namespace bcop::deploy

@@ -1,0 +1,13 @@
+#include "deploy/power.hpp"
+
+namespace bcop::deploy {
+
+PowerReport estimate_power(const ResourceEstimate& resources) {
+  PowerReport p;
+  p.active_w = kIdlePowerW + kWattsPerLut * static_cast<double>(resources.lut) +
+               kWattsPerBram18 * resources.bram18 +
+               kWattsPerDsp * static_cast<double>(resources.dsp);
+  return p;
+}
+
+}  // namespace bcop::deploy

@@ -1,0 +1,61 @@
+#include "deploy/resource.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bcop::deploy {
+
+namespace {
+// Calibrated against Table II; see header and EXPERIMENTS.md.
+constexpr double kLutPerLane = 4.9;    // XNOR + popcount tree, per bit-lane
+constexpr double kLutPerPe = 40.0;     // accumulator + threshold compare
+constexpr double kLutPerUnit = 800.0;  // MVTU control + SWU + FIFOs
+constexpr double kLutBase = 4000.0;    // AXI-lite/stream shell, DMA
+constexpr double kOffloadLutFactor = 0.15;
+constexpr std::int64_t kLutramThresholdBits = 1024;  // per-PE memory
+constexpr std::int64_t kBram18Bits = 18 * 1024;
+constexpr std::int64_t kXnorLanesPerDsp = 16;  // OrthrusPE packing [27]
+constexpr std::int64_t kPePerDsp = 4;          // shared accumulator DSP
+}  // namespace
+
+FpgaPart z7020() { return {"XC7Z020", 53200, 280, 220}; }
+FpgaPart z7010() { return {"XC7Z010", 17600, 120, 80}; }
+
+ResourceEstimate estimate_resources(const std::vector<core::LayerSpec>& specs,
+                                    bool dsp_offload) {
+  if (specs.empty())
+    throw std::invalid_argument("estimate_resources: empty spec table");
+  ResourceEstimate est;
+  est.dsp_offload = dsp_offload;
+
+  double lut = kLutBase;
+  std::int64_t total_pe = 0, conv_lanes = 0;
+  for (const auto& sp : specs) {
+    const std::int64_t lanes = sp.pe * sp.simd;
+    total_pe += sp.pe;
+    if (sp.is_conv) conv_lanes += lanes;
+    const double lane_factor =
+        dsp_offload && sp.is_conv ? kOffloadLutFactor : 1.0;
+    lut += kLutPerLane * static_cast<double>(lanes) * lane_factor;
+    lut += kLutPerPe * static_cast<double>(sp.pe);
+    lut += kLutPerUnit;
+
+    // Weight memory: per-PE partitions; small ones go to LUTRAM.
+    const std::int64_t bits = sp.weight_count();
+    est.weight_bits += bits;
+    const std::int64_t bits_per_pe = (bits + sp.pe - 1) / sp.pe;
+    if (bits_per_pe <= kLutramThresholdBits) {
+      lut += static_cast<double>(bits) / 64.0;  // 64-bit LUTRAM primitives
+    } else {
+      est.bram18 += static_cast<double>(
+          sp.pe * ((bits_per_pe + kBram18Bits - 1) / kBram18Bits));
+    }
+  }
+  est.lut = static_cast<std::int64_t>(std::llround(lut));
+  est.dsp = (total_pe + kPePerDsp - 1) / kPePerDsp + 1;
+  if (dsp_offload)
+    est.dsp += (conv_lanes + kXnorLanesPerDsp - 1) / kXnorLanesPerDsp;
+  return est;
+}
+
+}  // namespace bcop::deploy

@@ -1,0 +1,55 @@
+// FPGA resource model: LUT / BRAM18 / DSP estimates per design (Table II).
+//
+// The model is structural -- every term corresponds to a hardware
+// component of the FINN architecture -- with constants calibrated once
+// against Table II (documented in EXPERIMENTS.md):
+//   LUT  = kLutPerLane * sum(PE*SIMD)          (XNOR array + popcount tree)
+//        + kLutPerPe   * sum(PE)               (accumulator + threshold)
+//        + kLutPerUnit * layers                (MVTU control + SWU)
+//        + kLutBase                            (AXI/DMA/platform shell)
+//        + LUTRAM bits / 64 for small weight memories
+//   In DSP-offload mode (u-CNV on the Z7010, per OrthrusPE [27]) the XNOR
+//   array moves into DSP48 blocks, leaving kOffloadLutFactor of its LUTs.
+//   BRAM18 = per-PE weight partitions: pe * ceil(bits_per_pe / 18Kb) for
+//   memories above the LUTRAM threshold (small ones synthesize to LUTRAM).
+//   DSP  = sum(PE)/4 (4 PEs share a DSP48 accumulator) + 1 (control)
+//        + offload ? sum_conv(PE*SIMD)/16 (16 XNOR lanes per DSP48) : 0.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/architecture.hpp"
+
+namespace bcop::deploy {
+
+struct ResourceEstimate {
+  std::int64_t lut = 0;
+  double bram18 = 0;  // paper reports fractional BRAM (10.5)
+  std::int64_t dsp = 0;
+  std::int64_t weight_bits = 0;
+  bool dsp_offload = false;
+
+  /// Does the design fit the given part? (LUT/BRAM18/DSP capacities)
+  bool fits(std::int64_t luts, double bram, std::int64_t dsps) const {
+    return lut <= luts && bram18 <= bram && dsp <= dsps;
+  }
+};
+
+/// Capacities of the two target SoCs (Zynq-7000 series).
+struct FpgaPart {
+  std::string name;
+  std::int64_t lut;
+  double bram18;
+  std::int64_t dsp;
+};
+FpgaPart z7020();  // XC7Z020: 53,200 LUT, 280 BRAM18, 220 DSP
+FpgaPart z7010();  // XC7Z010: 17,600 LUT, 120 BRAM18,  80 DSP
+
+/// Estimate resources for a prototype. `dsp_offload` selects the
+/// OrthrusPE-style XNOR-in-DSP mapping the paper uses for u-CNV [27].
+ResourceEstimate estimate_resources(const std::vector<core::LayerSpec>& specs,
+                                    bool dsp_offload);
+
+}  // namespace bcop::deploy

@@ -1,0 +1,94 @@
+#include "deploy/stream_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcop::deploy {
+
+StreamReport simulate_stream(const PerfReport& perf,
+                             const StreamConfig& config) {
+  const std::int64_t S = static_cast<std::int64_t>(perf.layers.size());
+  const std::int64_t F = config.frames;
+  if (S == 0) throw std::invalid_argument("simulate_stream: empty pipeline");
+  if (F <= 0) throw std::invalid_argument("simulate_stream: no frames");
+  if (config.fifo_depth < 1)
+    throw std::invalid_argument("simulate_stream: fifo_depth must be >= 1");
+  if (config.arrival_interval < 0)
+    throw std::invalid_argument("simulate_stream: negative arrival interval");
+
+  std::vector<std::int64_t> service(static_cast<std::size_t>(S));
+  for (std::int64_t s = 0; s < S; ++s)
+    service[static_cast<std::size_t>(s)] =
+        perf.layers[static_cast<std::size_t>(s)].effective_cycles;
+
+  // start/depart[f][s]; frames outer so all dependencies are computed.
+  std::vector<std::vector<std::int64_t>> start(
+      static_cast<std::size_t>(F),
+      std::vector<std::int64_t>(static_cast<std::size_t>(S), 0));
+  auto depart = [&](std::int64_t f, std::int64_t s) {
+    return start[static_cast<std::size_t>(f)][static_cast<std::size_t>(s)] +
+           service[static_cast<std::size_t>(s)];
+  };
+
+  std::vector<std::int64_t> arrivals(static_cast<std::size_t>(F));
+  for (std::int64_t f = 0; f < F; ++f)
+    arrivals[static_cast<std::size_t>(f)] = f * config.arrival_interval;
+
+  std::vector<std::int64_t> blocked(static_cast<std::size_t>(S), 0);
+  for (std::int64_t f = 0; f < F; ++f) {
+    for (std::int64_t s = 0; s < S; ++s) {
+      std::int64_t t = s == 0 ? arrivals[static_cast<std::size_t>(f)]
+                              : depart(f, s - 1);
+      if (f > 0) t = std::max(t, depart(f - 1, s));  // stage busy
+      // Back-pressure: frame f may only enter stage s once frame
+      // f - fifo_depth has entered stage s+1, freeing a FIFO slot.
+      std::int64_t unblocked = t;
+      if (s + 1 < S && f >= config.fifo_depth) {
+        const std::int64_t frees =
+            start[static_cast<std::size_t>(f - config.fifo_depth)]
+                 [static_cast<std::size_t>(s + 1)];
+        unblocked = std::max(t, frees);
+      }
+      blocked[static_cast<std::size_t>(s)] += unblocked - t;
+      start[static_cast<std::size_t>(f)][static_cast<std::size_t>(s)] =
+          unblocked;
+    }
+  }
+
+  StreamReport report;
+  report.makespan_cycles = depart(F - 1, S - 1);
+  report.first_frame_latency = depart(0, S - 1) - arrivals[0];
+  double latency_sum = 0;
+  for (std::int64_t f = 0; f < F; ++f) {
+    const std::int64_t lat = depart(f, S - 1) - arrivals[static_cast<std::size_t>(f)];
+    latency_sum += static_cast<double>(lat);
+    report.max_latency_cycles = std::max(report.max_latency_cycles, lat);
+  }
+  report.mean_latency_cycles = latency_sum / static_cast<double>(F);
+
+  // Measured II: completion spacing over the second half of the run.
+  const std::int64_t half = F / 2;
+  if (F - half >= 2) {
+    const std::int64_t span = depart(F - 1, S - 1) - depart(half, S - 1);
+    report.measured_ii =
+        static_cast<double>(span) / static_cast<double>(F - 1 - half);
+  } else {
+    report.measured_ii = static_cast<double>(report.makespan_cycles);
+  }
+
+  for (std::int64_t s = 0; s < S; ++s) {
+    StageStats st;
+    st.name = perf.layers[static_cast<std::size_t>(s)].name;
+    st.service_cycles = service[static_cast<std::size_t>(s)];
+    st.busy_cycles = service[static_cast<std::size_t>(s)] * F;
+    st.utilization = report.makespan_cycles == 0
+                         ? 0
+                         : static_cast<double>(st.busy_cycles) /
+                               static_cast<double>(report.makespan_cycles);
+    st.blocked_cycles = blocked[static_cast<std::size_t>(s)];
+    report.stages.push_back(std::move(st));
+  }
+  return report;
+}
+
+}  // namespace bcop::deploy

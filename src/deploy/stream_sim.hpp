@@ -1,0 +1,66 @@
+// Frame-level streaming simulation of the accelerator pipeline.
+//
+// The analytical model (performance.hpp) gives the steady-state initiation
+// interval; this simulator derives the *dynamic* behaviour: how the
+// pipeline fills, what per-frame latency looks like under a given camera
+// arrival process, how FIFO back-pressure propagates when inter-stage
+// buffers are shallow, and how busy each MVTU actually is. Service times
+// are deterministic (each stage needs its effective cycle count per
+// frame), so the exact tandem-queue-with-blocking recurrence applies:
+//
+//   start(f, s)  = max(depart(f, s-1),        // data available
+//                      depart(f-1, s),        // stage free
+//                      start(f - cap(s), s+1)) // output FIFO has a slot
+//   depart(f, s) = start(f, s) + T(s)
+//
+// where cap(s) is the FIFO capacity (in frames) between stage s and s+1
+// (blocking-before-service). Iterating frames outer / stages inner makes
+// every dependency refer to already-computed values.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "deploy/performance.hpp"
+
+namespace bcop::deploy {
+
+struct StreamConfig {
+  std::int64_t frames = 100;
+  /// Cycles between camera frames; 0 = back-to-back (pipeline-full mode).
+  std::int64_t arrival_interval = 0;
+  /// Inter-stage FIFO capacity in frames (>= 1). FINN uses shallow FIFOs;
+  /// depth 1 is the worst legal case.
+  std::int64_t fifo_depth = 1;
+};
+
+struct StageStats {
+  std::string name;
+  std::int64_t service_cycles = 0;  // per frame
+  std::int64_t busy_cycles = 0;     // total over the run
+  double utilization = 0;           // busy / makespan
+  std::int64_t blocked_cycles = 0;  // waiting on downstream FIFO space
+};
+
+struct StreamReport {
+  std::vector<StageStats> stages;
+  std::int64_t makespan_cycles = 0;       // arrival of f0 -> departure of last
+  std::int64_t first_frame_latency = 0;   // fill latency
+  double mean_latency_cycles = 0;
+  std::int64_t max_latency_cycles = 0;
+  /// Mean spacing between consecutive frame completions in steady state
+  /// (second half of the run) -- the measured initiation interval.
+  double measured_ii = 0;
+  double throughput_fps(double clock_hz = kClockHz,
+                        double efficiency = kImplementationEfficiency) const {
+    return measured_ii <= 0 ? 0 : clock_hz * efficiency / measured_ii;
+  }
+};
+
+/// Simulate `config.frames` frames through the pipeline described by
+/// `perf` (one stage per layer, effective cycles as service time).
+StreamReport simulate_stream(const PerfReport& perf,
+                             const StreamConfig& config);
+
+}  // namespace bcop::deploy

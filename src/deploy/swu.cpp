@@ -1,0 +1,44 @@
+#include "deploy/swu.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace bcop::deploy {
+
+SlidingWindowUnit::SlidingWindowUnit(std::int64_t h, std::int64_t w,
+                                     std::int64_t c, std::int64_t k)
+    : h_(h), w_(w), c_(c), k_(k) {
+  if (h < k || w < k || c <= 0 || k <= 0)
+    throw std::invalid_argument("SlidingWindowUnit: bad geometry");
+}
+
+void SlidingWindowUnit::window_bits(const std::vector<std::uint8_t>& fmap,
+                                    std::int64_t oy, std::int64_t ox,
+                                    std::uint64_t* out_words) const {
+  if (static_cast<std::int64_t>(fmap.size()) != h_ * w_ * c_)
+    throw std::invalid_argument("SlidingWindowUnit: fmap size mismatch");
+  std::memset(out_words, 0,
+              static_cast<std::size_t>(patch_words()) * sizeof(std::uint64_t));
+  std::int64_t bit = 0;
+  for (std::int64_t ky = 0; ky < k_; ++ky)
+    for (std::int64_t kx = 0; kx < k_; ++kx) {
+      const std::uint8_t* src = fmap.data() + ((oy + ky) * w_ + (ox + kx)) * c_;
+      for (std::int64_t ch = 0; ch < c_; ++ch, ++bit)
+        if (src[ch]) out_words[bit >> 6] |= 1ull << (bit & 63);
+    }
+}
+
+void SlidingWindowUnit::window_values(const std::vector<std::int32_t>& fmap,
+                                      std::int64_t oy, std::int64_t ox,
+                                      std::int32_t* out_values) const {
+  if (static_cast<std::int64_t>(fmap.size()) != h_ * w_ * c_)
+    throw std::invalid_argument("SlidingWindowUnit: fmap size mismatch");
+  std::int64_t i = 0;
+  for (std::int64_t ky = 0; ky < k_; ++ky)
+    for (std::int64_t kx = 0; kx < k_; ++kx) {
+      const std::int32_t* src = fmap.data() + ((oy + ky) * w_ + (ox + kx)) * c_;
+      for (std::int64_t ch = 0; ch < c_; ++ch, ++i) out_values[i] = src[ch];
+    }
+}
+
+}  // namespace bcop::deploy

@@ -1,0 +1,44 @@
+// Sliding Window Unit (SWU).
+//
+// For convolutional layers, FINN's SWU reshapes the streamed-in feature map
+// into the sequence of KxK patches the MVTU consumes ("creates a single,
+// wide input feature map memory", paper Sec. III-B). Patch element order is
+// (ky, kx, c), matching the weight matrix column order used everywhere in
+// this library. The unit also accounts for its stream-in cost: one cycle
+// per input pixel, which can dominate layers whose MVTU is strongly folded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bcop::deploy {
+
+class SlidingWindowUnit {
+ public:
+  /// Feature map geometry: height x width x channels, kernel k (valid,
+  /// stride 1).
+  SlidingWindowUnit(std::int64_t h, std::int64_t w, std::int64_t c,
+                    std::int64_t k);
+
+  std::int64_t out_h() const { return h_ - k_ + 1; }
+  std::int64_t out_w() const { return w_ - k_ + 1; }
+  std::int64_t patch_bits() const { return k_ * k_ * c_; }
+  std::int64_t patch_words() const { return (patch_bits() + 63) / 64; }
+
+  /// Cycles to stream the input feature map into the line buffers.
+  std::int64_t stream_cycles() const { return h_ * w_; }
+
+  /// Extract the packed patch for output pixel (oy, ox) from a binary map
+  /// stored as one byte per element (0/1), NHWC for a single image.
+  void window_bits(const std::vector<std::uint8_t>& fmap, std::int64_t oy,
+                   std::int64_t ox, std::uint64_t* out_words) const;
+
+  /// Same, for integer-valued maps (first layer): writes k*k*c values.
+  void window_values(const std::vector<std::int32_t>& fmap, std::int64_t oy,
+                     std::int64_t ox, std::int32_t* out_values) const;
+
+ private:
+  std::int64_t h_, w_, c_, k_;
+};
+
+}  // namespace bcop::deploy

@@ -1,0 +1,126 @@
+#include "facegen/attributes.hpp"
+
+#include <stdexcept>
+
+namespace bcop::facegen {
+
+const char* class_name(MaskClass c) {
+  switch (c) {
+    case MaskClass::kCorrect: return "Correctly Masked";
+    case MaskClass::kNoseExposed: return "Nose Exposed";
+    case MaskClass::kNoseMouthExposed: return "Nose and Mouth Exposed";
+    case MaskClass::kChinExposed: return "Chin Exposed";
+  }
+  throw std::invalid_argument("class_name: bad class");
+}
+
+const char* class_short_name(MaskClass c) {
+  switch (c) {
+    case MaskClass::kCorrect: return "Correct";
+    case MaskClass::kNoseExposed: return "Nose";
+    case MaskClass::kNoseMouthExposed: return "N+M";
+    case MaskClass::kChinExposed: return "Chin";
+  }
+  throw std::invalid_argument("class_short_name: bad class");
+}
+
+std::array<float, 2> canonical_mask_extent(MaskClass c) {
+  // Normalized v coordinates; nose sits around 0.48-0.60, mouth 0.66-0.74,
+  // chin 0.78-0.90 (see renderer.cpp). The mask edge positions relative to
+  // those bands are the entire class signal, as in MaskedFace-Net.
+  switch (c) {
+    case MaskClass::kCorrect: return {0.50f, 0.93f};
+    case MaskClass::kNoseExposed: return {0.63f, 0.93f};
+    case MaskClass::kNoseMouthExposed: return {0.77f, 0.95f};
+    case MaskClass::kChinExposed: return {0.50f, 0.76f};
+  }
+  throw std::invalid_argument("canonical_mask_extent: bad class");
+}
+
+namespace {
+
+Rgb sample_skin(util::Rng& rng) {
+  // A ramp from deep brown to pale, with small hue jitter; covers the
+  // "skin-tones" axis the paper stresses.
+  const float t = static_cast<float>(rng.uniform(0.15, 1.0));
+  Rgb s;
+  s.r = 0.25f + 0.70f * t + static_cast<float>(rng.uniform(-0.03, 0.03));
+  s.g = 0.15f + 0.62f * t + static_cast<float>(rng.uniform(-0.03, 0.03));
+  s.b = 0.10f + 0.52f * t + static_cast<float>(rng.uniform(-0.03, 0.03));
+  return s;
+}
+
+Rgb sample_mask_color(util::Rng& rng) {
+  // Surgical light-blue dominates, as in MaskedFace-Net; white, black and
+  // pink cloth masks appear too ("mask types").
+  const double p = rng.uniform();
+  if (p < 0.55) return {0.62f, 0.80f, 0.93f};  // light blue
+  if (p < 0.75) return {0.92f, 0.93f, 0.94f};  // white
+  if (p < 0.90) return {0.15f, 0.15f, 0.18f};  // black
+  return {0.95f, 0.72f, 0.80f};                // pink
+}
+
+Rgb sample_hair(util::Rng& rng) {
+  const double p = rng.uniform();
+  if (p < 0.30) return {0.12f, 0.09f, 0.07f};  // dark brown / black
+  if (p < 0.50) return {0.45f, 0.30f, 0.15f};  // brown
+  if (p < 0.65) return {0.85f, 0.75f, 0.45f};  // blond
+  if (p < 0.78) return {0.80f, 0.80f, 0.82f};  // gray
+  if (p < 0.88) return {0.55f, 0.25f, 0.15f};  // red
+  // Dyed light-blue -- deliberately close to the surgical mask colour
+  // (paper Fig. 8 rows 2-3 test exactly this confusion case).
+  return {0.60f, 0.78f, 0.92f};
+}
+
+}  // namespace
+
+FaceAttributes sample_attributes(MaskClass c, util::Rng& rng) {
+  FaceAttributes a;
+  a.mask_class = c;
+
+  const double age_p = rng.uniform();
+  a.age = age_p < 0.15   ? AgeGroup::kInfant
+          : age_p < 0.85 ? AgeGroup::kAdult
+                         : AgeGroup::kElderly;
+
+  a.skin = sample_skin(rng);
+  a.hair = sample_hair(rng);
+  if (a.age == AgeGroup::kElderly && rng.bernoulli(0.6))
+    a.hair = {0.82f, 0.82f, 0.84f};  // gray
+  const double hs = rng.uniform();
+  a.hair_style = hs < 0.12 ? HairStyle::kBald
+               : hs < 0.62 ? HairStyle::kShort
+                           : HairStyle::kLong;
+  if (a.age == AgeGroup::kInfant) a.hair_style = HairStyle::kShort;
+
+  a.headgear = rng.bernoulli(0.18);
+  a.headgear_color = {static_cast<float>(rng.uniform(0.1, 0.95)),
+                      static_cast<float>(rng.uniform(0.1, 0.95)),
+                      static_cast<float>(rng.uniform(0.1, 0.95))};
+  a.sunglasses = rng.bernoulli(0.12);
+  a.face_paint = rng.bernoulli(0.08);
+  a.paint_color = {static_cast<float>(rng.uniform(0.2, 1.0)),
+                   static_cast<float>(rng.uniform(0.2, 1.0)),
+                   static_cast<float>(rng.uniform(0.2, 1.0))};
+  a.double_mask = rng.bernoulli(0.07);
+  a.mask_color = sample_mask_color(rng);
+  a.mask2_color = sample_mask_color(rng);
+  a.background = {static_cast<float>(rng.uniform(0.05, 0.9)),
+                  static_cast<float>(rng.uniform(0.05, 0.9)),
+                  static_cast<float>(rng.uniform(0.05, 0.9))};
+
+  a.center_x = 0.5f + static_cast<float>(rng.uniform(-0.04, 0.04));
+  a.center_y = 0.52f + static_cast<float>(rng.uniform(-0.03, 0.03));
+  a.radius_x = 0.30f + static_cast<float>(rng.uniform(-0.03, 0.03));
+  a.radius_y = 0.40f + static_cast<float>(rng.uniform(-0.03, 0.03));
+  if (a.age == AgeGroup::kInfant) {
+    a.radius_x *= 1.08f;
+    a.radius_y *= 0.92f;  // rounder face
+  }
+  a.mask_top_jitter = static_cast<float>(rng.uniform(-0.02, 0.02));
+  a.mask_bottom_jitter = static_cast<float>(rng.uniform(-0.015, 0.015));
+  a.head_tilt = static_cast<float>(rng.uniform(-0.08, 0.08));
+  return a;
+}
+
+}  // namespace bcop::facegen

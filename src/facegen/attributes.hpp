@@ -1,0 +1,99 @@
+// Face/mask attribute model for the synthetic MaskedFace-Net substitute.
+//
+// MaskedFace-Net [6] applies a deformable mask model onto natural face
+// photographs; its four classes differ only in *where* the mask sits
+// relative to the nose, mouth and chin. Our procedural generator keeps that
+// structure: a face with parameterized appearance (the paper's "face
+// structures, skin-tones, hair types" plus the Fig. 7-9 generalization
+// attributes: age, hair/headgear colour, sunglasses, face paint, double
+// masks) and a mask whose top/bottom edges are placed per class. Every
+// sample also carries ground-truth landmark regions so Grad-CAM attention
+// can be scored quantitatively.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.hpp"
+
+namespace bcop::facegen {
+
+/// The four MaskedFace-Net classes used by the paper (Sec. IV-A).
+enum class MaskClass : std::int32_t {
+  kCorrect = 0,           // CMFD: nose, mouth and chin covered
+  kNoseExposed = 1,       // IMFD Nose
+  kNoseMouthExposed = 2,  // IMFD Nose and Mouth
+  kChinExposed = 3,       // IMFD Chin
+};
+constexpr int kNumClasses = 4;
+
+const char* class_name(MaskClass c);
+/// Short names matching the paper's Fig. 2 axis: Correct/Nose/N+M/Chin.
+const char* class_short_name(MaskClass c);
+
+enum class AgeGroup : std::int32_t { kInfant = 0, kAdult = 1, kElderly = 2 };
+enum class HairStyle : std::int32_t { kBald = 0, kShort = 1, kLong = 2 };
+
+struct Rgb {
+  float r = 0, g = 0, b = 0;
+};
+
+/// Everything that determines one rendered face (besides the class).
+struct FaceAttributes {
+  MaskClass mask_class = MaskClass::kCorrect;
+  AgeGroup age = AgeGroup::kAdult;
+
+  Rgb skin;               // sampled from a wide tone ramp
+  Rgb hair;               // may deliberately match the mask colour (Fig. 8)
+  HairStyle hair_style = HairStyle::kShort;
+  bool headgear = false;  // cap/band across the top of the head
+  Rgb headgear_color;
+
+  bool sunglasses = false;
+  bool face_paint = false;
+  Rgb paint_color;
+  bool double_mask = false;  // second, offset mask (Fig. 9)
+  Rgb mask_color;            // surgical blue / white / black / pink
+  Rgb mask2_color;
+  Rgb background;
+
+  // Geometry jitter, in normalized [0,1] face coordinates.
+  float center_x = 0.5f;
+  float center_y = 0.52f;
+  float radius_x = 0.30f;
+  float radius_y = 0.40f;
+  float mask_top_jitter = 0.f;     // +- around the class's canonical edge
+  float mask_bottom_jitter = 0.f;
+  float head_tilt = 0.f;           // radians, small
+};
+
+/// Axis-aligned normalized rectangle [u0,u1] x [v0,v1].
+struct Rect {
+  float u0 = 0, v0 = 0, u1 = 0, v1 = 0;
+  bool contains(float u, float v) const {
+    return u >= u0 && u <= u1 && v >= v0 && v <= v1;
+  }
+  float area() const { return (u1 - u0) * (v1 - v0); }
+};
+
+/// Ground-truth landmark regions emitted with every rendered face.
+struct Regions {
+  Rect face;
+  Rect eyes;
+  Rect nose;
+  Rect mouth;
+  Rect chin;
+  Rect mask;          // actual mask placement
+  float mask_top_v = 0.f;  // top edge of the mask (normalized v)
+};
+
+/// Draw random attributes for a sample of class `c`. All variation flows
+/// from `rng`, so a seed fully determines a dataset.
+FaceAttributes sample_attributes(MaskClass c, util::Rng& rng);
+
+/// Canonical mask vertical extent (top_v, bottom_v) for a class before
+/// jitter. Exposed for tests and for scenario builders.
+std::array<float, 2> canonical_mask_extent(MaskClass c);
+
+}  // namespace bcop::facegen

@@ -1,0 +1,79 @@
+#include "facegen/augment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcop::facegen {
+
+using util::Image;
+
+void adjust_contrast(Image& img, float factor) {
+  for (auto& v : img.data()) v = std::clamp((v - 0.5f) * factor + 0.5f, 0.f, 1.f);
+}
+
+void adjust_brightness(Image& img, float delta) {
+  for (auto& v : img.data()) v = std::clamp(v + delta, 0.f, 1.f);
+}
+
+void add_gaussian_noise(Image& img, float stddev, util::Rng& rng) {
+  for (auto& v : img.data())
+    v = std::clamp(v + static_cast<float>(rng.normal(0.0, stddev)), 0.f, 1.f);
+}
+
+void flip_horizontal(Image& img) {
+  const int h = img.height(), w = img.width();
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w / 2; ++x)
+      for (int c = 0; c < 3; ++c)
+        std::swap(img.at(y, x, c), img.at(y, w - 1 - x, c));
+}
+
+void rotate(Image& img, float radians) {
+  const int h = img.height(), w = img.width();
+  Image out(h, w);
+  const float cy = static_cast<float>(h - 1) / 2.f;
+  const float cx = static_cast<float>(w - 1) / 2.f;
+  const float s = std::sin(-radians), c = std::cos(-radians);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      // Inverse-map the output pixel into the source image.
+      const float dy = static_cast<float>(y) - cy, dx = static_cast<float>(x) - cx;
+      const float sy = cy + s * dx + c * dy;
+      const float sx = cx + c * dx - s * dy;
+      const float fy = std::clamp(sy, 0.f, static_cast<float>(h - 1));
+      const float fx = std::clamp(sx, 0.f, static_cast<float>(w - 1));
+      const int y0 = static_cast<int>(fy), x0 = static_cast<int>(fx);
+      const int y1 = std::min(y0 + 1, h - 1), x1 = std::min(x0 + 1, w - 1);
+      const float wy = fy - static_cast<float>(y0), wx = fx - static_cast<float>(x0);
+      for (int ch = 0; ch < 3; ++ch) {
+        const float v = img.at(y0, x0, ch) * (1 - wy) * (1 - wx) +
+                        img.at(y0, x1, ch) * (1 - wy) * wx +
+                        img.at(y1, x0, ch) * wy * (1 - wx) +
+                        img.at(y1, x1, ch) * wy * wx;
+        out.at(y, x, ch) = v;
+      }
+    }
+  }
+  img = std::move(out);
+}
+
+void random_augment_heavy(Image& img, util::Rng& rng) {
+  adjust_contrast(img, static_cast<float>(rng.uniform(0.55, 1.6)));
+  adjust_brightness(img, static_cast<float>(rng.uniform(-0.25, 0.25)));
+  add_gaussian_noise(img, static_cast<float>(rng.uniform(0.06, 0.14)), rng);
+  if (rng.bernoulli(0.5)) flip_horizontal(img);
+  rotate(img, static_cast<float>(rng.uniform(-0.3, 0.3)));
+}
+
+void random_augment(Image& img, util::Rng& rng) {
+  if (rng.bernoulli(0.5))
+    adjust_contrast(img, static_cast<float>(rng.uniform(0.75, 1.3)));
+  if (rng.bernoulli(0.5))
+    adjust_brightness(img, static_cast<float>(rng.uniform(-0.12, 0.12)));
+  if (rng.bernoulli(0.5))
+    add_gaussian_noise(img, static_cast<float>(rng.uniform(0.005, 0.03)), rng);
+  if (rng.bernoulli(0.5)) flip_horizontal(img);
+  if (rng.bernoulli(0.5)) rotate(img, static_cast<float>(rng.uniform(-0.12, 0.12)));
+}
+
+}  // namespace bcop::facegen

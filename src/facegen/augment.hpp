@@ -1,0 +1,37 @@
+// Image augmentation: the paper balances the dataset and then randomly
+// augments with "a varying combination of contrast, brightness, gaussian
+// noise, flip and rotate operations" (Sec. IV-A). Exactly those five are
+// implemented here.
+#pragma once
+
+#include "util/image.hpp"
+#include "util/rng.hpp"
+
+namespace bcop::facegen {
+
+/// Scale contrast around mid-gray: out = (in - 0.5) * factor + 0.5.
+void adjust_contrast(util::Image& img, float factor);
+
+/// Add a constant brightness offset.
+void adjust_brightness(util::Image& img, float delta);
+
+/// Add i.i.d. gaussian noise with the given standard deviation.
+void add_gaussian_noise(util::Image& img, float stddev, util::Rng& rng);
+
+/// Mirror horizontally (mask classes are symmetric, so labels survive).
+void flip_horizontal(util::Image& img);
+
+/// Rotate around the image centre by `radians` (bilinear, edge-clamped).
+void rotate(util::Image& img, float radians);
+
+/// Apply a random combination of the five ops, with ranges chosen so the
+/// class-defining geometry (mask edge vs. nose/mouth/chin) is preserved.
+void random_augment(util::Image& img, util::Rng& rng);
+
+/// Aggressive variant used for the "hard" evaluation set: same five ops
+/// with ranges several times wider (still label-preserving). The synthetic
+/// task is easier than real MaskedFace-Net, so the hard set is what
+/// separates the capacity of CNV from the smaller prototypes.
+void random_augment_heavy(util::Image& img, util::Rng& rng);
+
+}  // namespace bcop::facegen

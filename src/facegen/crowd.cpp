@@ -1,0 +1,278 @@
+#include "facegen/crowd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace bcop::facegen {
+
+using util::Image;
+
+float iou(const Rect& a, const Rect& b) {
+  const float iu0 = std::max(a.u0, b.u0), iv0 = std::max(a.v0, b.v0);
+  const float iu1 = std::min(a.u1, b.u1), iv1 = std::min(a.v1, b.v1);
+  const float iw = std::max(0.f, iu1 - iu0), ih = std::max(0.f, iv1 - iv0);
+  const float inter = iw * ih;
+  const float uni = a.area() + b.area() - inter;
+  return uni <= 0.f ? 0.f : inter / uni;
+}
+
+CrowdScene render_crowd(const CrowdConfig& config, util::Rng& rng) {
+  if (config.canvas_width <= 0 || config.canvas_height <= 0 ||
+      config.faces <= 0 || config.min_face_px < 8 ||
+      config.max_face_px < config.min_face_px)
+    throw std::invalid_argument("render_crowd: bad config");
+
+  CrowdScene scene;
+  scene.canvas = Image(config.canvas_height, config.canvas_width);
+  // Street-scene backdrop: muted gradient with blocky structure.
+  for (int y = 0; y < config.canvas_height; ++y)
+    for (int x = 0; x < config.canvas_width; ++x) {
+      const float g = 0.35f + 0.25f * static_cast<float>(y) /
+                                  static_cast<float>(config.canvas_height) +
+                      0.05f * static_cast<float>((x / 24 + y / 24) % 2);
+      scene.canvas.set_rgb(y, x, g * 0.9f, g, g * 1.05f);
+    }
+
+  const float W = static_cast<float>(config.canvas_width);
+  const float H = static_cast<float>(config.canvas_height);
+  for (int f = 0; f < config.faces; ++f) {
+    // Find a non-overlapping slot (bounded retries).
+    bool placed = false;
+    for (int attempt = 0; attempt < 50 && !placed; ++attempt) {
+      const int size = static_cast<int>(
+          rng.uniform_int(config.min_face_px, config.max_face_px));
+      const int px = static_cast<int>(
+          rng.uniform_int(0, config.canvas_width - size));
+      const int py = static_cast<int>(
+          rng.uniform_int(0, config.canvas_height - size));
+      const Rect bbox{static_cast<float>(px) / W, static_cast<float>(py) / H,
+                      static_cast<float>(px + size) / W,
+                      static_cast<float>(py + size) / H};
+      bool overlaps = false;
+      for (const auto& other : scene.faces)
+        if (iou(bbox, other.bbox) > 0.f) {
+          overlaps = true;
+          break;
+        }
+      if (overlaps) continue;
+
+      const auto cls = config.uniform_classes
+                           ? static_cast<MaskClass>(rng.uniform_int(0, 3))
+                           : MaskClass::kCorrect;
+      const FaceAttributes attrs = sample_attributes(cls, rng);
+      const RenderResult rendered = render_face(attrs, size);
+      for (int y = 0; y < size; ++y)
+        for (int x = 0; x < size; ++x)
+          scene.canvas.set_rgb(py + y, px + x, rendered.image.at(y, x, 0),
+                               rendered.image.at(y, x, 1),
+                               rendered.image.at(y, x, 2));
+      scene.faces.push_back({bbox, cls});
+      placed = true;
+    }
+  }
+  return scene;
+}
+
+Image crop_resize(const Image& canvas, const Rect& bbox, int out) {
+  if (out <= 0) throw std::invalid_argument("crop_resize: bad output size");
+  const float H = static_cast<float>(canvas.height());
+  const float W = static_cast<float>(canvas.width());
+  Image tile(out, out);
+  for (int y = 0; y < out; ++y) {
+    const float v =
+        bbox.v0 + (bbox.v1 - bbox.v0) * (static_cast<float>(y) + 0.5f) /
+                      static_cast<float>(out);
+    const float fy = std::clamp(v * H - 0.5f, 0.f, H - 1.f);
+    const int y0 = static_cast<int>(fy);
+    const int y1 = std::min(y0 + 1, canvas.height() - 1);
+    const float wy = fy - static_cast<float>(y0);
+    for (int x = 0; x < out; ++x) {
+      const float u =
+          bbox.u0 + (bbox.u1 - bbox.u0) * (static_cast<float>(x) + 0.5f) /
+                        static_cast<float>(out);
+      const float fx = std::clamp(u * W - 0.5f, 0.f, W - 1.f);
+      const int x0 = static_cast<int>(fx);
+      const int x1 = std::min(x0 + 1, canvas.width() - 1);
+      const float wx = fx - static_cast<float>(x0);
+      for (int c = 0; c < 3; ++c) {
+        tile.at(y, x, c) = canvas.at(y0, x0, c) * (1 - wy) * (1 - wx) +
+                           canvas.at(y0, x1, c) * (1 - wy) * wx +
+                           canvas.at(y1, x0, c) * wy * (1 - wx) +
+                           canvas.at(y1, x1, c) * wy * wx;
+      }
+    }
+  }
+  return tile;
+}
+
+namespace {
+
+/// Replace a grayscale map with its gradient-magnitude map (forward
+/// differences; last row/column zero). Edge structure is what separates
+/// faces from the smooth/blocky backdrop -- raw-intensity correlation is
+/// fooled by any smooth gradient.
+void to_edges(std::vector<float>& g, int kT) {
+  std::vector<float> e(g.size(), 0.f);
+  for (int y = 0; y < kT - 1; ++y)
+    for (int x = 0; x < kT - 1; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * kT + x;
+      e[i] = std::abs(g[i + 1] - g[i]) +
+             std::abs(g[static_cast<std::size_t>(y + 1) * kT + x] - g[i]);
+    }
+  g = std::move(e);
+}
+
+/// Returns false if the patch has (near-)zero edge energy.
+bool normalize_zero_mean(std::vector<float>& v) {
+  float mean = 0;
+  for (const float x : v) mean += x;
+  mean /= static_cast<float>(v.size());
+  float norm = 0;
+  for (auto& x : v) {
+    x -= mean;
+    norm += x * x;
+  }
+  if (norm < 1e-8f) return false;
+  norm = std::sqrt(norm);
+  for (auto& x : v) x /= norm;
+  return true;
+}
+
+/// Edge-normalized descriptor of a square canvas region.
+bool sample_patch(const Image& canvas, float u0, float v0, float size_u,
+                  float size_v, int kT, std::vector<float>& out) {
+  out.resize(static_cast<std::size_t>(kT) * kT);
+  const float H = static_cast<float>(canvas.height());
+  const float W = static_cast<float>(canvas.width());
+  for (int y = 0; y < kT; ++y)
+    for (int x = 0; x < kT; ++x) {
+      const float v = v0 + size_v * (static_cast<float>(y) + 0.5f) / kT;
+      const float u = u0 + size_u * (static_cast<float>(x) + 0.5f) / kT;
+      const int py = std::clamp(static_cast<int>(v * H), 0, canvas.height() - 1);
+      const int px = std::clamp(static_cast<int>(u * W), 0, canvas.width() - 1);
+      out[static_cast<std::size_t>(y) * kT + x] =
+          (canvas.at(py, px, 0) + canvas.at(py, px, 1) + canvas.at(py, px, 2)) / 3.f;
+    }
+  to_edges(out, kT);
+  return normalize_zero_mean(out);
+}
+
+}  // namespace
+
+FaceLocalizer::FaceLocalizer(std::uint64_t seed, int samples) {
+  // Average the *edge maps* of many neutral subjects (flat background, no
+  // geometry jitter) into one prior; edge structure generalizes across
+  // skin tones and mask colours.
+  util::Rng rng(seed);
+  std::vector<float> avg(static_cast<std::size_t>(kTemplate) * kTemplate, 0.f);
+  std::vector<float> gray(avg.size());
+  for (int s = 0; s < samples; ++s) {
+    FaceAttributes a;  // canonical geometry
+    a.mask_class = static_cast<MaskClass>(s % kNumClasses);
+    a.skin = {static_cast<float>(rng.uniform(0.4, 0.95)),
+              static_cast<float>(rng.uniform(0.3, 0.8)),
+              static_cast<float>(rng.uniform(0.2, 0.7))};
+    a.mask_color = {0.62f, 0.80f, 0.93f};
+    a.hair = {0.2f, 0.15f, 0.1f};
+    a.background = {0.5f, 0.5f, 0.5f};
+    const auto rendered = render_face(a, kTemplate);
+    for (int y = 0; y < kTemplate; ++y)
+      for (int x = 0; x < kTemplate; ++x)
+        gray[static_cast<std::size_t>(y) * kTemplate + x] =
+            (rendered.image.at(y, x, 0) + rendered.image.at(y, x, 1) +
+             rendered.image.at(y, x, 2)) /
+            3.f;
+    to_edges(gray, kTemplate);
+    for (std::size_t i = 0; i < avg.size(); ++i)
+      avg[i] += gray[i] / static_cast<float>(samples);
+  }
+  if (!normalize_zero_mean(avg))
+    throw std::logic_error("FaceLocalizer: degenerate template");
+  template_ = std::move(avg);
+}
+
+std::vector<Detection> FaceLocalizer::detect(const Image& canvas,
+                                             int max_faces,
+                                             float min_score) const {
+  std::vector<Detection> candidates;
+  std::vector<float> patch;
+  // Scale pyramid over plausible subject sizes, stride 1/6 window.
+  for (const int size_px : {24, 28, 32, 36, 40, 44, 48, 56}) {
+    if (size_px > std::min(canvas.width(), canvas.height())) continue;
+    const float su = static_cast<float>(size_px) / static_cast<float>(canvas.width());
+    const float sv = static_cast<float>(size_px) / static_cast<float>(canvas.height());
+    const float step_u = su / 6.f, step_v = sv / 6.f;
+    for (float v0 = 0.f; v0 + sv <= 1.f + 1e-6f; v0 += step_v) {
+      for (float u0 = 0.f; u0 + su <= 1.f + 1e-6f; u0 += step_u) {
+        if (!sample_patch(canvas, u0, v0, su, sv, kTemplate, patch)) continue;
+        float score = 0;
+        for (std::size_t i = 0; i < patch.size(); ++i)
+          score += patch[i] * template_[i];
+        if (score >= min_score)
+          candidates.push_back({{u0, v0, u0 + su, v0 + sv}, score});
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  // Greedy non-maximum suppression.
+  std::vector<Detection> kept;
+  for (const auto& c : candidates) {
+    bool suppressed = false;
+    for (const auto& k : kept)
+      if (iou(c.bbox, k.bbox) > 0.25f) {
+        suppressed = true;
+        break;
+      }
+    if (!suppressed) {
+      kept.push_back(c);
+      if (static_cast<int>(kept.size()) >= max_faces) break;
+    }
+  }
+
+  // Refinement: the classifier downstream is sensitive to framing, so
+  // polish each surviving box with a local offset/scale search.
+  for (auto& d : kept) {
+    const float su0 = d.bbox.u1 - d.bbox.u0, sv0 = d.bbox.v1 - d.bbox.v0;
+    Detection best = d;
+    for (const float scale : {0.85f, 1.f, 1.18f}) {
+      const float su = su0 * scale, sv = sv0 * scale;
+      for (int dy = -2; dy <= 2; ++dy) {
+        for (int dx = -2; dx <= 2; ++dx) {
+          const float u0 = d.bbox.u0 + static_cast<float>(dx) * su0 / 10.f +
+                           (su0 - su) / 2.f;
+          const float v0 = d.bbox.v0 + static_cast<float>(dy) * sv0 / 10.f +
+                           (sv0 - sv) / 2.f;
+          if (u0 < 0.f || v0 < 0.f || u0 + su > 1.f || v0 + sv > 1.f) continue;
+          if (!sample_patch(canvas, u0, v0, su, sv, kTemplate, patch)) continue;
+          float score = 0;
+          for (std::size_t i = 0; i < patch.size(); ++i)
+            score += patch[i] * template_[i];
+          if (score > best.score) best = {{u0, v0, u0 + su, v0 + sv}, score};
+        }
+      }
+    }
+    d = best;
+  }
+
+  // Refinement can reorder scores and nudge boxes together: restore the
+  // sorted-and-suppressed invariant on the final set.
+  std::sort(kept.begin(), kept.end(),
+            [](const Detection& a, const Detection& b) { return a.score > b.score; });
+  std::vector<Detection> final_set;
+  for (const auto& c : kept) {
+    bool suppressed = false;
+    for (const auto& k : final_set)
+      if (iou(c.bbox, k.bbox) > 0.25f) {
+        suppressed = true;
+        break;
+      }
+    if (!suppressed) final_set.push_back(c);
+  }
+  return final_set;
+}
+
+}  // namespace bcop::facegen

@@ -1,0 +1,79 @@
+// Crowd scenes: many subjects on one camera canvas, plus the face
+// localization needed to feed them to the classifier.
+//
+// The paper's high-performance mode "split[s] large crowd images and
+// classif[ies] them at a high-rate to detect uncovered faces in a scene"
+// (Sec. IV-B). This module provides that front end for the synthetic world:
+// a crowd renderer that places non-overlapping subjects with known ground
+// truth, a template-correlation face localizer (the kind of cheap detector
+// an edge pre-processor would run), and tile extraction to the network's
+// 32x32 input resolution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "facegen/attributes.hpp"
+#include "facegen/renderer.hpp"
+#include "util/image.hpp"
+#include "util/rng.hpp"
+
+namespace bcop::facegen {
+
+struct CrowdFace {
+  Rect bbox;  // normalized [0,1] coordinates on the canvas
+  MaskClass label = MaskClass::kCorrect;
+};
+
+struct CrowdScene {
+  util::Image canvas;
+  std::vector<CrowdFace> faces;  // ground truth, in placement order
+};
+
+struct CrowdConfig {
+  int canvas_width = 256;
+  int canvas_height = 192;
+  int faces = 12;
+  int min_face_px = 28;  // rendered subject tile edge, pixels
+  int max_face_px = 48;
+  /// Class mix: uniform over the four classes by default.
+  bool uniform_classes = true;
+};
+
+/// Render a crowd scene. Subjects never overlap; placement that fails to
+/// find room after bounded retries yields fewer faces than requested (the
+/// actual count is faces.size()).
+CrowdScene render_crowd(const CrowdConfig& config, util::Rng& rng);
+
+/// Crop a normalized bbox from the canvas and resize to `out` x `out`
+/// pixels with bilinear sampling (the classifier's input tile).
+util::Image crop_resize(const util::Image& canvas, const Rect& bbox, int out);
+
+/// Detection result of the template localizer.
+struct Detection {
+  Rect bbox;
+  float score = 0;  // normalized cross-correlation, higher is better
+};
+
+/// Cheap face localizer: normalized cross-correlation against an averaged
+/// grayscale face template over a scale pyramid, with greedy non-maximum
+/// suppression. Returns at most `max_faces` detections sorted by score.
+class FaceLocalizer {
+ public:
+  /// Builds the template by averaging `samples` rendered subjects.
+  explicit FaceLocalizer(std::uint64_t seed = 0xface, int samples = 32);
+
+  std::vector<Detection> detect(const util::Image& canvas, int max_faces,
+                                float min_score = 0.3f) const;
+
+  int template_size() const { return kTemplate; }
+
+ private:
+  static constexpr int kTemplate = 16;
+  std::vector<float> template_;  // kTemplate^2 grayscale, zero-mean
+};
+
+/// Intersection-over-union of two normalized rects.
+float iou(const Rect& a, const Rect& b);
+
+}  // namespace bcop::facegen

@@ -1,0 +1,113 @@
+#include "facegen/dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "facegen/augment.hpp"
+
+namespace bcop::facegen {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+MaskedFaceDataset MaskedFaceDataset::generate(const DatasetConfig& config) {
+  if (config.per_class_train <= 0 || config.per_class_test <= 0)
+    throw std::invalid_argument("DatasetConfig: non-positive split size");
+  if (config.natural_fraction <= 0.0 || config.natural_fraction > 1.0)
+    throw std::invalid_argument("DatasetConfig: natural_fraction out of (0,1]");
+
+  MaskedFaceDataset ds;
+  ds.config_ = config;
+  util::Rng rng(config.seed);
+
+  // Virtual raw pool: minority classes (5% each) own `natural` samples, so
+  // the pool holds natural / 0.05 samples in total.
+  const auto natural =
+      static_cast<std::int64_t>(std::ceil(config.per_class_train * config.natural_fraction));
+  const double pool = static_cast<double>(natural) / kRawClassProportions[2];
+  for (int c = 0; c < kNumClasses; ++c)
+    ds.raw_counts_[static_cast<std::size_t>(c)] =
+        static_cast<std::int64_t>(pool * kRawClassProportions[static_cast<std::size_t>(c)]);
+
+  // Train: render `natural` base samples per class (the subsampled survivors
+  // of the majority classes plus all minority samples), then augment random
+  // duplicates until each class reaches per_class_train.
+  util::Rng train_rng = rng.split();
+  for (int c = 0; c < kNumClasses; ++c) {
+    const auto cls = static_cast<MaskClass>(c);
+    std::vector<std::size_t> base_indices;
+    std::int64_t have = 0;
+    for (std::int64_t i = 0; i < natural && have < config.per_class_train;
+         ++i, ++have) {
+      const FaceAttributes a = sample_attributes(cls, train_rng);
+      RenderResult r = render_face(a, config.image_size);
+      base_indices.push_back(ds.train_.size());
+      ds.train_.push_back({std::move(r.image), cls, r.regions, false});
+    }
+    for (; have < config.per_class_train; ++have) {
+      const std::size_t pick = base_indices[static_cast<std::size_t>(
+          train_rng.uniform_int(0, static_cast<std::int64_t>(base_indices.size()) - 1))];
+      Sample dup = ds.train_[pick];
+      random_augment(dup.image, train_rng);
+      dup.augmented = true;
+      ds.train_.push_back(std::move(dup));
+    }
+  }
+
+  // Test: fresh, evenly balanced renders from an independent stream; half
+  // receive the same augmentation pipeline so the split matches the
+  // training distribution (the paper's 28K test samples come from the same
+  // balanced+augmented pool).
+  util::Rng test_rng = rng.split();
+  for (int c = 0; c < kNumClasses; ++c) {
+    const auto cls = static_cast<MaskClass>(c);
+    for (int i = 0; i < config.per_class_test; ++i) {
+      const FaceAttributes a = sample_attributes(cls, test_rng);
+      RenderResult r = render_face(a, config.image_size);
+      Sample s{std::move(r.image), cls, r.regions, false};
+      if (test_rng.bernoulli(0.5)) {
+        random_augment(s.image, test_rng);
+        s.augmented = true;
+      }
+      ds.test_.push_back(std::move(s));
+    }
+  }
+
+  // Shuffle so mini-batches mix classes.
+  util::Rng shuffle_rng = rng.split();
+  shuffle_rng.shuffle(ds.train_);
+  shuffle_rng.shuffle(ds.test_);
+  return ds;
+}
+
+void MaskedFaceDataset::to_batch(const std::vector<Sample>& samples,
+                                 const std::vector<std::int64_t>& indices,
+                                 std::size_t first, std::size_t last,
+                                 Tensor& x, std::vector<std::int64_t>& y) {
+  if (first > last || last > indices.size())
+    throw std::invalid_argument("to_batch: bad index range");
+  const auto B = static_cast<std::int64_t>(last - first);
+  if (B == 0) throw std::invalid_argument("to_batch: empty batch");
+  const int S = samples.at(static_cast<std::size_t>(indices[first])).image.height();
+  x = Tensor(Shape{B, S, S, 3});
+  y.resize(static_cast<std::size_t>(B));
+  for (std::int64_t b = 0; b < B; ++b) {
+    const Sample& s =
+        samples.at(static_cast<std::size_t>(indices[first + static_cast<std::size_t>(b)]));
+    const auto& d = s.image.data();
+    float* dst = x.data() + b * S * S * 3;
+    for (std::size_t i = 0; i < d.size(); ++i) dst[i] = quantize_pixel(d[i]);
+    y[static_cast<std::size_t>(b)] = static_cast<std::int64_t>(s.label);
+  }
+}
+
+Tensor MaskedFaceDataset::image_to_tensor(const util::Image& img) {
+  const int S = img.height();
+  Tensor x(Shape{1, S, img.width(), 3});
+  const auto& d = img.data();
+  for (std::size_t i = 0; i < d.size(); ++i)
+    x[static_cast<std::int64_t>(i)] = quantize_pixel(d[i]);
+  return x;
+}
+
+}  // namespace bcop::facegen

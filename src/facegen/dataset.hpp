@@ -1,0 +1,84 @@
+// MaskedFace-Net substitute dataset with the paper's balancing pipeline.
+//
+// The real MaskedFace-Net has 133,783 samples distributed 51% CMFD, 39%
+// IMFD-Nose, 5% IMFD-Chin, 5% IMFD-Nose+Mouth (Sec. IV-A). The paper
+// counters this by subsampling the two majority classes down to the
+// minority counts and then augmenting the balanced pool. We mirror that
+// pipeline: a virtual raw pool with the same proportions is drawn, majority
+// classes are subsampled to the minority count, and augmentation fills each
+// class to the target size. (Subsampled majority images are never rendered
+// -- every sample is i.i.d. from the generator, so dropping before
+// rendering is distributionally identical and saves work; raw counts are
+// still recorded for reporting.)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "facegen/attributes.hpp"
+#include "facegen/renderer.hpp"
+#include "tensor/tensor.hpp"
+#include "util/image.hpp"
+
+namespace bcop::facegen {
+
+struct Sample {
+  util::Image image;
+  MaskClass label = MaskClass::kCorrect;
+  Regions regions;
+  bool augmented = false;  // true if produced by duplicating + augmenting
+};
+
+struct DatasetConfig {
+  int per_class_train = 1500;  // balanced training samples per class
+  int per_class_test = 500;    // test samples per class
+  int image_size = 32;
+  std::uint64_t seed = 0xb1a5;
+  /// Fraction of a class's target that exists "naturally" before
+  /// augmentation (models the minority-class scarcity of the raw dataset).
+  double natural_fraction = 0.7;
+};
+
+/// Raw MaskedFace-Net class proportions (CMFD, Nose, N+M, Chin).
+constexpr std::array<double, 4> kRawClassProportions = {0.51, 0.39, 0.05, 0.05};
+
+class MaskedFaceDataset {
+ public:
+  /// Deterministically generate train and test splits from config.seed.
+  static MaskedFaceDataset generate(const DatasetConfig& config);
+
+  const std::vector<Sample>& train() const { return train_; }
+  const std::vector<Sample>& test() const { return test_; }
+  const DatasetConfig& config() const { return config_; }
+
+  /// Virtual raw pool counts per class before balancing (for reports).
+  const std::array<std::int64_t, 4>& raw_counts() const { return raw_counts_; }
+
+  /// Pack samples[indices[first..last)] into an NHWC tensor with pixel
+  /// values mapped to [-1, 1], plus the label vector.
+  static void to_batch(const std::vector<Sample>& samples,
+                       const std::vector<std::int64_t>& indices,
+                       std::size_t first, std::size_t last,
+                       tensor::Tensor& x, std::vector<std::int64_t>& y);
+
+  /// Convert one image to a [1, S, S, 3] tensor in [-1, 1].
+  static tensor::Tensor image_to_tensor(const util::Image& img);
+
+  /// Map a [0,1] pixel to the 8-bit fixed-point grid in [-1,1]:
+  /// (2*round(255p) - 255)/255. Training consumes exactly the values the
+  /// deployed accelerator's 8-bit first layer can represent (FINN-style),
+  /// so quantization costs no train/deploy skew.
+  static float quantize_pixel(float p) {
+    const auto p8 = static_cast<int>(p * 255.f + 0.5f);
+    return static_cast<float>(2 * p8 - 255) / 255.f;
+  }
+
+ private:
+  DatasetConfig config_;
+  std::vector<Sample> train_;
+  std::vector<Sample> test_;
+  std::array<std::int64_t, 4> raw_counts_{};
+};
+
+}  // namespace bcop::facegen

@@ -1,0 +1,256 @@
+#include "facegen/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcop::facegen {
+
+namespace {
+
+// Landmark bands in face-relative vertical coordinate t, where a point at
+// v = cy + t * ry; t = -1 is the top of the face ellipse, +1 the bottom.
+constexpr float kEyeT0 = -0.38f, kEyeT1 = -0.16f;
+constexpr float kNoseT0 = -0.10f, kNoseT1 = 0.22f;
+constexpr float kMouthT0 = 0.34f, kMouthT1 = 0.56f;
+constexpr float kChinT0 = 0.64f, kChinT1 = 0.96f;
+
+// Reference geometry used by canonical_mask_extent() to express extents in
+// absolute v; conversions below rescale them onto the sampled face.
+constexpr float kRefCy = 0.52f, kRefRy = 0.40f;
+
+struct Ctx {
+  const FaceAttributes& a;
+  float mask_top_v;     // absolute v of the mask's top edge on this face
+  float mask_bottom_v;
+  float mask2_top_v;    // second mask (double-mask case)
+  float mask2_bottom_v;
+};
+
+float to_face_v(const FaceAttributes& a, float ref_v) {
+  // Convert a v expressed on the reference face onto the sampled face.
+  const float t = (ref_v - kRefCy) / kRefRy;
+  return a.center_y + t * a.radius_y;
+}
+
+Ctx make_ctx(const FaceAttributes& a) {
+  const auto ext = canonical_mask_extent(a.mask_class);
+  Ctx c{a,
+        to_face_v(a, ext[0]) + a.mask_top_jitter,
+        to_face_v(a, ext[1]) + a.mask_bottom_jitter,
+        0.f,
+        0.f};
+  // The second mask of a double-mask wearer sits slightly higher and
+  // narrower; it must not change the class, so it stays within the band of
+  // the primary mask.
+  c.mask2_top_v = c.mask_top_v + 0.02f;
+  c.mask2_bottom_v = c.mask_bottom_v - 0.04f;
+  return c;
+}
+
+struct Rgba {
+  Rgb c;
+  float a = 0.f;  // 0 = transparent
+};
+
+bool inside_ellipse(float u, float v, float cx, float cy, float rx, float ry) {
+  const float du = (u - cx) / rx;
+  const float dv = (v - cy) / ry;
+  return du * du + dv * dv <= 1.f;
+}
+
+/// Full scene evaluation for one sample point. Layers are painted back to
+/// front; later assignments overwrite earlier ones.
+Rgb shade(const Ctx& ctx, float u_img, float v_img) {
+  const FaceAttributes& a = ctx.a;
+
+  // Background with a gentle vertical gradient.
+  Rgb col = a.background;
+  col.r = std::clamp(col.r + 0.08f * (v_img - 0.5f), 0.f, 1.f);
+  col.g = std::clamp(col.g + 0.08f * (v_img - 0.5f), 0.f, 1.f);
+  col.b = std::clamp(col.b + 0.08f * (v_img - 0.5f), 0.f, 1.f);
+
+  // Head tilt: rotate the sample point into face-local coordinates.
+  const float s = std::sin(-a.head_tilt), cs = std::cos(-a.head_tilt);
+  const float du = u_img - a.center_x, dv = v_img - a.center_y;
+  const float u = a.center_x + cs * du - s * dv;
+  const float v = a.center_y + s * du + cs * dv;
+
+  const float cx = a.center_x, cy = a.center_y;
+  const float rx = a.radius_x, ry = a.radius_y;
+  auto tv = [&](float t) { return cy + t * ry; };  // face band -> absolute v
+
+  // --- hair (behind the face) ---
+  if (a.hair_style != HairStyle::kBald) {
+    const float hair_ry = a.hair_style == HairStyle::kLong ? ry * 1.22f : ry * 1.12f;
+    const float hair_rx = rx * 1.18f;
+    const bool in_hair = inside_ellipse(u, v, cx, cy - 0.02f, hair_rx, hair_ry);
+    const bool below_ears = v > tv(0.15f);
+    if (in_hair && (!below_ears || a.hair_style == HairStyle::kLong)) {
+      col = a.hair;
+    }
+  }
+
+  // --- face ---
+  const bool in_face = inside_ellipse(u, v, cx, cy, rx, ry);
+  if (in_face) {
+    // Lambert-ish shading: darken toward the silhouette.
+    const float du2 = (u - cx) / rx, dv2 = (v - cy) / ry;
+    const float r2 = du2 * du2 + dv2 * dv2;
+    const float shade_f = 1.f - 0.18f * r2;
+    col = {a.skin.r * shade_f, a.skin.g * shade_f, a.skin.b * shade_f};
+
+    // Elderly wrinkles: two faint forehead lines and cheek lines.
+    if (a.age == AgeGroup::kElderly) {
+      for (const float t : {-0.62f, -0.52f, 0.30f}) {
+        if (std::abs(v - tv(t)) < 0.008f && std::abs(du2) < 0.55f) {
+          col.r *= 0.8f;
+          col.g *= 0.8f;
+          col.b *= 0.8f;
+        }
+      }
+    }
+
+    // Hairline for short hair: top of the face keeps the hair colour.
+    if (a.hair_style != HairStyle::kBald) {
+      const float hairline = a.age == AgeGroup::kInfant ? -0.78f : -0.62f;
+      if (v < tv(hairline)) col = a.hair;
+    }
+
+    // Face paint: a saturated patch on one cheek (Fig. 9 manipulation).
+    if (a.face_paint &&
+        inside_ellipse(u, v, cx - 0.55f * rx, tv(0.05f), 0.30f * rx, 0.16f * ry))
+      col = a.paint_color;
+
+    // --- eyes / eyebrows ---
+    const float eye_scale = a.age == AgeGroup::kAdult ? 1.f : 0.78f;
+    const float eye_y = tv(0.5f * (kEyeT0 + kEyeT1));
+    for (const float side : {-1.f, 1.f}) {
+      const float ex = cx + side * 0.42f * rx;
+      if (inside_ellipse(u, v, ex, eye_y, 0.14f * rx * eye_scale,
+                         0.07f * ry * eye_scale))
+        col = {0.95f, 0.95f, 0.95f};
+      if (inside_ellipse(u, v, ex, eye_y, 0.055f * rx * eye_scale,
+                         0.045f * ry * eye_scale))
+        col = {0.08f, 0.06f, 0.05f};
+      // Eyebrow bar.
+      if (std::abs(v - (eye_y - 0.11f * ry)) < 0.012f &&
+          std::abs(u - ex) < 0.15f * rx)
+        col = {a.hair.r * 0.6f, a.hair.g * 0.6f, a.hair.b * 0.6f};
+    }
+    if (a.sunglasses) {
+      if (v > eye_y - 0.09f * ry && v < eye_y + 0.09f * ry &&
+          std::abs(u - cx) < 0.62f * rx)
+        col = {0.06f, 0.06f, 0.08f};
+    }
+
+    // --- nose ---
+    const float nose_tip = tv(kNoseT1);
+    if (v > tv(kNoseT0) && v < nose_tip) {
+      const float w = 0.10f * rx * (v - tv(kNoseT0)) / (nose_tip - tv(kNoseT0));
+      if (std::abs(u - cx) < w + 0.03f * rx) {
+        col.r *= 0.88f;
+        col.g *= 0.88f;
+        col.b *= 0.88f;
+      }
+    }
+    // Nostrils.
+    for (const float side : {-1.f, 1.f})
+      if (inside_ellipse(u, v, cx + side * 0.06f * rx, nose_tip - 0.01f,
+                         0.03f * rx, 0.015f * ry))
+        col = {0.25f * a.skin.r, 0.25f * a.skin.g, 0.25f * a.skin.b};
+
+    // --- mouth ---
+    if (inside_ellipse(u, v, cx, tv(0.5f * (kMouthT0 + kMouthT1)), 0.24f * rx,
+                       0.07f * ry))
+      col = {0.55f, 0.20f, 0.22f};
+
+    // Chin crease.
+    if (std::abs(v - tv(0.80f)) < 0.006f && std::abs(u - cx) < 0.18f * rx) {
+      col.r *= 0.85f;
+      col.g *= 0.85f;
+      col.b *= 0.85f;
+    }
+  }
+
+  // --- mask (over the face) ---
+  auto in_mask = [&](float top, float bottom, float widen) {
+    if (!inside_ellipse(u, v, cx, cy, rx * widen, ry * 1.06f)) return false;
+    // Straight top edge with a slight sag toward the centre -- the "straight
+    // upper edge" cue the paper's Grad-CAM picks out for the Nose class.
+    const float uu = (u - cx) / rx;
+    const float top_edge = top + 0.015f * uu * uu;
+    return v >= top_edge && v <= bottom;
+  };
+  const bool mask1 = in_mask(ctx.mask_top_v, ctx.mask_bottom_v, 1.10f);
+  if (mask1) {
+    col = a.mask_color;
+    // Pleats: two darker horizontal folds.
+    const float span = ctx.mask_bottom_v - ctx.mask_top_v;
+    for (const float f : {0.35f, 0.65f}) {
+      if (std::abs(v - (ctx.mask_top_v + f * span)) < 0.007f) {
+        col.r *= 0.82f;
+        col.g *= 0.82f;
+        col.b *= 0.82f;
+      }
+    }
+  }
+  if (a.double_mask &&
+      in_mask(ctx.mask2_top_v, ctx.mask2_bottom_v, 1.04f)) {
+    col = a.mask2_color;
+  }
+
+  // Ear straps: thin lines from the mask's top corners to the face edge.
+  if (!mask1 && in_face) {
+    const float strap_v = ctx.mask_top_v + 0.015f;
+    if (std::abs(v - strap_v) < 0.008f && std::abs(u - cx) > 0.78f * rx)
+      col = {a.mask_color.r * 0.9f, a.mask_color.g * 0.9f, a.mask_color.b * 0.9f};
+  }
+
+  return col;
+}
+
+}  // namespace
+
+Regions compute_regions(const FaceAttributes& a) {
+  const Ctx ctx = make_ctx(a);
+  const float cx = a.center_x, cy = a.center_y;
+  const float rx = a.radius_x, ry = a.radius_y;
+  auto tv = [&](float t) { return cy + t * ry; };
+  Regions r;
+  r.face = {cx - rx, cy - ry, cx + rx, cy + ry};
+  r.eyes = {cx - 0.60f * rx, tv(kEyeT0), cx + 0.60f * rx, tv(kEyeT1)};
+  r.nose = {cx - 0.16f * rx, tv(kNoseT0), cx + 0.16f * rx, tv(kNoseT1)};
+  r.mouth = {cx - 0.28f * rx, tv(kMouthT0), cx + 0.28f * rx, tv(kMouthT1)};
+  r.chin = {cx - 0.30f * rx, tv(kChinT0), cx + 0.30f * rx, tv(kChinT1)};
+  r.mask = {cx - 1.10f * rx, ctx.mask_top_v, cx + 1.10f * rx, ctx.mask_bottom_v};
+  r.mask_top_v = ctx.mask_top_v;
+  return r;
+}
+
+RenderResult render_face(const FaceAttributes& a, int out_size) {
+  const Ctx ctx = make_ctx(a);
+  const int ss = 2;  // supersampling factor
+  const int hi = out_size * ss;
+
+  util::Image img(out_size, out_size);
+  for (int y = 0; y < out_size; ++y) {
+    for (int x = 0; x < out_size; ++x) {
+      float r = 0, g = 0, b = 0;
+      for (int sy = 0; sy < ss; ++sy)
+        for (int sx = 0; sx < ss; ++sx) {
+          const float v = (static_cast<float>(y * ss + sy) + 0.5f) / static_cast<float>(hi);
+          const float u = (static_cast<float>(x * ss + sx) + 0.5f) / static_cast<float>(hi);
+          const Rgb c = shade(ctx, u, v);
+          r += c.r;
+          g += c.g;
+          b += c.b;
+        }
+      const float inv = 1.f / static_cast<float>(ss * ss);
+      img.set_rgb(y, x, r * inv, g * inv, b * inv);
+    }
+  }
+  img.clamp01();
+  return {std::move(img), compute_regions(a)};
+}
+
+}  // namespace bcop::facegen

@@ -1,0 +1,28 @@
+// Procedural face + mask renderer.
+//
+// Renders one synthetic subject at 2x supersampling and box-downsamples to
+// the network resolution (32x32 by default, like the paper's resized
+// MaskedFace-Net images). Geometry is expressed in normalized [0,1] image
+// coordinates; all facial landmarks scale with the sampled face ellipse so
+// jittered faces keep consistent proportions. The renderer also returns
+// ground-truth landmark regions for Grad-CAM attention scoring.
+#pragma once
+
+#include "facegen/attributes.hpp"
+#include "util/image.hpp"
+
+namespace bcop::facegen {
+
+struct RenderResult {
+  util::Image image;
+  Regions regions;
+};
+
+/// Render `a` at `out_size` x `out_size` pixels (default 32).
+RenderResult render_face(const FaceAttributes& a, int out_size = 32);
+
+/// Landmark regions implied by the attributes (no rendering). The renderer
+/// uses exactly these; exposed separately for tests.
+Regions compute_regions(const FaceAttributes& a);
+
+}  // namespace bcop::facegen

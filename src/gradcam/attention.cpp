@@ -1,0 +1,77 @@
+#include "gradcam/attention.hpp"
+
+#include <stdexcept>
+
+namespace bcop::gradcam {
+
+namespace {
+double total_mass(const std::vector<float>& heat) {
+  double s = 0;
+  for (float v : heat) s += v;
+  return s;
+}
+
+double mass_in(const std::vector<float>& heat, int h, int w,
+               const facegen::Rect& rect, std::int64_t* pixels) {
+  double s = 0;
+  std::int64_t n = 0;
+  for (int y = 0; y < h; ++y) {
+    const float v_norm = (static_cast<float>(y) + 0.5f) / static_cast<float>(h);
+    for (int x = 0; x < w; ++x) {
+      const float u_norm = (static_cast<float>(x) + 0.5f) / static_cast<float>(w);
+      if (rect.contains(u_norm, v_norm)) {
+        s += heat[static_cast<std::size_t>(y) * w + x];
+        ++n;
+      }
+    }
+  }
+  if (pixels) *pixels = n;
+  return s;
+}
+}  // namespace
+
+double region_mass(const std::vector<float>& heat, int h, int w,
+                   const facegen::Rect& rect) {
+  if (heat.size() != static_cast<std::size_t>(h) * w)
+    throw std::invalid_argument("region_mass: size mismatch");
+  const double total = total_mass(heat);
+  if (total <= 0) return 0;
+  return mass_in(heat, h, w, rect, nullptr) / total;
+}
+
+double region_saliency(const std::vector<float>& heat, int h, int w,
+                       const facegen::Rect& rect) {
+  if (heat.size() != static_cast<std::size_t>(h) * w)
+    throw std::invalid_argument("region_saliency: size mismatch");
+  const double total = total_mass(heat);
+  if (total <= 0) return 0;
+  std::int64_t pixels = 0;
+  const double inside = mass_in(heat, h, w, rect, &pixels);
+  if (pixels == 0) return 0;
+  const double mean_inside = inside / static_cast<double>(pixels);
+  const double mean_all = total / static_cast<double>(h * w);
+  return mean_inside / mean_all;
+}
+
+AttentionReport score_attention(const std::vector<float>& heat, int h, int w,
+                                const facegen::Regions& regions) {
+  AttentionReport r;
+  r.nose = region_saliency(heat, h, w, regions.nose);
+  r.mouth = region_saliency(heat, h, w, regions.mouth);
+  r.chin = region_saliency(heat, h, w, regions.chin);
+  r.eyes = region_saliency(heat, h, w, regions.eyes);
+  r.mask = region_saliency(heat, h, w, regions.mask);
+  r.face = region_saliency(heat, h, w, regions.face);
+  r.dominant = "nose";
+  double best = r.nose;
+  const std::pair<const char*, double> others[] = {
+      {"mouth", r.mouth}, {"chin", r.chin}, {"eyes", r.eyes}, {"mask", r.mask}};
+  for (const auto& [name, v] : others)
+    if (v > best) {
+      best = v;
+      r.dominant = name;
+    }
+  return r;
+}
+
+}  // namespace bcop::gradcam

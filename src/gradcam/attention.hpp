@@ -1,0 +1,37 @@
+// Quantitative attention analysis of Grad-CAM heatmaps.
+//
+// The paper reads its heatmaps qualitatively ("the RoI curves finely above
+// the mask..."). Because our faces are synthetic, the generator knows where
+// the nose, mouth, chin and mask actually are, so we can *score* the same
+// claims: what fraction of attention mass falls inside each landmark
+// region, and which region dominates for each class.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "facegen/attributes.hpp"
+
+namespace bcop::gradcam {
+
+/// Fraction of the heatmap's total mass inside `rect` (normalized coords).
+/// Returns 0 when the heatmap is empty.
+double region_mass(const std::vector<float>& heat, int h, int w,
+                   const facegen::Rect& rect);
+
+/// Ratio of mean heat inside the rect to mean heat overall (>1 means the
+/// region is hotter than average). Returns 0 for empty heatmaps.
+double region_saliency(const std::vector<float>& heat, int h, int w,
+                       const facegen::Rect& rect);
+
+struct AttentionReport {
+  double nose = 0, mouth = 0, chin = 0, eyes = 0, mask = 0, face = 0;
+  /// Name of the landmark with the highest saliency ratio.
+  std::string dominant;
+};
+
+/// Score a heatmap against a sample's ground-truth regions.
+AttentionReport score_attention(const std::vector<float>& heat, int h, int w,
+                                const facegen::Regions& regions);
+
+}  // namespace bcop::gradcam

@@ -1,0 +1,102 @@
+#include "gradcam/gradcam.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/batchnorm.hpp"
+#include "tensor/ops.hpp"
+
+namespace bcop::gradcam {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+GradCam::GradCam(nn::Sequential& model, std::size_t target_layer)
+    : model_(&model), target_layer_(target_layer) {
+  if (target_layer >= model.size())
+    throw std::invalid_argument("GradCam: target layer out of range");
+}
+
+GradCamResult GradCam::compute(const Tensor& input, std::int64_t target_class) {
+  if (input.shape().rank() != 4 || input.shape()[0] != 1)
+    throw std::invalid_argument("GradCam: single-sample rank-4 input required");
+
+  // Grad-CAM must differentiate the *inference-time* function: the forward
+  // runs in training mode (so every layer caches what backward() needs)
+  // with every BatchNorm frozen, i.e. normalizing with its running
+  // statistics and treating them as constants. Batch statistics of a
+  // single image would both pollute the running averages and zero out
+  // gradients through the rank-2 BNs (variance of a single row is 0).
+  std::vector<nn::BatchNorm*> bns;
+  for (std::size_t i = 0; i < model_->size(); ++i)
+    if (auto* bn = dynamic_cast<nn::BatchNorm*>(&model_->layer(i))) {
+      bns.push_back(bn);
+      bn->set_frozen(true);
+    }
+  struct Unfreeze {
+    std::vector<nn::BatchNorm*>* bns;
+    ~Unfreeze() {
+      for (auto* bn : *bns) bn->set_frozen(false);
+    }
+  } unfreeze{&bns};
+
+  std::vector<Tensor> activations;
+  const Tensor logits =
+      model_->forward_collect(input, /*training=*/true, activations);
+
+  const std::int64_t classes = logits.shape()[1];
+  const std::int64_t predicted = tensor::argmax(logits.data(), classes);
+  const std::int64_t cls = target_class < 0 ? predicted : target_class;
+  if (cls >= classes)
+    throw std::invalid_argument("GradCam: target class out of range");
+
+  // One-hot seed on the chosen logit.
+  Tensor seed(logits.shape(), 0.f);
+  seed.at2(0, cls) = 1.f;
+
+  std::vector<Tensor> output_grads;
+  model_->backward_collect(seed, output_grads);
+
+  const Tensor& act = activations.at(target_layer_);
+  const Tensor& grad = output_grads.at(target_layer_);
+  if (act.shape().rank() != 4)
+    throw std::invalid_argument("GradCam: target layer output must be rank-4");
+  const std::int64_t H = act.shape()[1], W = act.shape()[2], C = act.shape()[3];
+
+  // alpha_k: global average pooling of the gradients (Eq. 1 of [25]).
+  std::vector<float> alpha(static_cast<std::size_t>(C), 0.f);
+  for (std::int64_t y = 0; y < H; ++y)
+    for (std::int64_t x = 0; x < W; ++x)
+      for (std::int64_t c = 0; c < C; ++c)
+        alpha[static_cast<std::size_t>(c)] += grad.at4(0, y, x, c);
+  const float inv_hw = 1.f / static_cast<float>(H * W);
+  for (auto& a : alpha) a *= inv_hw;
+
+  // Einstein sum over channels, then ReLU.
+  GradCamResult result;
+  result.fm_h = static_cast<int>(H);
+  result.fm_w = static_cast<int>(W);
+  result.heatmap.assign(static_cast<std::size_t>(H * W), 0.f);
+  for (std::int64_t y = 0; y < H; ++y)
+    for (std::int64_t x = 0; x < W; ++x) {
+      float v = 0.f;
+      for (std::int64_t c = 0; c < C; ++c)
+        v += alpha[static_cast<std::size_t>(c)] * act.at4(0, y, x, c);
+      result.heatmap[static_cast<std::size_t>(y * W + x)] = std::max(v, 0.f);
+    }
+
+  // Normalize to [0, 1]; an all-zero map stays all-zero.
+  const float mx =
+      *std::max_element(result.heatmap.begin(), result.heatmap.end());
+  if (mx > 0.f)
+    for (auto& v : result.heatmap) v /= mx;
+
+  const int S = static_cast<int>(input.shape()[1]);
+  result.upsampled = tensor::bilinear_resize(
+      result.heatmap, result.fm_h, result.fm_w, S, S);
+  result.predicted_class = predicted;
+  result.target_class = cls;
+  return result;
+}
+
+}  // namespace bcop::gradcam

@@ -1,0 +1,44 @@
+// Gradient-weighted Class Activation Mapping (Grad-CAM) [25].
+//
+// The paper (Sec. III-C) explains its choice: the 32x32-input BNNs have no
+// global-average-pooling head, so plain CAM does not apply; Grad-CAM needs
+// no architectural change. Attention is taken at the output of the conv2_2
+// group (5x5 spatial after pooling): channel weights alpha_k are the
+// spatial average of the gradients, the map is the ReLU of the
+// alpha-weighted channel sum (an Einstein summation over the channel
+// axis), and the result is bilinearly upsampled onto the input image.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bcop::gradcam {
+
+struct GradCamResult {
+  int fm_h = 0, fm_w = 0;          // feature-map resolution
+  std::vector<float> heatmap;      // [fm_h * fm_w], normalized to [0, 1]
+  std::vector<float> upsampled;    // [img * img], normalized to [0, 1]
+  std::int64_t predicted_class = 0;
+  std::int64_t target_class = 0;
+};
+
+class GradCam {
+ public:
+  /// `target_layer` is the index of the layer whose *output* is analyzed
+  /// (use core::gradcam_layer_index for the paper's conv2_2 choice).
+  GradCam(nn::Sequential& model, std::size_t target_layer);
+
+  /// Compute the localization map for `input` [1, S, S, C].
+  /// `target_class` < 0 means "use the predicted class".
+  GradCamResult compute(const tensor::Tensor& input,
+                        std::int64_t target_class = -1);
+
+ private:
+  nn::Sequential* model_;
+  std::size_t target_layer_;
+};
+
+}  // namespace bcop::gradcam

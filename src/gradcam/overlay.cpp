@@ -1,0 +1,67 @@
+#include "gradcam/overlay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcop::gradcam {
+
+using util::Image;
+
+void heat_color(float v, float& r, float& g, float& b) {
+  v = std::clamp(v, 0.f, 1.f);
+  // Piecewise-linear blue -> green -> red ramp with saturated endpoints.
+  r = std::clamp(2.f * v - 1.f, 0.f, 1.f);
+  g = 1.f - std::abs(2.f * v - 1.f);
+  b = std::clamp(1.f - 2.f * v, 0.f, 1.f);
+}
+
+Image colorize(const std::vector<float>& heat, int h, int w) {
+  if (heat.size() != static_cast<std::size_t>(h) * w)
+    throw std::invalid_argument("colorize: size mismatch");
+  Image img(h, w);
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      float r, g, b;
+      heat_color(heat[static_cast<std::size_t>(y) * w + x], r, g, b);
+      img.set_rgb(y, x, r, g, b);
+    }
+  return img;
+}
+
+Image overlay(const Image& base, const std::vector<float>& heat, float alpha) {
+  const int h = base.height(), w = base.width();
+  if (heat.size() != static_cast<std::size_t>(h) * w)
+    throw std::invalid_argument("overlay: heatmap/image size mismatch");
+  Image out = base;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      const float v = heat[static_cast<std::size_t>(y) * w + x];
+      float r, g, b;
+      heat_color(v, r, g, b);
+      // Weight the blend by the heat itself so cold regions stay legible.
+      const float a = alpha * v;
+      out.blend_rgb_clipped(y, x, r, g, b, a);
+    }
+  return out;
+}
+
+Image hstack(const std::vector<Image>& images) {
+  if (images.empty()) throw std::invalid_argument("hstack: no images");
+  const int h = images.front().height();
+  int w_total = -1;
+  for (const auto& im : images) {
+    if (im.height() != h) throw std::invalid_argument("hstack: height mismatch");
+    w_total += im.width() + 1;
+  }
+  Image out(h, w_total, 1.f);
+  int x0 = 0;
+  for (const auto& im : images) {
+    for (int y = 0; y < h; ++y)
+      for (int x = 0; x < im.width(); ++x)
+        out.set_rgb(y, x0 + x, im.at(y, x, 0), im.at(y, x, 1), im.at(y, x, 2));
+    x0 += im.width() + 1;
+  }
+  return out;
+}
+
+}  // namespace bcop::gradcam

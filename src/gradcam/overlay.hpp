@@ -1,0 +1,25 @@
+// Heatmap colorization and overlay rendering for the Grad-CAM figures.
+#pragma once
+
+#include <vector>
+
+#include "util/image.hpp"
+
+namespace bcop::gradcam {
+
+/// Jet-style colormap: 0 -> blue, 0.5 -> green/yellow, 1 -> red.
+void heat_color(float v, float& r, float& g, float& b);
+
+/// Colorize a [h, w] heatmap in [0,1] into an RGB image.
+util::Image colorize(const std::vector<float>& heat, int h, int w);
+
+/// Alpha-blend the colorized heatmap over `base` (paper overlays heatmaps
+/// on the raw input "for better visualization"). `alpha` weights the heat.
+util::Image overlay(const util::Image& base, const std::vector<float>& heat,
+                    float alpha = 0.45f);
+
+/// Compose a row of images side by side with a 1px separator (for the
+/// Fig. 3-9 style panels: raw | CNV | n-CNV | FP32).
+util::Image hstack(const std::vector<util::Image>& images);
+
+}  // namespace bcop::gradcam

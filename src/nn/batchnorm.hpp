@@ -1,0 +1,59 @@
+// Batch normalization over the channel (last) dimension.
+//
+// For rank-4 NHWC input it normalizes each channel over N*H*W; for rank-2
+// [N, F] input it normalizes each feature over N. In BinaryCoP every BN is
+// immediately followed by sign(), which is why deployment can replace the
+// whole BN with a per-channel threshold (Sec. III-A of the paper); the
+// threshold folding lives in src/xnor and src/deploy and consumes the
+// gamma/beta/running statistics stored here.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+
+namespace bcop::nn {
+
+class BatchNorm final : public Layer {
+ public:
+  BatchNorm() = default;
+  explicit BatchNorm(std::int64_t channels, float eps = 1e-5f,
+                     float momentum = 0.9f);
+
+  const char* type() const override { return "BatchNorm"; }
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  void save(util::BinaryWriter& w) const override;
+  void load(util::BinaryReader& r) override;
+
+  /// Frozen mode: training-mode forward/backward use the *running*
+  /// statistics as constants (no batch statistics, no EMA update, and
+  /// backward reduces to dx = gamma/sigma * dy). Grad-CAM uses this to
+  /// differentiate the exact inference-time function; see gradcam.cpp.
+  void set_frozen(bool frozen) { frozen_ = frozen; }
+  bool frozen() const { return frozen_; }
+
+  std::int64_t channels() const { return channels_; }
+  float eps() const { return eps_; }
+  const tensor::Tensor& gamma() const { return gamma_.value; }
+  const tensor::Tensor& beta() const { return beta_.value; }
+  const tensor::Tensor& running_mean() const { return running_mean_; }
+  const tensor::Tensor& running_var() const { return running_var_; }
+
+ private:
+  std::int64_t channels_ = 0;
+  float eps_ = 1e-5f;
+  float momentum_ = 0.9f;
+  Param gamma_, beta_;
+  tensor::Tensor running_mean_, running_var_;
+
+  // Caches from the last training-mode forward.
+  tensor::Tensor xhat_;
+  tensor::Tensor inv_std_;  // [C]
+  std::int64_t rows_ = 0;   // N*H*W of the cached batch
+  bool frozen_ = false;
+  bool frozen_forward_ = false;  // the cached forward ran in frozen mode
+};
+
+}  // namespace bcop::nn

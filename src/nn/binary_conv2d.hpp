@@ -1,0 +1,59 @@
+// Binary-weight 2D convolution (valid padding, stride 1).
+//
+// Latent full-precision weights are kept for the optimizer (BinaryConnect
+// [13]); the forward pass binarizes them with sign() and computes the
+// convolution as im2row + GEMM. The weight gradient is taken with respect
+// to the *binarized* weights and passed straight through to the latents,
+// which are clipped to [-1, 1] after every optimizer step -- the training
+// recipe of Courbariaux/Hubara that the paper adopts (Sec. III-A).
+//
+// The layer consumes whatever its input is: {-1,+1} activations from a
+// preceding SignActivation in the hidden layers, or real-valued pixels in
+// the first layer (deployment quantizes those to fixed-point, see
+// src/xnor/first_layer.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace bcop::nn {
+
+class BinaryConv2d final : public Layer {
+ public:
+  BinaryConv2d() = default;
+  /// K x K kernel, `in_ch` -> `out_ch`, Glorot-initialized latents.
+  BinaryConv2d(std::int64_t k, std::int64_t in_ch, std::int64_t out_ch,
+               util::Rng& rng);
+
+  const char* type() const override { return "BinaryConv2d"; }
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_}; }
+  void post_update() override;
+  void save(util::BinaryWriter& w) const override;
+  void load(util::BinaryReader& r) override;
+
+  std::int64_t kernel() const { return k_; }
+  std::int64_t in_channels() const { return in_ch_; }
+  std::int64_t out_channels() const { return out_ch_; }
+
+  /// Latent weights as the GEMM matrix [K*K*Ci, Co]; row index is
+  /// (ky*K + kx)*Ci + c, matching im2row patch order.
+  const tensor::Tensor& latent_weights() const { return weight_.value; }
+  tensor::Tensor& mutable_latent_weights() { return weight_.value; }
+
+  /// sign(latent) as a {-1,+1} float matrix [K*K*Ci, Co].
+  tensor::Tensor binarized_weights() const;
+
+ private:
+  std::int64_t k_ = 0, in_ch_ = 0, out_ch_ = 0;
+  Param weight_;  // [K*K*Ci, Co]
+
+  tensor::Tensor patches_;     // cached im2row of the last training input
+  tensor::Tensor wb_;          // cached binarized weights of the last forward
+  tensor::Shape in_shape_;
+};
+
+}  // namespace bcop::nn

@@ -1,0 +1,44 @@
+// Binary-weight fully-connected layer (no bias).
+//
+// Same latent-weight / straight-through recipe as BinaryConv2d. The final
+// classifier layer (FC.3 in Table I) is also a BinaryDense: its integer
+// accumulator outputs are the logits, matching the accelerator where the
+// last MVTU has no threshold stage and streams out raw popcount sums.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace bcop::nn {
+
+class BinaryDense final : public Layer {
+ public:
+  BinaryDense() = default;
+  BinaryDense(std::int64_t in_features, std::int64_t out_features,
+              util::Rng& rng);
+
+  const char* type() const override { return "BinaryDense"; }
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_}; }
+  void post_update() override;
+  void save(util::BinaryWriter& w) const override;
+  void load(util::BinaryReader& r) override;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+  const tensor::Tensor& latent_weights() const { return weight_.value; }
+  tensor::Tensor& mutable_latent_weights() { return weight_.value; }
+  /// sign(latent) as {-1,+1} float matrix [In, Out].
+  tensor::Tensor binarized_weights() const;
+
+ private:
+  std::int64_t in_ = 0, out_ = 0;
+  Param weight_;  // [In, Out]
+  tensor::Tensor input_;
+  tensor::Tensor wb_;
+};
+
+}  // namespace bcop::nn

@@ -1,0 +1,40 @@
+// Full-precision 2D convolution (valid padding, stride 1).
+//
+// Used for the FP32 CNV baseline that the paper compares Grad-CAM attention
+// against (Figs. 3-9, column "FP32") and as a numeric reference in tests.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace bcop::nn {
+
+class Conv2d final : public Layer {
+ public:
+  Conv2d() = default;
+  Conv2d(std::int64_t k, std::int64_t in_ch, std::int64_t out_ch,
+         util::Rng& rng);
+
+  const char* type() const override { return "Conv2d"; }
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  void save(util::BinaryWriter& w) const override;
+  void load(util::BinaryReader& r) override;
+
+  std::int64_t kernel() const { return k_; }
+  std::int64_t in_channels() const { return in_ch_; }
+  std::int64_t out_channels() const { return out_ch_; }
+
+ private:
+  std::int64_t k_ = 0, in_ch_ = 0, out_ch_ = 0;
+  Param weight_;  // [K*K*Ci, Co]
+  Param bias_;    // [Co]
+
+  tensor::Tensor patches_;
+  tensor::Shape in_shape_;
+};
+
+}  // namespace bcop::nn

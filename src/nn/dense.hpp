@@ -1,0 +1,33 @@
+// Full-precision fully-connected layer with bias (FP32 baseline).
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace bcop::nn {
+
+class Dense final : public Layer {
+ public:
+  Dense() = default;
+  Dense(std::int64_t in_features, std::int64_t out_features, util::Rng& rng);
+
+  const char* type() const override { return "Dense"; }
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  void save(util::BinaryWriter& w) const override;
+  void load(util::BinaryReader& r) override;
+
+  std::int64_t in_features() const { return in_; }
+  std::int64_t out_features() const { return out_; }
+
+ private:
+  std::int64_t in_ = 0, out_ = 0;
+  Param weight_;  // [In, Out]
+  Param bias_;    // [Out]
+  tensor::Tensor input_;
+};
+
+}  // namespace bcop::nn

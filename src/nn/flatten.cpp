@@ -1,0 +1,23 @@
+#include "nn/flatten.hpp"
+
+#include <stdexcept>
+
+namespace bcop::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor Flatten::forward(const Tensor& input, bool training) {
+  const Shape& s = input.shape();
+  if (s.rank() < 2) throw std::invalid_argument("Flatten: rank >= 2 required");
+  if (training) in_shape_ = s;
+  return input.reshaped(Shape{s[0], input.numel() / s[0]});
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  if (in_shape_.rank() == 0)
+    throw std::logic_error("Flatten::backward without training forward");
+  return grad_output.reshaped(in_shape_);
+}
+
+}  // namespace bcop::nn

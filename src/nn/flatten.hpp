@@ -1,0 +1,22 @@
+// Flatten [N, H, W, C] to [N, H*W*C] between the conv stack and the FCs.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace bcop::nn {
+
+class Flatten final : public Layer {
+ public:
+  Flatten() = default;
+
+  const char* type() const override { return "Flatten"; }
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  void save(util::BinaryWriter& w) const override { w.write_tag("FLAT"); }
+  void load(util::BinaryReader& r) override { r.expect_tag("FLAT"); }
+
+ private:
+  tensor::Shape in_shape_;
+};
+
+}  // namespace bcop::nn

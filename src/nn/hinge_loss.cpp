@@ -1,0 +1,57 @@
+#include "nn/hinge_loss.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcop::nn {
+
+using tensor::Tensor;
+
+SquaredHingeLoss::SquaredHingeLoss(float margin, float scale)
+    : margin_(margin), scale_(scale) {
+  if (margin <= 0.f || scale <= 0.f)
+    throw std::invalid_argument("SquaredHingeLoss: non-positive margin/scale");
+}
+
+float SquaredHingeLoss::forward(const Tensor& logits,
+                                const std::vector<std::int64_t>& labels) {
+  if (logits.shape().rank() != 2)
+    throw std::invalid_argument("SquaredHingeLoss: rank-2 logits required");
+  const std::int64_t N = logits.shape()[0], C = logits.shape()[1];
+  if (static_cast<std::int64_t>(labels.size()) != N)
+    throw std::invalid_argument("SquaredHingeLoss: label count mismatch");
+  logits_ = logits;
+  labels_ = labels;
+  double loss = 0;
+  for (std::int64_t r = 0; r < N; ++r) {
+    const std::int64_t y = labels[static_cast<std::size_t>(r)];
+    if (y < 0 || y >= C)
+      throw std::invalid_argument("SquaredHingeLoss: label out of range");
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float t = c == y ? 1.f : -1.f;
+      const float m =
+          std::max(0.f, margin_ - t * logits.at2(r, c) / scale_);
+      loss += static_cast<double>(m) * m;
+    }
+  }
+  return static_cast<float>(loss / static_cast<double>(N));
+}
+
+Tensor SquaredHingeLoss::backward() const {
+  if (logits_.empty())
+    throw std::logic_error("SquaredHingeLoss::backward before forward");
+  const std::int64_t N = logits_.shape()[0], C = logits_.shape()[1];
+  Tensor grad(logits_.shape());
+  const float inv_n = 1.f / static_cast<float>(N);
+  for (std::int64_t r = 0; r < N; ++r) {
+    const std::int64_t y = labels_[static_cast<std::size_t>(r)];
+    for (std::int64_t c = 0; c < C; ++c) {
+      const float t = c == y ? 1.f : -1.f;
+      const float m = std::max(0.f, margin_ - t * logits_.at2(r, c) / scale_);
+      grad.at2(r, c) = -2.f * m * t / scale_ * inv_n;
+    }
+  }
+  return grad;
+}
+
+}  // namespace bcop::nn

@@ -1,0 +1,34 @@
+// Squared hinge loss -- the criterion the original BinaryNet code uses
+// (Courbariaux/Hubara [11] train with a multi-class square hinge rather
+// than cross-entropy). Provided as an alternative head for the loss
+// ablation; the margin formulation interacts differently with the BNN's
+// integer-valued logits than softmax does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bcop::nn {
+
+class SquaredHingeLoss {
+ public:
+  /// Mean over the batch of sum_c max(0, margin - t_c * logit_c)^2 with
+  /// t_c = +1 for the true class and -1 otherwise. `scale` divides the
+  /// logits first; BNN logits grow with fan-in, so without scaling the
+  /// hinge saturates immediately.
+  explicit SquaredHingeLoss(float margin = 1.f, float scale = 1.f);
+
+  float forward(const tensor::Tensor& logits,
+                const std::vector<std::int64_t>& labels);
+  tensor::Tensor backward() const;
+
+ private:
+  float margin_;
+  float scale_;
+  tensor::Tensor logits_;
+  std::vector<std::int64_t> labels_;
+};
+
+}  // namespace bcop::nn

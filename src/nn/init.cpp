@@ -1,0 +1,14 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace bcop::nn {
+
+void glorot_uniform(tensor::Tensor& w, std::int64_t fan_in,
+                    std::int64_t fan_out, util::Rng& rng) {
+  const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (std::int64_t i = 0; i < w.numel(); ++i)
+    w[i] = static_cast<float>(rng.uniform(-a, a));
+}
+
+}  // namespace bcop::nn

@@ -1,0 +1,18 @@
+// Weight initialization.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace bcop::nn {
+
+/// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+/// This is the initializer the BinaryNet reference implementation uses for
+/// latent weights; its small magnitudes matter because latents are clipped
+/// to [-1, 1] throughout training.
+void glorot_uniform(tensor::Tensor& w, std::int64_t fan_in,
+                    std::int64_t fan_out, util::Rng& rng);
+
+}  // namespace bcop::nn

@@ -1,0 +1,64 @@
+// Layer interface of the from-scratch training framework.
+//
+// The framework is a classic define-by-layer stack (in the spirit of the
+// Theano/Lasagne code the original BNN papers used): every layer implements
+// an explicit forward and backward, caches whatever it needs in between,
+// and exposes its parameters to the optimizer. No autograd tape exists --
+// the graph is a straight pipeline, which is exactly what the paper's
+// networks are (Table I) and what the FINN-style accelerator expects.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+#include "util/serialize.hpp"
+
+namespace bcop::nn {
+
+/// A trainable parameter: value plus the gradient accumulated by backward().
+struct Param {
+  tensor::Tensor value;
+  tensor::Tensor grad;
+
+  void ensure_grad() {
+    if (grad.shape() != value.shape()) grad = tensor::Tensor(value.shape());
+  }
+};
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Stable type identifier used by serialization and diagnostics.
+  virtual const char* type() const = 0;
+
+  /// Compute the layer output. `training` selects batch statistics in
+  /// BatchNorm and may enable caching needed only by backward().
+  virtual tensor::Tensor forward(const tensor::Tensor& input, bool training) = 0;
+
+  /// Given dLoss/dOutput, accumulate parameter gradients and return
+  /// dLoss/dInput. Must be called after a forward() with training=true.
+  virtual tensor::Tensor backward(const tensor::Tensor& grad_output) = 0;
+
+  /// Trainable parameters (empty for stateless layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Hook invoked by the optimizer after each step (e.g. latent-weight
+  /// clipping in binary layers).
+  virtual void post_update() {}
+
+  /// Serialize configuration and weights.
+  virtual void save(util::BinaryWriter& w) const = 0;
+  /// Restore configuration and weights written by save().
+  virtual void load(util::BinaryReader& r) = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Construct an empty layer of the given type (for deserialization).
+/// Throws std::runtime_error for unknown type names.
+LayerPtr make_layer(const std::string& type);
+
+}  // namespace bcop::nn

@@ -1,0 +1,56 @@
+#include "nn/maxpool.hpp"
+
+#include <stdexcept>
+
+namespace bcop::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor MaxPool2::forward(const Tensor& input, bool training) {
+  const Shape& s = input.shape();
+  if (s.rank() != 4) throw std::invalid_argument("MaxPool2: rank-4 input required");
+  const std::int64_t N = s[0], H = s[1], W = s[2], C = s[3];
+  if (H % 2 != 0 || W % 2 != 0)
+    throw std::invalid_argument("MaxPool2: spatial dims must be even, got " + s.str());
+  const std::int64_t Ho = H / 2, Wo = W / 2;
+  Tensor out(Shape{N, Ho, Wo, C});
+  if (training) {
+    in_shape_ = s;
+    argmax_.assign(static_cast<std::size_t>(out.numel()), 0);
+  }
+  const float* in = input.data();
+  float* o = out.data();
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t y = 0; y < Ho; ++y)
+      for (std::int64_t x = 0; x < Wo; ++x)
+        for (std::int64_t c = 0; c < C; ++c) {
+          const std::int64_t base = ((n * H + 2 * y) * W + 2 * x) * C + c;
+          std::int64_t best = base;
+          float bv = in[base];
+          const std::int64_t candidates[3] = {base + C, base + W * C,
+                                              base + W * C + C};
+          for (const std::int64_t idx : candidates)
+            if (in[idx] > bv) {
+              bv = in[idx];
+              best = idx;
+            }
+          const std::int64_t oi = ((n * Ho + y) * Wo + x) * C + c;
+          o[oi] = bv;
+          if (training) argmax_[static_cast<std::size_t>(oi)] = best;
+        }
+  return out;
+}
+
+Tensor MaxPool2::backward(const Tensor& grad_output) {
+  if (argmax_.empty())
+    throw std::logic_error("MaxPool2::backward without training forward");
+  if (grad_output.numel() != static_cast<std::int64_t>(argmax_.size()))
+    throw std::invalid_argument("MaxPool2::backward: shape mismatch");
+  Tensor dx(in_shape_);
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i)
+    dx[argmax_[static_cast<std::size_t>(i)]] += grad_output[i];
+  return dx;
+}
+
+}  // namespace bcop::nn

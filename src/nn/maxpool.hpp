@@ -1,0 +1,31 @@
+// 2x2 stride-2 max pooling over NHWC tensors.
+//
+// In BinaryCoP pooling always follows sign(), so inputs are {-1,+1} and the
+// pool is equivalent to a boolean OR on the bit encoding -- which is exactly
+// how the accelerator implements it (paper Sec. III-B). Training still uses
+// a true max with argmax routing so gradients flow to one winner per window.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace bcop::nn {
+
+class MaxPool2 final : public Layer {
+ public:
+  MaxPool2() = default;
+
+  const char* type() const override { return "MaxPool2"; }
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  void save(util::BinaryWriter& w) const override { w.write_tag("POOL"); }
+  void load(util::BinaryReader& r) override { r.expect_tag("POOL"); }
+
+ private:
+  tensor::Shape in_shape_;
+  std::vector<std::int64_t> argmax_;  // flat input index of each winner
+};
+
+}  // namespace bcop::nn

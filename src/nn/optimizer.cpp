@@ -1,0 +1,65 @@
+#include "nn/optimizer.hpp"
+
+#include <cmath>
+
+namespace bcop::nn {
+
+void Optimizer::step() {
+  for (Param* p : params_) p->ensure_grad();
+  apply();
+  for (Param* p : params_) p->grad.fill(0.f);
+  model_->post_update();
+}
+
+Sgd::Sgd(Sequential& model, float lr, float momentum)
+    : Optimizer(model), momentum_(momentum) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (Param* p : params_)
+    velocity_.emplace_back(static_cast<std::size_t>(p->value.numel()), 0.f);
+}
+
+void Sgd::apply() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    auto& vel = velocity_[i];
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      vel[static_cast<std::size_t>(j)] =
+          momentum_ * vel[static_cast<std::size_t>(j)] - lr_ * p.grad[j];
+      p.value[j] += vel[static_cast<std::size_t>(j)];
+    }
+  }
+}
+
+Adam::Adam(Sequential& model, float lr, float beta1, float beta2, float eps)
+    : Optimizer(model), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(static_cast<std::size_t>(p->value.numel()), 0.f);
+    v_.emplace_back(static_cast<std::size_t>(p->value.numel()), 0.f);
+  }
+}
+
+void Adam::apply() {
+  ++t_;
+  const float bc1 = 1.f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param& p = *params_[i];
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::int64_t j = 0; j < p.value.numel(); ++j) {
+      const float g = p.grad[j];
+      auto ju = static_cast<std::size_t>(j);
+      m[ju] = beta1_ * m[ju] + (1.f - beta1_) * g;
+      v[ju] = beta2_ * v[ju] + (1.f - beta2_) * g * g;
+      const float mhat = m[ju] / bc1;
+      const float vhat = v[ju] / bc2;
+      p.value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace bcop::nn

@@ -1,0 +1,58 @@
+// Optimizers: Adam (used by all experiments, as in the BNN papers) and SGD
+// with momentum (baseline / ablations).
+//
+// An optimizer binds to a model's parameter list at construction; step()
+// consumes the gradients accumulated by backward() and zeroes them. The
+// model's post_update() hook runs after every step so binary layers can
+// clip their latent weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/sequential.hpp"
+
+namespace bcop::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(Sequential& model) : model_(&model), params_(model.params()) {}
+  virtual ~Optimizer() = default;
+
+  /// Apply one update from the accumulated gradients, then zero them.
+  void step();
+
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+ protected:
+  virtual void apply() = 0;
+
+  Sequential* model_;
+  std::vector<Param*> params_;
+  float lr_ = 1e-3f;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  Sgd(Sequential& model, float lr, float momentum = 0.9f);
+
+ private:
+  void apply() override;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+class Adam final : public Optimizer {
+ public:
+  Adam(Sequential& model, float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+       float eps = 1e-8f);
+
+ private:
+  void apply() override;
+  float beta1_, beta2_, eps_;
+  std::int64_t t_ = 0;
+  std::vector<std::vector<float>> m_, v_;
+};
+
+}  // namespace bcop::nn

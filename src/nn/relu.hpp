@@ -1,0 +1,38 @@
+// Rectified linear activation (used by the FP32 baseline network only).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace bcop::nn {
+
+class ReLU final : public Layer {
+ public:
+  ReLU() = default;
+
+  const char* type() const override { return "ReLU"; }
+
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override {
+    if (training) input_ = input;
+    tensor::Tensor out(input.shape());
+    for (std::int64_t i = 0; i < input.numel(); ++i)
+      out[i] = input[i] > 0.f ? input[i] : 0.f;
+    return out;
+  }
+
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override {
+    if (input_.empty())
+      throw std::logic_error("ReLU::backward without training forward");
+    tensor::Tensor dx(grad_output.shape());
+    for (std::int64_t i = 0; i < grad_output.numel(); ++i)
+      dx[i] = input_[i] > 0.f ? grad_output[i] : 0.f;
+    return dx;
+  }
+
+  void save(util::BinaryWriter& w) const override { w.write_tag("RELU"); }
+  void load(util::BinaryReader& r) override { r.expect_tag("RELU"); }
+
+ private:
+  tensor::Tensor input_;
+};
+
+}  // namespace bcop::nn

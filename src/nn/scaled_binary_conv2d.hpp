@@ -1,0 +1,54 @@
+// XNOR-Net-style binary convolution with per-output-channel scaling.
+//
+// Rastegari et al. [12] approximate W ~= alpha * sign(W) with
+// alpha = mean(|W|) per output channel, recovering some of the information
+// capacity binarization destroys -- at the cost of extra multipliers at
+// deployment time. The paper (Sec. II-B) argues that for the low scene
+// complexity of mask classification the plain BNN form [11] suffices; this
+// layer exists so that claim can be tested head-to-head
+// (bench_ablation_scaling).
+//
+// Gradient treatment follows the usual XNOR-Net reimplementations: the
+// scaled binarized weight receives the loss gradient, which flows to the
+// latents through d(alpha*sign(w))/dw ~= 1/n + alpha * 1{|w|<=1}.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/layer.hpp"
+#include "util/rng.hpp"
+
+namespace bcop::nn {
+
+class ScaledBinaryConv2d final : public Layer {
+ public:
+  ScaledBinaryConv2d() = default;
+  ScaledBinaryConv2d(std::int64_t k, std::int64_t in_ch, std::int64_t out_ch,
+                     util::Rng& rng);
+
+  const char* type() const override { return "ScaledBinaryConv2d"; }
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&weight_}; }
+  void post_update() override;
+  void save(util::BinaryWriter& w) const override;
+  void load(util::BinaryReader& r) override;
+
+  std::int64_t kernel() const { return k_; }
+  std::int64_t in_channels() const { return in_ch_; }
+  std::int64_t out_channels() const { return out_ch_; }
+
+  /// Current per-output-channel scaling factors alpha = mean(|latent|).
+  std::vector<float> scaling_factors() const;
+
+ private:
+  std::int64_t k_ = 0, in_ch_ = 0, out_ch_ = 0;
+  Param weight_;  // latent, [K*K*Ci, Co]
+
+  tensor::Tensor patches_;
+  tensor::Tensor wb_;            // sign(latent)
+  std::vector<float> alpha_;     // cached scaling of the last forward
+  tensor::Shape in_shape_;
+};
+
+}  // namespace bcop::nn

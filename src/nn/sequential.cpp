@@ -1,0 +1,124 @@
+#include "nn/sequential.hpp"
+
+#include <stdexcept>
+
+#include "nn/batchnorm.hpp"
+#include "nn/binary_conv2d.hpp"
+#include "nn/binary_dense.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+#include "nn/scaled_binary_conv2d.hpp"
+#include "nn/sign_activation.hpp"
+
+namespace bcop::nn {
+
+using tensor::Tensor;
+
+LayerPtr make_layer(const std::string& type) {
+  if (type == "BatchNorm") return std::make_unique<BatchNorm>();
+  if (type == "BinaryConv2d") return std::make_unique<BinaryConv2d>();
+  if (type == "BinaryDense") return std::make_unique<BinaryDense>();
+  if (type == "Conv2d") return std::make_unique<Conv2d>();
+  if (type == "Dense") return std::make_unique<Dense>();
+  if (type == "Flatten") return std::make_unique<Flatten>();
+  if (type == "MaxPool2") return std::make_unique<MaxPool2>();
+  if (type == "ReLU") return std::make_unique<ReLU>();
+  if (type == "ScaledBinaryConv2d")
+    return std::make_unique<ScaledBinaryConv2d>();
+  if (type == "SignActivation") return std::make_unique<SignActivation>();
+  throw std::runtime_error("make_layer: unknown layer type '" + type + "'");
+}
+
+void Sequential::add(LayerPtr layer) {
+  if (!layer) throw std::invalid_argument("Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+}
+
+Tensor Sequential::forward(const Tensor& input, bool training) {
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x, training);
+  return x;
+}
+
+Tensor Sequential::forward_collect(const Tensor& input, bool training,
+                                   std::vector<Tensor>& activations) {
+  activations.clear();
+  activations.reserve(layers_.size());
+  Tensor x = input;
+  for (auto& l : layers_) {
+    x = l->forward(x, training);
+    activations.push_back(x);
+  }
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_logits) {
+  Tensor g = grad_logits;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+Tensor Sequential::backward_collect(const Tensor& grad_logits,
+                                    std::vector<Tensor>& output_grads) {
+  output_grads.assign(layers_.size(), Tensor());
+  Tensor g = grad_logits;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    output_grads[i] = g;
+    g = layers_[i]->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> ps;
+  for (auto& l : layers_)
+    for (Param* p : l->params()) ps.push_back(p);
+  return ps;
+}
+
+void Sequential::post_update() {
+  for (auto& l : layers_) l->post_update();
+}
+
+std::int64_t Sequential::parameter_count() const {
+  std::int64_t n = 0;
+  for (const auto& l : layers_)
+    for (Param* p : const_cast<Layer&>(*l).params()) n += p->value.numel();
+  return n;
+}
+
+void Sequential::save(const std::string& path) const {
+  util::BinaryWriter w(path);
+  w.write_tag("BCOP");
+  w.write_u32(1);  // format version
+  w.write_string(name_);
+  w.write_u64(layers_.size());
+  for (const auto& l : layers_) {
+    w.write_string(l->type());
+    l->save(w);
+  }
+  w.close();
+}
+
+Sequential Sequential::load_file(const std::string& path) {
+  util::BinaryReader r(path);
+  r.expect_tag("BCOP");
+  const std::uint32_t version = r.read_u32();
+  if (version != 1)
+    throw std::runtime_error("Sequential::load_file: unsupported version " +
+                             std::to_string(version));
+  Sequential model(r.read_string());
+  const std::uint64_t n = r.read_u64();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    LayerPtr l = make_layer(r.read_string());
+    l->load(r);
+    model.add(std::move(l));
+  }
+  return model;
+}
+
+}  // namespace bcop::nn

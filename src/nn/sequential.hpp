@@ -1,0 +1,71 @@
+// Sequential model container: an ordered pipeline of layers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace bcop::nn {
+
+class Sequential {
+ public:
+  Sequential() = default;
+  explicit Sequential(std::string name) : name_(std::move(name)) {}
+
+  Sequential(Sequential&&) = default;
+  Sequential& operator=(Sequential&&) = default;
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void add(LayerPtr layer);
+
+  template <typename T, typename... As>
+  T& emplace(As&&... args) {
+    auto l = std::make_unique<T>(std::forward<As>(args)...);
+    T& ref = *l;
+    add(std::move(l));
+    return ref;
+  }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+  const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+  /// Run the full pipeline.
+  tensor::Tensor forward(const tensor::Tensor& input, bool training);
+
+  /// Run the pipeline and also record the output of every layer
+  /// (activations[i] is the output of layer i). Used by Grad-CAM.
+  tensor::Tensor forward_collect(const tensor::Tensor& input, bool training,
+                                 std::vector<tensor::Tensor>& activations);
+
+  /// Backpropagate dLoss/dLogits through every layer; returns dLoss/dInput.
+  tensor::Tensor backward(const tensor::Tensor& grad_logits);
+
+  /// Like backward() but records the gradient with respect to the *output*
+  /// of each layer (output_grads[i] = dLoss/d(out of layer i)). Entry
+  /// `size()-1` equals grad_logits. Used by Grad-CAM.
+  tensor::Tensor backward_collect(const tensor::Tensor& grad_logits,
+                                  std::vector<tensor::Tensor>& output_grads);
+
+  /// All trainable parameters in layer order.
+  std::vector<Param*> params();
+
+  /// Invoke every layer's post-update hook (optimizer calls this).
+  void post_update();
+
+  /// Total parameter count and the model size in bits when every weight is
+  /// binarized (BN parameters counted at 32-bit). Used for footprint tables.
+  std::int64_t parameter_count() const;
+
+  void save(const std::string& path) const;
+  static Sequential load_file(const std::string& path);
+
+ private:
+  std::string name_;
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace bcop::nn

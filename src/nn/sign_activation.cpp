@@ -1,0 +1,29 @@
+#include "nn/sign_activation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bcop::nn {
+
+using tensor::Tensor;
+
+Tensor SignActivation::forward(const Tensor& input, bool training) {
+  if (training) input_ = input;
+  Tensor out(input.shape());
+  for (std::int64_t i = 0; i < input.numel(); ++i)
+    out[i] = input[i] >= 0.f ? 1.f : -1.f;
+  return out;
+}
+
+Tensor SignActivation::backward(const Tensor& grad_output) {
+  if (input_.empty())
+    throw std::logic_error("SignActivation::backward without training forward");
+  if (grad_output.shape() != input_.shape())
+    throw std::invalid_argument("SignActivation::backward: shape mismatch");
+  Tensor dx(grad_output.shape());
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i)
+    dx[i] = std::abs(input_[i]) <= 1.f ? grad_output[i] : 0.f;
+  return dx;
+}
+
+}  // namespace bcop::nn

@@ -1,0 +1,28 @@
+// Deterministic binarization activation with straight-through estimator.
+//
+// Forward implements Eq. (1) of the paper: sign(x) with sign(0) = +1 so the
+// hardware mapping (-1 -> bit 0, +1 -> bit 1, threshold compare uses >=) is
+// consistent everywhere. Backward uses the clipped straight-through
+// estimator of Hubara et al. [11]: dL/dx = dL/dy * 1{|x| <= 1}, which stops
+// gradients once the pre-activation saturates.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace bcop::nn {
+
+class SignActivation final : public Layer {
+ public:
+  SignActivation() = default;
+
+  const char* type() const override { return "SignActivation"; }
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  void save(util::BinaryWriter& w) const override { w.write_tag("SIGN"); }
+  void load(util::BinaryReader& r) override { r.expect_tag("SIGN"); }
+
+ private:
+  tensor::Tensor input_;  // cached for the STE window
+};
+
+}  // namespace bcop::nn

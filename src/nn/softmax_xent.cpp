@@ -1,0 +1,44 @@
+#include "nn/softmax_xent.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace bcop::nn {
+
+using tensor::Tensor;
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<std::int64_t>& labels) {
+  if (logits.shape().rank() != 2)
+    throw std::invalid_argument("SoftmaxCrossEntropy: rank-2 logits required");
+  const std::int64_t N = logits.shape()[0], C = logits.shape()[1];
+  if (static_cast<std::int64_t>(labels.size()) != N)
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count mismatch");
+  probs_ = tensor::softmax_rows(logits);
+  labels_ = labels;
+  double loss = 0.0;
+  for (std::int64_t r = 0; r < N; ++r) {
+    const std::int64_t y = labels[static_cast<std::size_t>(r)];
+    if (y < 0 || y >= C)
+      throw std::invalid_argument("SoftmaxCrossEntropy: label out of range");
+    loss -= std::log(std::max(probs_.at2(r, y), 1e-12f));
+  }
+  return static_cast<float>(loss / static_cast<double>(N));
+}
+
+Tensor SoftmaxCrossEntropy::backward() const {
+  if (probs_.empty())
+    throw std::logic_error("SoftmaxCrossEntropy::backward before forward");
+  const std::int64_t N = probs_.shape()[0], C = probs_.shape()[1];
+  Tensor grad = probs_;
+  const float inv_n = 1.f / static_cast<float>(N);
+  for (std::int64_t r = 0; r < N; ++r) {
+    grad.at2(r, labels_[static_cast<std::size_t>(r)]) -= 1.f;
+    for (std::int64_t c = 0; c < C; ++c) grad.at2(r, c) *= inv_n;
+  }
+  return grad;
+}
+
+}  // namespace bcop::nn

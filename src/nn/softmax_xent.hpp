@@ -1,0 +1,30 @@
+// Softmax cross-entropy loss head.
+//
+// Not a Layer: it terminates the graph, consuming logits [N, classes] and
+// integer labels, and produces both the scalar loss and dLoss/dLogits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bcop::nn {
+
+class SoftmaxCrossEntropy {
+ public:
+  /// Mean cross-entropy over the batch. Caches probabilities for backward.
+  float forward(const tensor::Tensor& logits,
+                const std::vector<std::int64_t>& labels);
+
+  /// dLoss/dLogits = (softmax - onehot) / N.
+  tensor::Tensor backward() const;
+
+  const tensor::Tensor& probabilities() const { return probs_; }
+
+ private:
+  tensor::Tensor probs_;
+  std::vector<std::int64_t> labels_;
+};
+
+}  // namespace bcop::nn

@@ -1,0 +1,120 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace bcop::parallel {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // inline execution keeps single-threaded builds overhead-free
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? hw - 1 : 0u;
+  }());
+  return pool;
+}
+
+void parallel_for_chunked(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const std::int64_t workers = static_cast<std::int64_t>(pool.size()) + 1;
+  const std::int64_t chunks = std::min(n, workers);
+  if (chunks == 1) {
+    body(begin, end);
+    return;
+  }
+  const std::int64_t chunk = (n + chunks - 1) / chunks;
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  // The last chunk runs on the calling thread so the caller participates.
+  for (std::int64_t c = 0; c < chunks - 1; ++c) {
+    const std::int64_t lo = begin + c * chunk;
+    const std::int64_t hi = std::min(end, lo + chunk);
+    pool.submit([&, lo, hi] {
+      if (failed.load(std::memory_order_relaxed)) return;
+      try {
+        body(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!failed.exchange(true)) first_error = std::current_exception();
+      }
+    });
+  }
+  const std::int64_t lo = begin + (chunks - 1) * chunk;
+  if (lo < end) {
+    try {
+      body(lo, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex);
+      if (!failed.exchange(true)) first_error = std::current_exception();
+    }
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body) {
+  parallel_for_chunked(pool, begin, end,
+                       [&body](std::int64_t lo, std::int64_t hi) {
+                         for (std::int64_t i = lo; i < hi; ++i) body(i);
+                       });
+}
+
+}  // namespace bcop::parallel

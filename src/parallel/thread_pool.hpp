@@ -1,0 +1,68 @@
+// Shared-memory work pool used by training and batched inference.
+//
+// Design follows the C++ Core Guidelines concurrency rules: the pool owns
+// its threads (RAII, joined in the destructor), work items are type-erased
+// std::function values moved into a mutex-protected queue, and no raw
+// owning pointers or detached threads exist anywhere. `parallel_for`
+// implements the OpenMP "parallel for schedule(static)" pattern: the index
+// range is split into contiguous chunks, one per worker, and the caller
+// blocks until all chunks finish. On a single-core host the pool degrades
+// gracefully (work runs inline when the pool has zero workers).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace bcop::parallel {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers. 0 means "run submitted work inline", which
+  /// keeps callers on single-core machines free of scheduling overhead.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueue a task; returns immediately. Pair with wait_idle() to join.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has completed.
+  void wait_idle();
+
+  /// Process-wide pool sized to hardware_concurrency() - 1 workers.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Static-schedule parallel loop over [begin, end). `body(i)` is invoked
+/// exactly once for every index, from the calling thread and/or workers.
+/// Exceptions from the body propagate to the caller (first one wins).
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body);
+
+/// Chunked variant: body receives [chunk_begin, chunk_end) ranges. Useful
+/// when per-index dispatch through std::function would dominate.
+void parallel_for_chunked(
+    ThreadPool& pool, std::int64_t begin, std::int64_t end,
+    const std::function<void(std::int64_t, std::int64_t)>& body);
+
+}  // namespace bcop::parallel

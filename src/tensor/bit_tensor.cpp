@@ -1,0 +1,63 @@
+#include "tensor/bit_tensor.hpp"
+
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+
+namespace bcop::tensor {
+
+BitMatrix::BitMatrix(std::int64_t rows, std::int64_t cols) {
+  if (rows < 0 || cols < 0)
+    throw std::invalid_argument("BitMatrix: negative dimensions");
+  rows_ = rows;
+  cols_ = cols;
+  wpr_ = (cols + 63) / 64;
+  data_.assign(static_cast<std::size_t>(rows * wpr_), 0ull);
+}
+
+void BitMatrix::pack_row(std::int64_t r, const float* src) {
+  std::uint64_t* w = row(r);
+  for (std::int64_t word = 0; word < wpr_; ++word) {
+    std::uint64_t bits = 0;
+    const std::int64_t base = word * 64;
+    const std::int64_t n = std::min<std::int64_t>(64, cols_ - base);
+    for (std::int64_t i = 0; i < n; ++i)
+      bits |= static_cast<std::uint64_t>(src[base + i] >= 0.f) << i;
+    w[word] = bits;
+  }
+}
+
+BitMatrix pack_matrix(const float* src, std::int64_t rows, std::int64_t cols) {
+  BitMatrix m(rows, cols);
+  for (std::int64_t r = 0; r < rows; ++r) m.pack_row(r, src + r * cols);
+  return m;
+}
+
+std::int64_t xnor_match_count(const std::uint64_t* a, const std::uint64_t* b,
+                              std::int64_t words, std::int64_t pad) {
+  std::int64_t pop = 0;
+  for (std::int64_t i = 0; i < words; ++i)
+    pop += std::popcount(~(a[i] ^ b[i]));
+  return pop - pad;
+}
+
+void binary_gemm(const BitMatrix& a, const BitMatrix& b,
+                 std::vector<std::int32_t>& c) {
+  if (a.cols() != b.cols())
+    throw std::invalid_argument("binary_gemm: K mismatch");
+  const std::int64_t M = a.rows(), N = b.rows(), K = a.cols();
+  const std::int64_t words = a.words_per_row();
+  c.assign(static_cast<std::size_t>(M * N), 0);
+  parallel::parallel_for_chunked(
+      parallel::ThreadPool::global(), 0, M,
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) {
+          const std::uint64_t* ai = a.row(i);
+          std::int32_t* ci = c.data() + i * N;
+          for (std::int64_t j = 0; j < N; ++j)
+            ci[j] = static_cast<std::int32_t>(xnor_dot(ai, b.row(j), K, words));
+        }
+      });
+}
+
+}  // namespace bcop::tensor

@@ -1,0 +1,111 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace bcop::tensor {
+
+namespace {
+// Block sizes sized for typical L1/L2: the innermost nn kernel touches
+// kBlockK rows of B (each N floats) repeatedly while streaming A.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockK = 256;
+
+using parallel::ThreadPool;
+using parallel::parallel_for_chunked;
+}  // namespace
+
+void gemm_nn(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+             const float* B, float* C, bool accumulate) {
+  if (!accumulate) std::memset(C, 0, static_cast<std::size_t>(M) * N * sizeof(float));
+  parallel_for_chunked(
+      ThreadPool::global(), 0, (M + kBlockM - 1) / kBlockM,
+      [&](std::int64_t blo, std::int64_t bhi) {
+        for (std::int64_t mb = blo; mb < bhi; ++mb) {
+          const std::int64_t m0 = mb * kBlockM;
+          const std::int64_t m1 = std::min(M, m0 + kBlockM);
+          for (std::int64_t k0 = 0; k0 < K; k0 += kBlockK) {
+            const std::int64_t k1 = std::min(K, k0 + kBlockK);
+            for (std::int64_t i = m0; i < m1; ++i) {
+              float* Ci = C + i * N;
+              const float* Ai = A + i * K;
+              for (std::int64_t k = k0; k < k1; ++k) {
+                const float a = Ai[k];
+                if (a == 0.f) continue;  // im2row matrices are often sparse-ish
+                const float* Bk = B + k * N;
+                for (std::int64_t j = 0; j < N; ++j) Ci[j] += a * Bk[j];
+              }
+            }
+          }
+        }
+      });
+}
+
+void gemm_nt(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+             const float* B, float* C, bool accumulate) {
+  parallel_for_chunked(
+      ThreadPool::global(), 0, M, [&](std::int64_t mlo, std::int64_t mhi) {
+        for (std::int64_t i = mlo; i < mhi; ++i) {
+          const float* Ai = A + i * K;
+          float* Ci = C + i * N;
+          for (std::int64_t j = 0; j < N; ++j) {
+            const float* Bj = B + j * K;
+            float acc = 0.f;
+            for (std::int64_t k = 0; k < K; ++k) acc += Ai[k] * Bj[k];
+            Ci[j] = accumulate ? Ci[j] + acc : acc;
+          }
+        }
+      });
+}
+
+void gemm_tn(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+             const float* B, float* C, bool accumulate) {
+  if (!accumulate) std::memset(C, 0, static_cast<std::size_t>(M) * N * sizeof(float));
+  // Parallelizing over M keeps each worker writing a disjoint stripe of C;
+  // every worker streams the whole of A and B (read-only, safe to share).
+  parallel_for_chunked(
+      ThreadPool::global(), 0, M, [&](std::int64_t mlo, std::int64_t mhi) {
+        for (std::int64_t k = 0; k < K; ++k) {
+          const float* Ak = A + k * M;
+          const float* Bk = B + k * N;
+          for (std::int64_t i = mlo; i < mhi; ++i) {
+            const float a = Ak[i];
+            if (a == 0.f) continue;
+            float* Ci = C + i * N;
+            for (std::int64_t j = 0; j < N; ++j) Ci[j] += a * Bk[j];
+          }
+        }
+      });
+}
+
+void gemm_nn_naive(std::int64_t M, std::int64_t N, std::int64_t K,
+                   const float* A, const float* B, float* C, bool accumulate) {
+  for (std::int64_t i = 0; i < M; ++i)
+    for (std::int64_t j = 0; j < N; ++j) {
+      float acc = accumulate ? C[i * N + j] : 0.f;
+      for (std::int64_t k = 0; k < K; ++k) acc += A[i * K + k] * B[k * N + j];
+      C[i * N + j] = acc;
+    }
+}
+
+void gemm_nt_naive(std::int64_t M, std::int64_t N, std::int64_t K,
+                   const float* A, const float* B, float* C, bool accumulate) {
+  for (std::int64_t i = 0; i < M; ++i)
+    for (std::int64_t j = 0; j < N; ++j) {
+      float acc = accumulate ? C[i * N + j] : 0.f;
+      for (std::int64_t k = 0; k < K; ++k) acc += A[i * K + k] * B[j * K + k];
+      C[i * N + j] = acc;
+    }
+}
+
+void gemm_tn_naive(std::int64_t M, std::int64_t N, std::int64_t K,
+                   const float* A, const float* B, float* C, bool accumulate) {
+  for (std::int64_t i = 0; i < M; ++i)
+    for (std::int64_t j = 0; j < N; ++j) {
+      float acc = accumulate ? C[i * N + j] : 0.f;
+      for (std::int64_t k = 0; k < K; ++k) acc += A[k * M + i] * B[k * N + j];
+      C[i * N + j] = acc;
+    }
+}
+
+}  // namespace bcop::tensor

@@ -1,0 +1,44 @@
+// Single-precision general matrix multiply kernels.
+//
+// Three layout variants cover every product the training framework needs
+// (forward, input-gradient and weight-gradient of im2row convolutions and
+// dense layers):
+//   gemm_nn: C[M,N] += A[M,K] * B[K,N]
+//   gemm_nt: C[M,N] += A[M,K] * B[N,K]^T
+//   gemm_tn: C[M,N] += A[K,M]^T * B[K,N]
+// All matrices are dense row-major. The kernels use cache blocking plus
+// inner loops arranged so the compiler auto-vectorizes the contiguous
+// dimension; `*_naive` reference implementations back the property tests.
+// Work is split over the thread pool along the M dimension.
+#pragma once
+
+#include <cstdint>
+
+#include "parallel/thread_pool.hpp"
+
+namespace bcop::tensor {
+
+/// C += A * B. If `accumulate` is false, C is overwritten.
+void gemm_nn(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+             const float* B, float* C, bool accumulate = false);
+
+/// C += A * B^T (B stored [N, K]).
+void gemm_nt(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+             const float* B, float* C, bool accumulate = false);
+
+/// C += A^T * B (A stored [K, M]).
+void gemm_tn(std::int64_t M, std::int64_t N, std::int64_t K, const float* A,
+             const float* B, float* C, bool accumulate = false);
+
+/// Reference implementations (triple loop, no blocking) for testing.
+void gemm_nn_naive(std::int64_t M, std::int64_t N, std::int64_t K,
+                   const float* A, const float* B, float* C,
+                   bool accumulate = false);
+void gemm_nt_naive(std::int64_t M, std::int64_t N, std::int64_t K,
+                   const float* A, const float* B, float* C,
+                   bool accumulate = false);
+void gemm_tn_naive(std::int64_t M, std::int64_t N, std::int64_t K,
+                   const float* A, const float* B, float* C,
+                   bool accumulate = false);
+
+}  // namespace bcop::tensor

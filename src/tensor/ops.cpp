@@ -1,0 +1,93 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bcop::tensor {
+
+std::int64_t argmax(const float* v, std::int64_t n) {
+  std::int64_t best = 0;
+  for (std::int64_t i = 1; i < n; ++i)
+    if (v[i] > v[best]) best = i;
+  return best;
+}
+
+std::vector<std::int64_t> argmax_rows(const Tensor& m) {
+  if (m.shape().rank() != 2)
+    throw std::invalid_argument("argmax_rows: rank-2 tensor required");
+  const std::int64_t rows = m.shape()[0], cols = m.shape()[1];
+  std::vector<std::int64_t> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r)
+    out[static_cast<std::size_t>(r)] = argmax(m.data() + r * cols, cols);
+  return out;
+}
+
+void relu_inplace(Tensor& t) {
+  for (std::int64_t i = 0; i < t.numel(); ++i) t[i] = std::max(t[i], 0.f);
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  if (logits.shape().rank() != 2)
+    throw std::invalid_argument("softmax_rows: rank-2 tensor required");
+  const std::int64_t rows = logits.shape()[0], cols = logits.shape()[1];
+  Tensor out(logits.shape());
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = logits.data() + r * cols;
+    float* o = out.data() + r * cols;
+    const float mx = *std::max_element(in, in + cols);
+    float sum = 0.f;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      sum += o[c];
+    }
+    for (std::int64_t c = 0; c < cols; ++c) o[c] /= sum;
+  }
+  return out;
+}
+
+double mean(const Tensor& t) {
+  if (t.numel() == 0) return 0.0;
+  double s = 0.0;
+  for (std::int64_t i = 0; i < t.numel(); ++i) s += t[i];
+  return s / static_cast<double>(t.numel());
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape())
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  float m = 0.f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+std::vector<float> bilinear_resize(const std::vector<float>& src, int h, int w,
+                                   int oh, int ow) {
+  if (src.size() != static_cast<std::size_t>(h) * w)
+    throw std::invalid_argument("bilinear_resize: size mismatch");
+  std::vector<float> dst(static_cast<std::size_t>(oh) * ow);
+  for (int y = 0; y < oh; ++y) {
+    // Align corners: endpoints of the output map to endpoints of the input.
+    const float fy = oh > 1 ? static_cast<float>(y) * (h - 1) / (oh - 1) : 0.f;
+    const int y0 = static_cast<int>(fy);
+    const int y1 = std::min(y0 + 1, h - 1);
+    const float wy = fy - static_cast<float>(y0);
+    for (int x = 0; x < ow; ++x) {
+      const float fx = ow > 1 ? static_cast<float>(x) * (w - 1) / (ow - 1) : 0.f;
+      const int x0 = static_cast<int>(fx);
+      const int x1 = std::min(x0 + 1, w - 1);
+      const float wx = fx - static_cast<float>(x0);
+      const float v00 = src[static_cast<std::size_t>(y0) * w + x0];
+      const float v01 = src[static_cast<std::size_t>(y0) * w + x1];
+      const float v10 = src[static_cast<std::size_t>(y1) * w + x0];
+      const float v11 = src[static_cast<std::size_t>(y1) * w + x1];
+      dst[static_cast<std::size_t>(y) * ow + x] =
+          v00 * (1 - wy) * (1 - wx) + v01 * (1 - wy) * wx +
+          v10 * wy * (1 - wx) + v11 * wy * wx;
+    }
+  }
+  return dst;
+}
+
+}  // namespace bcop::tensor

@@ -1,0 +1,33 @@
+// Small elementwise / reduction helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace bcop::tensor {
+
+/// Index of the maximum of `n` values (first maximum wins).
+std::int64_t argmax(const float* v, std::int64_t n);
+
+/// Row-wise argmax of a [rows, cols] matrix.
+std::vector<std::int64_t> argmax_rows(const Tensor& m);
+
+/// In-place x := max(x, 0).
+void relu_inplace(Tensor& t);
+
+/// Numerically stable row-wise softmax of a [rows, cols] matrix.
+Tensor softmax_rows(const Tensor& logits);
+
+/// Mean of all elements.
+double mean(const Tensor& t);
+
+/// Maximum absolute difference between two same-shaped tensors.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// Bilinear resize of a single-channel [h, w] map to [oh, ow].
+std::vector<float> bilinear_resize(const std::vector<float>& src, int h, int w,
+                                   int oh, int ow);
+
+}  // namespace bcop::tensor

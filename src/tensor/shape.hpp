@@ -1,0 +1,64 @@
+// Tensor shape: a small fixed-capacity dimension list with NHWC helpers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+
+namespace bcop::tensor {
+
+/// Up to four dimensions; rank-0 means "empty". Dimensions are int64 so
+/// element-count arithmetic cannot overflow for any realistic tensor.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) {
+    if (dims.size() > kMaxRank) throw std::invalid_argument("Shape: rank > 4");
+    rank_ = static_cast<int>(dims.size());
+    int i = 0;
+    for (auto d : dims) {
+      if (d < 0) throw std::invalid_argument("Shape: negative dimension");
+      dims_[i++] = d;
+    }
+  }
+
+  int rank() const { return rank_; }
+
+  std::int64_t operator[](int i) const {
+    if (i < 0 || i >= rank_) throw std::out_of_range("Shape: index " + std::to_string(i));
+    return dims_[static_cast<std::size_t>(i)];
+  }
+
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (int i = 0; i < rank_; ++i) n *= dims_[static_cast<std::size_t>(i)];
+    return rank_ == 0 ? 0 : n;
+  }
+
+  bool operator==(const Shape& o) const {
+    if (rank_ != o.rank_) return false;
+    for (int i = 0; i < rank_; ++i)
+      if (dims_[static_cast<std::size_t>(i)] != o.dims_[static_cast<std::size_t>(i)])
+        return false;
+    return true;
+  }
+  bool operator!=(const Shape& o) const { return !(*this == o); }
+
+  std::string str() const {
+    std::string s = "[";
+    for (int i = 0; i < rank_; ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[static_cast<std::size_t>(i)]);
+    }
+    return s + "]";
+  }
+
+ private:
+  static constexpr std::size_t kMaxRank = 4;
+  std::array<std::int64_t, kMaxRank> dims_{};
+  int rank_ = 0;
+};
+
+}  // namespace bcop::tensor

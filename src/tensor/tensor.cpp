@@ -1,0 +1,20 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bcop::tensor {
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+Tensor Tensor::reshaped(const Shape& new_shape) const {
+  if (new_shape.numel() != numel())
+    throw std::invalid_argument("Tensor::reshaped: numel mismatch " +
+                                shape_.str() + " -> " + new_shape.str());
+  Tensor t;
+  t.shape_ = new_shape;
+  t.data_ = data_;
+  return t;
+}
+
+}  // namespace bcop::tensor

@@ -1,0 +1,65 @@
+// Dense float32 tensor in row-major (NHWC for rank-4) layout.
+//
+// This is the single numeric container shared by the training framework,
+// Grad-CAM and the reference paths of the deployment simulator. It is a
+// value type with owning storage; views are expressed as (pointer, shape)
+// pairs at call sites that need them, which keeps lifetime reasoning
+// trivial (Core Guidelines P.8, R.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace bcop::tensor {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(const Shape& shape, float fill = 0.f)
+      : shape_(shape), data_(static_cast<std::size_t>(shape.numel()), fill) {}
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
+  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+
+  /// NHWC accessor for rank-4 tensors (no bounds check, hot path).
+  float& at4(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c) {
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c)];
+  }
+  float at4(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(
+        ((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c)];
+  }
+
+  /// Row-major accessor for rank-2 tensors.
+  float& at2(std::int64_t r, std::int64_t c) {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+  float at2(std::int64_t r, std::int64_t c) const {
+    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
+  }
+
+  void fill(float v);
+
+  /// Reinterpret the same storage under a new shape with equal numel.
+  /// Throws std::invalid_argument on element-count mismatch.
+  Tensor reshaped(const Shape& new_shape) const;
+
+  const std::vector<float>& storage() const { return data_; }
+  std::vector<float>& storage() { return data_; }
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace bcop::tensor

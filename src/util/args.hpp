@@ -1,0 +1,30 @@
+// Minimal command-line argument parser for examples and bench binaries.
+//
+// Supports `--key value` and `--flag` forms. Unknown arguments throw, so a
+// typo in a bench invocation fails loudly instead of silently using defaults.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace bcop::util {
+
+class Args {
+ public:
+  /// Parse argv. `flag_names` lists boolean options that take no value.
+  Args(int argc, const char* const* argv,
+       const std::set<std::string>& flag_names = {});
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  int get_int(const std::string& key, int def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_flag(const std::string& key) const;
+
+ private:
+  std::map<std::string, std::string> kv_;
+  std::set<std::string> flags_;
+};
+
+}  // namespace bcop::util

@@ -1,0 +1,34 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+namespace bcop::util {
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), arity_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  row(header);
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  if (fields.size() != arity_)
+    throw std::invalid_argument("CsvWriter: row arity mismatch");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string q = "\"";
+  for (char c : s) {
+    if (c == '"') q += "\"\"";
+    else q += c;
+  }
+  q += '"';
+  return q;
+}
+
+}  // namespace bcop::util

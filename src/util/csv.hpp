@@ -1,0 +1,42 @@
+// CSV output for benchmark results and experiment logs.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace bcop::util {
+
+/// Streams rows to a CSV file; quotes fields containing separators.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append one row; must have the same arity as the header.
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: formats arithmetic values with operator<<.
+  template <typename... Ts>
+  void rowv(const Ts&... vals) {
+    std::vector<std::string> fields;
+    (fields.push_back(to_field(vals)), ...);
+    row(fields);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_field(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& s);
+
+  std::ofstream out_;
+  std::size_t arity_;
+};
+
+}  // namespace bcop::util

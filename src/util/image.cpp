@@ -1,0 +1,99 @@
+#include "util/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace bcop::util {
+
+namespace {
+std::uint8_t to_u8(float v) {
+  return static_cast<std::uint8_t>(std::clamp(std::lround(v * 255.f), 0l, 255l));
+}
+
+// Skip whitespace and PNM '#' comments.
+void skip_ws(std::istream& in) {
+  int c = in.peek();
+  while (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '#') {
+    if (c == '#') {
+      std::string line;
+      std::getline(in, line);
+    } else {
+      in.get();
+    }
+    c = in.peek();
+  }
+}
+}  // namespace
+
+void Image::blend_rgb_clipped(int y, int x, float r, float g, float b, float a) {
+  if (y < 0 || y >= height_ || x < 0 || x >= width_) return;
+  float* p = &data_[(static_cast<std::size_t>(y) * width_ + x) * 3];
+  p[0] = p[0] * (1.f - a) + r * a;
+  p[1] = p[1] * (1.f - a) + g * a;
+  p[2] = p[2] * (1.f - a) + b * a;
+}
+
+void Image::clamp01() {
+  for (auto& v : data_) v = std::clamp(v, 0.f, 1.f);
+}
+
+void write_ppm(const std::string& path, const Image& img) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_ppm: cannot open " + path);
+  out << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(img.width()) * 3);
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x)
+      for (int c = 0; c < 3; ++c)
+        row[static_cast<std::size_t>(x) * 3 + c] = to_u8(img.at(y, x, c));
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw std::runtime_error("write_ppm: write failed for " + path);
+}
+
+Image read_ppm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_ppm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P6") throw std::runtime_error("read_ppm: not a P6 file: " + path);
+  skip_ws(in);
+  int w = 0, h = 0, maxval = 0;
+  in >> w;
+  skip_ws(in);
+  in >> h;
+  skip_ws(in);
+  in >> maxval;
+  if (w <= 0 || h <= 0 || maxval != 255)
+    throw std::runtime_error("read_ppm: unsupported header in " + path);
+  in.get();  // single whitespace after maxval
+  Image img(h, w);
+  std::vector<std::uint8_t> row(static_cast<std::size_t>(w) * 3);
+  for (int y = 0; y < h; ++y) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+    if (!in) throw std::runtime_error("read_ppm: truncated file " + path);
+    for (int x = 0; x < w; ++x)
+      for (int c = 0; c < 3; ++c)
+        img.at(y, x, c) = static_cast<float>(row[static_cast<std::size_t>(x) * 3 + c]) / 255.f;
+  }
+  return img;
+}
+
+void write_pgm(const std::string& path, const std::vector<float>& gray,
+               int height, int width) {
+  if (gray.size() != static_cast<std::size_t>(height) * width)
+    throw std::invalid_argument("write_pgm: size mismatch");
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << width << " " << height << "\n255\n";
+  for (float v : gray) {
+    const std::uint8_t b = to_u8(v);
+    out.write(reinterpret_cast<const char*>(&b), 1);
+  }
+}
+
+}  // namespace bcop::util

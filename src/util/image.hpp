@@ -1,0 +1,73 @@
+// Minimal image container and portable pixmap (PPM/PGM) input/output.
+//
+// Images are stored as interleaved RGB float32 in [0, 1], row-major
+// (height, width, 3). This matches the network input layout (NHWC) so no
+// transposition is needed when feeding tensors. PPM/PGM are used for all
+// artifacts (dataset dumps, Grad-CAM overlays) because they need no external
+// dependencies and are viewable everywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bcop::util {
+
+/// Interleaved RGB float image in [0,1].
+class Image {
+ public:
+  Image() = default;
+  Image(int height, int width, float fill = 0.f)
+      : height_(height), width_(width),
+        data_(static_cast<std::size_t>(height) * width * 3, fill) {}
+
+  int height() const { return height_; }
+  int width() const { return width_; }
+
+  float& at(int y, int x, int c) {
+    return data_[(static_cast<std::size_t>(y) * width_ + x) * 3 + c];
+  }
+  float at(int y, int x, int c) const {
+    return data_[(static_cast<std::size_t>(y) * width_ + x) * 3 + c];
+  }
+
+  /// Set all three channels at (y, x). No bounds check (hot path).
+  void set_rgb(int y, int x, float r, float g, float b) {
+    float* p = &data_[(static_cast<std::size_t>(y) * width_ + x) * 3];
+    p[0] = r;
+    p[1] = g;
+    p[2] = b;
+  }
+
+  /// Bounds-checked variant used by renderers drawing near edges.
+  void set_rgb_clipped(int y, int x, float r, float g, float b) {
+    if (y < 0 || y >= height_ || x < 0 || x >= width_) return;
+    set_rgb(y, x, r, g, b);
+  }
+
+  /// Alpha-blend (r,g,b) over the current pixel with opacity a in [0,1].
+  void blend_rgb_clipped(int y, int x, float r, float g, float b, float a);
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  /// Clamp every value into [0,1].
+  void clamp01();
+
+ private:
+  int height_ = 0;
+  int width_ = 0;
+  std::vector<float> data_;
+};
+
+/// Write a binary PPM (P6), quantizing [0,1] floats to 8-bit.
+void write_ppm(const std::string& path, const Image& img);
+
+/// Read a binary PPM (P6) back into float [0,1]. Throws on malformed files.
+Image read_ppm(const std::string& path);
+
+/// Write a grayscale PGM (P5) from a single-channel float map in [0,1].
+void write_pgm(const std::string& path, const std::vector<float>& gray,
+               int height, int width);
+
+}  // namespace bcop::util

@@ -1,0 +1,51 @@
+// Leveled logging with timestamps, writing to stderr.
+//
+// Kept deliberately small: benches and examples print their primary output
+// to stdout (tables, CSV); the logger is for progress and diagnostics only,
+// so the two streams can be separated with shell redirection.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace bcop::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a single log line (thread-safe).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Ts>
+std::string concat(const Ts&... parts) {
+  std::ostringstream os;
+  (os << ... << parts);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) {
+  if (log_level() <= LogLevel::kDebug)
+    log_message(LogLevel::kDebug, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_info(const Ts&... parts) {
+  if (log_level() <= LogLevel::kInfo)
+    log_message(LogLevel::kInfo, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_warn(const Ts&... parts) {
+  if (log_level() <= LogLevel::kWarn)
+    log_message(LogLevel::kWarn, detail::concat(parts...));
+}
+template <typename... Ts>
+void log_error(const Ts&... parts) {
+  log_message(LogLevel::kError, detail::concat(parts...));
+}
+
+}  // namespace bcop::util

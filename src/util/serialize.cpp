@@ -1,0 +1,135 @@
+#include "util/serialize.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+namespace bcop::util {
+
+static_assert(std::endian::native == std::endian::little,
+              "bcop serialization targets little-endian hosts");
+
+// Arrays above this length are rejected by the reader: real model files are
+// far smaller, so a larger length means a corrupt or truncated file and we
+// fail before attempting a multi-gigabyte allocation.
+constexpr std::uint64_t kMaxArrayLen = 1ull << 28;
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : out_(path, std::ios::binary), path_(path) {
+  if (!out_) throw std::runtime_error("BinaryWriter: cannot open " + path);
+}
+
+void BinaryWriter::raw(const void* p, std::size_t n) {
+  out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+}
+
+void BinaryWriter::write_tag(const char tag[4]) { raw(tag, 4); }
+void BinaryWriter::write_u32(std::uint32_t v) { raw(&v, sizeof v); }
+void BinaryWriter::write_u64(std::uint64_t v) { raw(&v, sizeof v); }
+void BinaryWriter::write_i32(std::int32_t v) { raw(&v, sizeof v); }
+void BinaryWriter::write_f32(float v) { raw(&v, sizeof v); }
+
+void BinaryWriter::write_string(const std::string& s) {
+  write_u64(s.size());
+  raw(s.data(), s.size());
+}
+
+void BinaryWriter::write_f32_array(const std::vector<float>& v) {
+  write_u64(v.size());
+  raw(v.data(), v.size() * sizeof(float));
+}
+
+void BinaryWriter::write_u64_array(const std::vector<std::uint64_t>& v) {
+  write_u64(v.size());
+  raw(v.data(), v.size() * sizeof(std::uint64_t));
+}
+
+void BinaryWriter::write_i32_array(const std::vector<std::int32_t>& v) {
+  write_u64(v.size());
+  raw(v.data(), v.size() * sizeof(std::int32_t));
+}
+
+void BinaryWriter::close() {
+  out_.flush();
+  if (!out_) throw std::runtime_error("BinaryWriter: write failed for " + path_);
+  out_.close();
+}
+
+BinaryReader::BinaryReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path) {
+  if (!in_) throw std::runtime_error("BinaryReader: cannot open " + path);
+}
+
+void BinaryReader::raw(void* p, std::size_t n) {
+  in_.read(static_cast<char*>(p), static_cast<std::streamsize>(n));
+  if (!in_) throw std::runtime_error("BinaryReader: truncated file " + path_);
+}
+
+void BinaryReader::expect_tag(const char tag[4]) {
+  char got[4];
+  raw(got, 4);
+  if (std::memcmp(got, tag, 4) != 0) {
+    throw std::runtime_error("BinaryReader: tag mismatch in " + path_ +
+                             ": expected '" + std::string(tag, 4) + "', got '" +
+                             std::string(got, 4) + "'");
+  }
+}
+
+std::uint32_t BinaryReader::read_u32() {
+  std::uint32_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+std::uint64_t BinaryReader::read_u64() {
+  std::uint64_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+std::int32_t BinaryReader::read_i32() {
+  std::int32_t v;
+  raw(&v, sizeof v);
+  return v;
+}
+float BinaryReader::read_f32() {
+  float v;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::read_string() {
+  const std::uint64_t n = read_u64();
+  if (n > kMaxArrayLen) throw std::runtime_error("BinaryReader: bad string length");
+  std::string s(n, '\0');
+  raw(s.data(), n);
+  return s;
+}
+
+std::vector<float> BinaryReader::read_f32_array() {
+  const std::uint64_t n = read_u64();
+  if (n > kMaxArrayLen) throw std::runtime_error("BinaryReader: bad array length");
+  std::vector<float> v(n);
+  raw(v.data(), n * sizeof(float));
+  return v;
+}
+
+std::vector<std::uint64_t> BinaryReader::read_u64_array() {
+  const std::uint64_t n = read_u64();
+  if (n > kMaxArrayLen) throw std::runtime_error("BinaryReader: bad array length");
+  std::vector<std::uint64_t> v(n);
+  raw(v.data(), n * sizeof(std::uint64_t));
+  return v;
+}
+
+std::vector<std::int32_t> BinaryReader::read_i32_array() {
+  const std::uint64_t n = read_u64();
+  if (n > kMaxArrayLen) throw std::runtime_error("BinaryReader: bad array length");
+  std::vector<std::int32_t> v(n);
+  raw(v.data(), n * sizeof(std::int32_t));
+  return v;
+}
+
+bool BinaryReader::eof() {
+  return in_.peek() == std::char_traits<char>::eof();
+}
+
+}  // namespace bcop::util

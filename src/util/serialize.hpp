@@ -1,0 +1,62 @@
+// Tagged little-endian binary serialization for model files.
+//
+// The format is deliberately explicit: every write carries a 4-byte tag that
+// the reader checks, so version or layout drift is detected immediately
+// instead of producing silently corrupt weights. All multi-byte values are
+// little-endian; this library targets little-endian hosts (checked at open).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace bcop::util {
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void write_tag(const char tag[4]);
+  void write_u32(std::uint32_t v);
+  void write_u64(std::uint64_t v);
+  void write_i32(std::int32_t v);
+  void write_f32(float v);
+  void write_string(const std::string& s);
+  void write_f32_array(const std::vector<float>& v);
+  void write_u64_array(const std::vector<std::uint64_t>& v);
+  void write_i32_array(const std::vector<std::int32_t>& v);
+
+  /// Flush and verify stream health; throws if any write failed.
+  void close();
+
+ private:
+  void raw(const void* p, std::size_t n);
+  std::ofstream out_;
+  std::string path_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  /// Throws std::runtime_error naming both tags if the next tag mismatches.
+  void expect_tag(const char tag[4]);
+  std::uint32_t read_u32();
+  std::uint64_t read_u64();
+  std::int32_t read_i32();
+  float read_f32();
+  std::string read_string();
+  std::vector<float> read_f32_array();
+  std::vector<std::uint64_t> read_u64_array();
+  std::vector<std::int32_t> read_i32_array();
+
+  bool eof();
+
+ private:
+  void raw(void* p, std::size_t n);
+  std::ifstream in_;
+  std::string path_;
+};
+
+}  // namespace bcop::util

@@ -1,0 +1,28 @@
+// ASCII table rendering for reproducing the paper's tables on stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bcop::util {
+
+/// Collects rows of strings and renders an aligned, boxed ASCII table.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Render with column alignment; columns whose every body cell parses as a
+  /// number are right-aligned.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` decimals.
+std::string fmt(double v, int prec = 2);
+
+}  // namespace bcop::util

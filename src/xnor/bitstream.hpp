@@ -1,0 +1,25 @@
+// Deployment artifact ("bitstream") serialization of a folded network.
+//
+// A real Binary-CoP deployment flashes the FPGA with a bitstream whose
+// weight/threshold memories are initialized from the folded network; the
+// edge device never sees the float training graph. This module provides
+// the equivalent artifact for the simulator: a compact binary file holding
+// only the bit-packed weights and integer thresholds, loadable without any
+// training-side state. A CNV-sized artifact is ~200 KiB -- the on-chip
+// memory budget argument of the paper in file form.
+#pragma once
+
+#include <string>
+
+#include "xnor/engine.hpp"
+
+namespace bcop::xnor {
+
+/// Write the folded network to `path`. Throws on I/O failure.
+void save_bitstream(const XnorNetwork& net, const std::string& path);
+
+/// Load a folded network written by save_bitstream. Throws on malformed
+/// or truncated files (tag-checked section by section).
+XnorNetwork load_bitstream(const std::string& path);
+
+}  // namespace bcop::xnor

@@ -1,0 +1,247 @@
+#include "xnor/engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/batchnorm.hpp"
+#include "nn/binary_conv2d.hpp"
+#include "nn/binary_dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/sign_activation.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2row.hpp"
+#include "tensor/ops.hpp"
+
+namespace bcop::xnor {
+
+using tensor::BitMatrix;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace {
+
+// Pixel values are odd integers k' in [-255, 255] divided by 255
+// (facegen::MaskedFaceDataset::quantize_pixel); the first-layer accumulator
+// works directly on k'.
+constexpr double kPixelScale = 1.0 / 255.0;
+constexpr std::int64_t kPixelMax = 255;
+
+/// Transpose an nn weight matrix [In, Out] into packed rows [Out, In].
+BitMatrix pack_transposed(const Tensor& w) {
+  const std::int64_t in = w.shape()[0], out = w.shape()[1];
+  BitMatrix m(out, in);
+  for (std::int64_t o = 0; o < out; ++o)
+    for (std::int64_t i = 0; i < in; ++i)
+      m.set_from_sign(o, i, w.at2(i, o));
+  return m;
+}
+
+}  // namespace
+
+XnorNetwork::XnorNetwork(std::string name, std::vector<Stage> stages)
+    : name_(std::move(name)), stages_(std::move(stages)) {
+  if (stages_.empty())
+    throw std::invalid_argument("XnorNetwork: empty stage list");
+}
+
+std::string stage_kind(const Stage& s) {
+  return std::visit(
+      [](const auto& st) -> std::string {
+        using T = std::decay_t<decltype(st)>;
+        if constexpr (std::is_same_v<T, FirstConvStage>) return "FirstConv";
+        else if constexpr (std::is_same_v<T, BinConvStage>) return "BinConv";
+        else if constexpr (std::is_same_v<T, PoolStage>) return "Pool";
+        else if constexpr (std::is_same_v<T, FlattenStage>) return "Flatten";
+        else return "BinDense";
+      },
+      s);
+}
+
+void apply_thresholds(const std::vector<std::int32_t>& acc, std::int64_t rows,
+                      const ThresholdSpec& spec, float* out) {
+  const std::int64_t C = spec.channels();
+  if (static_cast<std::int64_t>(acc.size()) != rows * C)
+    throw std::invalid_argument("apply_thresholds: size mismatch");
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < C; ++c)
+      out[r * C + c] = spec.fire(acc[static_cast<std::size_t>(r * C + c)], c)
+                           ? 1.f
+                           : -1.f;
+}
+
+XnorNetwork XnorNetwork::fold(nn::Sequential& model) {
+  XnorNetwork net;
+  net.name_ = model.name();
+  const std::size_t n = model.size();
+  std::size_t i = 0;
+  bool first_conv = true;
+
+  auto take_bn_sign = [&](const std::string& where) -> nn::BatchNorm* {
+    if (i + 1 >= n)
+      throw std::runtime_error("XnorNetwork::fold: " + where +
+                               " not followed by BatchNorm+Sign");
+    auto* bn = dynamic_cast<nn::BatchNorm*>(&model.layer(i));
+    auto* sign = dynamic_cast<nn::SignActivation*>(&model.layer(i + 1));
+    if (!bn || !sign)
+      throw std::runtime_error("XnorNetwork::fold: " + where +
+                               " must be followed by BatchNorm then Sign, got " +
+                               model.layer(i).type() + ", " +
+                               model.layer(i + 1).type());
+    i += 2;
+    return bn;
+  };
+
+  while (i < n) {
+    nn::Layer& l = model.layer(i);
+    if (auto* conv = dynamic_cast<nn::BinaryConv2d*>(&l)) {
+      ++i;
+      nn::BatchNorm* bn = take_bn_sign(std::string("conv ") + std::to_string(i));
+      const std::int64_t fan = conv->kernel() * conv->kernel() * conv->in_channels();
+      if (first_conv) {
+        FirstConvStage st;
+        st.k = conv->kernel();
+        st.ci = conv->in_channels();
+        st.co = conv->out_channels();
+        st.weights = conv->binarized_weights();
+        st.thresholds =
+            fold_batchnorm(*bn, -fan * kPixelMax, fan * kPixelMax, kPixelScale);
+        net.stages_.emplace_back(std::move(st));
+        first_conv = false;
+      } else {
+        BinConvStage st;
+        st.k = conv->kernel();
+        st.ci = conv->in_channels();
+        st.co = conv->out_channels();
+        st.weights = pack_transposed(conv->binarized_weights());
+        st.thresholds = fold_batchnorm(*bn, -fan, fan, 1.0);
+        net.stages_.emplace_back(std::move(st));
+      }
+    } else if (dynamic_cast<nn::MaxPool2*>(&l)) {
+      net.stages_.emplace_back(PoolStage{});
+      ++i;
+    } else if (dynamic_cast<nn::Flatten*>(&l)) {
+      net.stages_.emplace_back(FlattenStage{});
+      ++i;
+    } else if (auto* dense = dynamic_cast<nn::BinaryDense*>(&l)) {
+      ++i;
+      BinDenseStage st;
+      st.in = dense->in_features();
+      st.out = dense->out_features();
+      st.weights = pack_transposed(dense->binarized_weights());
+      if (i == n) {
+        st.has_threshold = false;  // classifier layer: raw logits
+      } else {
+        nn::BatchNorm* bn = take_bn_sign("dense " + std::to_string(i));
+        st.thresholds = fold_batchnorm(*bn, -st.in, st.in, 1.0);
+      }
+      net.stages_.emplace_back(std::move(st));
+    } else {
+      throw std::runtime_error(
+          std::string("XnorNetwork::fold: unsupported layer '") + l.type() +
+          "' -- only BinaryConv2d/BinaryDense BNNs can be folded");
+    }
+  }
+  if (net.stages_.empty())
+    throw std::runtime_error("XnorNetwork::fold: empty model");
+  return net;
+}
+
+Tensor XnorNetwork::forward(const Tensor& input) const {
+  Tensor x = input;
+  for (const Stage& stage : stages_) {
+    if (const auto* st = std::get_if<FirstConvStage>(&stage)) {
+      // Recover integer pixel codes and run an exact integer GEMM in float.
+      Tensor q(x.shape());
+      for (std::int64_t j = 0; j < x.numel(); ++j)
+        q[j] = std::nearbyint(x[j] * 255.f);
+      Tensor patches;
+      tensor::im2row(q, st->k, patches);
+      const std::int64_t M = patches.shape()[0];
+      Tensor acc_f(Shape{M, st->co});
+      tensor::gemm_nn(M, st->co, patches.shape()[1], patches.data(),
+                      st->weights.data(), acc_f.data());
+      std::vector<std::int32_t> acc(static_cast<std::size_t>(M * st->co));
+      for (std::int64_t j = 0; j < acc_f.numel(); ++j)
+        acc[static_cast<std::size_t>(j)] =
+            static_cast<std::int32_t>(std::lround(acc_f[j]));
+      const std::int64_t N = x.shape()[0];
+      const std::int64_t Ho = tensor::conv_out_dim(x.shape()[1], st->k);
+      const std::int64_t Wo = tensor::conv_out_dim(x.shape()[2], st->k);
+      Tensor out(Shape{N, Ho, Wo, st->co});
+      apply_thresholds(acc, M, st->thresholds, out.data());
+      x = std::move(out);
+    } else if (const auto* st2 = std::get_if<BinConvStage>(&stage)) {
+      Tensor patches;
+      tensor::im2row(x, st2->k, patches);
+      const std::int64_t M = patches.shape()[0];
+      const BitMatrix packed =
+          tensor::pack_matrix(patches.data(), M, patches.shape()[1]);
+      std::vector<std::int32_t> acc;
+      tensor::binary_gemm(packed, st2->weights, acc);
+      const std::int64_t N = x.shape()[0];
+      const std::int64_t Ho = tensor::conv_out_dim(x.shape()[1], st2->k);
+      const std::int64_t Wo = tensor::conv_out_dim(x.shape()[2], st2->k);
+      Tensor out(Shape{N, Ho, Wo, st2->co});
+      apply_thresholds(acc, M, st2->thresholds, out.data());
+      x = std::move(out);
+    } else if (std::get_if<PoolStage>(&stage)) {
+      const Shape& s = x.shape();
+      const std::int64_t N = s[0], H = s[1], W = s[2], C = s[3];
+      Tensor out(Shape{N, H / 2, W / 2, C});
+      for (std::int64_t nn_ = 0; nn_ < N; ++nn_)
+        for (std::int64_t yy = 0; yy < H / 2; ++yy)
+          for (std::int64_t xx = 0; xx < W / 2; ++xx)
+            for (std::int64_t c = 0; c < C; ++c) {
+              // OR over the window: any +1 wins.
+              const float m =
+                  std::max(std::max(x.at4(nn_, 2 * yy, 2 * xx, c),
+                                    x.at4(nn_, 2 * yy, 2 * xx + 1, c)),
+                           std::max(x.at4(nn_, 2 * yy + 1, 2 * xx, c),
+                                    x.at4(nn_, 2 * yy + 1, 2 * xx + 1, c)));
+              out.at4(nn_, yy, xx, c) = m;
+            }
+      x = std::move(out);
+    } else if (std::get_if<FlattenStage>(&stage)) {
+      x = x.reshaped(Shape{x.shape()[0], x.numel() / x.shape()[0]});
+    } else if (const auto* st3 = std::get_if<BinDenseStage>(&stage)) {
+      const std::int64_t N = x.shape()[0];
+      const BitMatrix packed = tensor::pack_matrix(x.data(), N, st3->in);
+      std::vector<std::int32_t> acc;
+      tensor::binary_gemm(packed, st3->weights, acc);
+      Tensor out(Shape{N, st3->out});
+      if (st3->has_threshold) {
+        apply_thresholds(acc, N, st3->thresholds, out.data());
+      } else {
+        for (std::int64_t j = 0; j < out.numel(); ++j)
+          out[j] = static_cast<float>(acc[static_cast<std::size_t>(j)]);
+      }
+      x = std::move(out);
+    }
+  }
+  return x;
+}
+
+std::vector<std::int64_t> XnorNetwork::predict(const Tensor& input) const {
+  const Tensor logits = forward(input);
+  return tensor::argmax_rows(logits);
+}
+
+std::int64_t XnorNetwork::weight_bits() const {
+  std::int64_t bits = 0;
+  constexpr std::int64_t kThresholdBits = 24;  // FINN threshold word width
+  for (const Stage& stage : stages_) {
+    if (const auto* st = std::get_if<FirstConvStage>(&stage)) {
+      bits += st->weights.numel() + st->co * kThresholdBits;
+    } else if (const auto* st2 = std::get_if<BinConvStage>(&stage)) {
+      bits += st2->weights.rows() * st2->weights.cols() +
+              st2->co * kThresholdBits;
+    } else if (const auto* st3 = std::get_if<BinDenseStage>(&stage)) {
+      bits += st3->weights.rows() * st3->weights.cols();
+      if (st3->has_threshold) bits += st3->out * kThresholdBits;
+    }
+  }
+  return bits;
+}
+
+}  // namespace bcop::xnor

@@ -1,0 +1,101 @@
+// Fast CPU inference engine for folded BinaryCoP networks.
+//
+// fold() compiles a trained nn::Sequential (the BinaryConv/BatchNorm/Sign
+// pipeline of Table I) into a stage list that evaluates with integer
+// arithmetic only:
+//   - FirstConv: 8-bit fixed-point pixels x binary weights, integer
+//     accumulators, folded thresholds (FINN treats the input layer the same
+//     way [7], [27]).
+//   - BinConv / BinDense: XNOR + popcount GEMM on bit-packed operands,
+//     folded thresholds; the final BinDense has no threshold and its raw
+//     accumulators are the logits.
+//   - Pool: 2x2 max pool, which on {-1,+1} is the boolean OR of the paper.
+// Activations flow between stages as {-1,+1} float tensors for layout
+// convenience; every value is exactly representable so all arithmetic is
+// still integer-exact. The deploy::StreamingPipeline consumes the same
+// stage list and must match this engine bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "nn/sequential.hpp"
+#include "tensor/bit_tensor.hpp"
+#include "tensor/tensor.hpp"
+#include "xnor/folding.hpp"
+
+namespace bcop::xnor {
+
+/// First layer: quantized-input convolution with binary weights.
+struct FirstConvStage {
+  std::int64_t k = 0, ci = 0, co = 0;
+  tensor::Tensor weights;  // {-1,+1} floats, [K*K*Ci, Co]
+  ThresholdSpec thresholds;
+};
+
+/// Hidden binary convolution evaluated as XNOR-popcount GEMM.
+struct BinConvStage {
+  std::int64_t k = 0, ci = 0, co = 0;
+  tensor::BitMatrix weights;  // [Co, K*K*Ci] packed rows
+  ThresholdSpec thresholds;
+};
+
+/// 2x2 stride-2 max pool == boolean OR on the bit encoding.
+struct PoolStage {};
+
+/// Marks the NHWC -> flat transition before the fully-connected stages.
+struct FlattenStage {};
+
+/// Binary fully-connected. `has_threshold` is false for the classifier
+/// layer, whose integer accumulators are the logits.
+struct BinDenseStage {
+  std::int64_t in = 0, out = 0;
+  tensor::BitMatrix weights;  // [Out, In]
+  ThresholdSpec thresholds;
+  bool has_threshold = true;
+};
+
+using Stage =
+    std::variant<FirstConvStage, BinConvStage, PoolStage, FlattenStage,
+                 BinDenseStage>;
+
+/// Human-readable stage kind for diagnostics and pipeline dumps.
+std::string stage_kind(const Stage& s);
+
+class XnorNetwork {
+ public:
+  XnorNetwork() = default;
+  /// Assemble directly from stages (used by the bitstream loader).
+  XnorNetwork(std::string name, std::vector<Stage> stages);
+
+  /// Compile a trained BNN. Throws std::runtime_error with a descriptive
+  /// message if the layer sequence is not a supported BNN topology.
+  static XnorNetwork fold(nn::Sequential& model);
+
+  /// Logits [N, classes] (values are exact integers).
+  tensor::Tensor forward(const tensor::Tensor& input) const;
+
+  /// Argmax class per sample.
+  std::vector<std::int64_t> predict(const tensor::Tensor& input) const;
+
+  const std::vector<Stage>& stages() const { return stages_; }
+  const std::string& name() const { return name_; }
+
+  /// Total weight storage in bits when deployed (binary weights plus
+  /// 24-bit threshold words per output channel, FINN-style accounting).
+  std::int64_t weight_bits() const;
+
+ private:
+  std::string name_;
+  std::vector<Stage> stages_;
+};
+
+/// Apply a folded threshold bank to integer accumulators laid out
+/// [rows, channels]; writes {-1,+1} into `out`.
+void apply_thresholds(const std::vector<std::int32_t>& acc,
+                      std::int64_t rows, const ThresholdSpec& spec,
+                      float* out);
+
+}  // namespace bcop::xnor

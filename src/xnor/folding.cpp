@@ -1,0 +1,64 @@
+#include "xnor/folding.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace bcop::xnor {
+
+bool bn_sign_predicate(const nn::BatchNorm& bn, std::int64_t c,
+                       std::int64_t acc, double acc_scale) {
+  // Mirrors BatchNorm::forward(training=false) followed by sign(y) >= 0,
+  // computed in the same float precision so folding is bit-faithful.
+  const float inv = 1.f / std::sqrt(bn.running_var()[c] + bn.eps());
+  const float scale = bn.gamma()[c] * inv;
+  const float shift = bn.beta()[c] - scale * bn.running_mean()[c];
+  const float x = static_cast<float>(static_cast<double>(acc) * acc_scale);
+  return scale * x + shift >= 0.f;
+}
+
+ThresholdSpec fold_batchnorm(const nn::BatchNorm& bn, std::int64_t acc_min,
+                             std::int64_t acc_max, double acc_scale) {
+  if (acc_min > acc_max)
+    throw std::invalid_argument("fold_batchnorm: empty accumulator range");
+  const std::int64_t C = bn.channels();
+  ThresholdSpec spec;
+  spec.t.resize(static_cast<std::size_t>(C));
+  spec.flip.resize(static_cast<std::size_t>(C));
+
+  for (std::int64_t c = 0; c < C; ++c) {
+    const bool at_min = bn_sign_predicate(bn, c, acc_min, acc_scale);
+    const bool at_max = bn_sign_predicate(bn, c, acc_max, acc_scale);
+    const auto ci = static_cast<std::size_t>(c);
+    if (at_min && at_max) {
+      // Fires everywhere in range: always +1.
+      spec.t[ci] = std::numeric_limits<std::int64_t>::min() + 1;
+      spec.flip[ci] = 0;
+    } else if (!at_min && !at_max) {
+      // Never fires: always -1.
+      spec.t[ci] = std::numeric_limits<std::int64_t>::max();
+      spec.flip[ci] = 0;
+    } else if (!at_min && at_max) {
+      // Monotone rising (gamma > 0): find the smallest acc that fires.
+      std::int64_t lo = acc_min, hi = acc_max;  // lo: false, hi: true
+      while (hi - lo > 1) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        (bn_sign_predicate(bn, c, mid, acc_scale) ? hi : lo) = mid;
+      }
+      spec.t[ci] = hi;
+      spec.flip[ci] = 0;
+    } else {
+      // Monotone falling (gamma < 0): find the largest acc that fires.
+      std::int64_t lo = acc_min, hi = acc_max;  // lo: true, hi: false
+      while (hi - lo > 1) {
+        const std::int64_t mid = lo + (hi - lo) / 2;
+        (bn_sign_predicate(bn, c, mid, acc_scale) ? lo : hi) = mid;
+      }
+      spec.t[ci] = lo;
+      spec.flip[ci] = 1;
+    }
+  }
+  return spec;
+}
+
+}  // namespace bcop::xnor

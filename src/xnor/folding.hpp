@@ -1,0 +1,51 @@
+// BatchNorm -> threshold folding (paper Sec. III-A).
+//
+// Every BatchNorm in a BNN is immediately followed by sign(), so at
+// inference the pair collapses to a per-channel magnitude comparison on the
+// integer accumulator: out = +1 iff acc >= T (or acc <= T when the BN scale
+// gamma/sigma is negative). The threshold is found by *binary search over
+// the integer accumulator domain using the exact float predicate the
+// training graph evaluates*, which makes the folded network bit-identical
+// to BatchNorm+sign for every representable accumulator value -- including
+// the gamma == 0 degenerate case (constant output, encoded as a saturated
+// threshold).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/batchnorm.hpp"
+
+namespace bcop::xnor {
+
+/// Per-channel folded comparison: out_c = +1 iff
+///   flip[c] ? acc <= t[c] : acc >= t[c].
+/// Constant channels are encoded with saturated thresholds (INT64_MIN+1 =>
+/// always +1, INT64_MAX => always -1 with flip = false).
+struct ThresholdSpec {
+  std::vector<std::int64_t> t;
+  std::vector<std::uint8_t> flip;
+
+  std::int64_t channels() const { return static_cast<std::int64_t>(t.size()); }
+
+  bool fire(std::int64_t acc, std::int64_t c) const {
+    const auto ci = static_cast<std::size_t>(c);
+    return flip[ci] ? acc <= t[ci] : acc >= t[ci];
+  }
+};
+
+/// Fold `bn` (running statistics) against an accumulator in
+/// [acc_min, acc_max] that maps to the BN input as x = acc * acc_scale.
+/// For binary hidden layers acc is the {-1,+1} dot product (acc_scale = 1);
+/// for the 8-bit first layer acc is the integer sum of quantized pixels and
+/// acc_scale = 1/255.
+ThresholdSpec fold_batchnorm(const nn::BatchNorm& bn, std::int64_t acc_min,
+                             std::int64_t acc_max, double acc_scale);
+
+/// The exact predicate the training graph evaluates at inference:
+/// sign(BatchNorm_inference(x)) >= 0 for channel c with x = acc*acc_scale.
+/// Exposed so tests can compare fold results against brute force.
+bool bn_sign_predicate(const nn::BatchNorm& bn, std::int64_t c,
+                       std::int64_t acc, double acc_scale);
+
+}  // namespace bcop::xnor

@@ -1,0 +1,140 @@
+// The architecture tables must match the paper's Table I exactly.
+#include <gtest/gtest.h>
+
+#include "core/architecture.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace bcop;
+using core::ArchitectureId;
+using core::LayerSpec;
+
+TEST(TableI, CnvLayerShapes) {
+  const auto specs = core::layer_specs(ArchitectureId::kCnv);
+  ASSERT_EQ(specs.size(), 9u);
+  const std::vector<std::pair<std::int64_t, std::int64_t>> expected{
+      {3, 64},   {64, 64},   {64, 128}, {128, 128}, {128, 256},
+      {256, 256}, {256, 512}, {512, 512}, {512, 4}};
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].ci, expected[i].first) << specs[i].name;
+    EXPECT_EQ(specs[i].co, expected[i].second) << specs[i].name;
+  }
+}
+
+TEST(TableI, CnvHardwareDimensioning) {
+  const auto specs = core::layer_specs(ArchitectureId::kCnv);
+  const std::vector<std::int64_t> pe{16, 32, 16, 16, 4, 1, 1, 1, 4};
+  const std::vector<std::int64_t> simd{3, 32, 32, 32, 32, 32, 4, 8, 1};
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].pe, pe[i]) << specs[i].name;
+    EXPECT_EQ(specs[i].simd, simd[i]) << specs[i].name;
+  }
+}
+
+TEST(TableI, NCnvHardwareDimensioning) {
+  const auto specs = core::layer_specs(ArchitectureId::kNCnv);
+  ASSERT_EQ(specs.size(), 9u);
+  const std::vector<std::int64_t> pe{16, 16, 16, 16, 4, 1, 1, 1, 1};
+  const std::vector<std::int64_t> simd{3, 16, 16, 32, 32, 32, 4, 8, 1};
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].pe, pe[i]) << specs[i].name;
+    EXPECT_EQ(specs[i].simd, simd[i]) << specs[i].name;
+  }
+}
+
+TEST(TableI, MicroCnvDropsConv32) {
+  const auto specs = core::layer_specs(ArchitectureId::kMicroCnv);
+  ASSERT_EQ(specs.size(), 7u);  // 5 convs + 2 FCs
+  EXPECT_EQ(specs[4].name, "Conv3.1");
+  EXPECT_EQ(specs[5].name, "FC.1");
+  const std::vector<std::int64_t> pe{4, 4, 4, 4, 1, 1, 1};
+  const std::vector<std::int64_t> simd{3, 16, 16, 32, 32, 16, 1};
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].pe, pe[i]) << specs[i].name;
+    EXPECT_EQ(specs[i].simd, simd[i]) << specs[i].name;
+  }
+}
+
+TEST(TableI, ValidConvolutionSpatialDims) {
+  // 32 -> 30 -> 28 -> pool 14 -> 12 -> 10 -> pool 5 -> 3 -> 1.
+  const auto specs = core::layer_specs(ArchitectureId::kCnv);
+  EXPECT_EQ(specs[0].out_h, 30);
+  EXPECT_EQ(specs[1].out_h, 28);
+  EXPECT_EQ(specs[2].in_h, 14);
+  EXPECT_EQ(specs[3].out_h, 10);
+  EXPECT_EQ(specs[4].in_h, 5);  // conv2_2 output is 5x5 post-pool (Sec. III-C)
+  EXPECT_EQ(specs[5].out_h, 1);
+}
+
+TEST(TableI, MicroCnvHasLargerPreFcTensor) {
+  // The paper: dropping Conv3.2 leaves a 3x3x64 = 576-wide FC input,
+  // increasing parameters after the last conv layer.
+  const auto ucnv = core::layer_specs(ArchitectureId::kMicroCnv);
+  EXPECT_EQ(ucnv[5].ci, 576);
+  const auto ncnv = core::layer_specs(ArchitectureId::kNCnv);
+  EXPECT_EQ(ncnv[6].ci, 64);
+  EXPECT_GT(ucnv[5].weight_count(), ncnv[6].weight_count());
+}
+
+TEST(TableI, OpsAndMatrixHelpers) {
+  const auto specs = core::layer_specs(ArchitectureId::kNCnv);
+  const LayerSpec& conv12 = specs[1];
+  EXPECT_EQ(conv12.matrix_rows(), 16);
+  EXPECT_EQ(conv12.matrix_cols(), 144);
+  EXPECT_EQ(conv12.output_vectors(), 28 * 28);
+  EXPECT_EQ(conv12.ops_per_image(), 28 * 28 * 16 * 144);
+}
+
+class BuildPerArch : public ::testing::TestWithParam<int> {};
+
+TEST_P(BuildPerArch, ForwardProducesFourLogits) {
+  const auto arch = static_cast<ArchitectureId>(GetParam());
+  nn::Sequential model = core::build_bnn(arch, 7);
+  bcop::util::Rng rng(8);
+  const auto x =
+      bcop::testhelpers::random_tensor(tensor::Shape{2, 32, 32, 3}, rng);
+  const auto y = model.forward(x, false);
+  EXPECT_EQ(y.shape(), (tensor::Shape{2, 4}));
+  EXPECT_EQ(model.name(), core::arch_name(arch));
+}
+
+TEST_P(BuildPerArch, GradcamIndexIsSecondPoolWith5x5Output) {
+  const auto arch = static_cast<ArchitectureId>(GetParam());
+  nn::Sequential model = core::build_bnn(arch, 9);
+  const std::size_t idx = core::gradcam_layer_index(model);
+  bcop::util::Rng rng(10);
+  const auto x =
+      bcop::testhelpers::random_tensor(tensor::Shape{1, 32, 32, 3}, rng);
+  std::vector<tensor::Tensor> acts;
+  model.forward_collect(x, false, acts);
+  EXPECT_EQ(acts[idx].shape()[1], 5);
+  EXPECT_EQ(acts[idx].shape()[2], 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Arches, BuildPerArch, ::testing::Range(0, 3));
+
+TEST(Build, Fp32BaselineForwardWorks) {
+  nn::Sequential model = core::build_fp32_cnv(11);
+  bcop::util::Rng rng(12);
+  const auto x =
+      bcop::testhelpers::random_tensor(tensor::Shape{1, 32, 32, 3}, rng);
+  EXPECT_EQ(model.forward(x, false).shape(), (tensor::Shape{1, 4}));
+  EXPECT_EQ(model.name(), "FP32-CNV");
+}
+
+TEST(Build, ParameterCountsOrdering) {
+  nn::Sequential cnv = core::build_bnn(ArchitectureId::kCnv, 1);
+  nn::Sequential ncnv = core::build_bnn(ArchitectureId::kNCnv, 1);
+  nn::Sequential ucnv = core::build_bnn(ArchitectureId::kMicroCnv, 1);
+  EXPECT_GT(cnv.parameter_count(), 5 * ncnv.parameter_count());
+  // u-CNV trades layers for a bigger FC: more params than n-CNV overall.
+  EXPECT_GT(ucnv.parameter_count(), ncnv.parameter_count());
+}
+
+TEST(Build, GradcamIndexThrowsWithoutPools) {
+  nn::Sequential flat;
+  EXPECT_THROW(core::gradcam_layer_index(flat), std::runtime_error);
+}
+
+}  // namespace

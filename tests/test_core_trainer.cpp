@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "core/architecture.hpp"
+#include "core/evaluator.hpp"
+#include "core/trainer.hpp"
+#include "facegen/dataset.hpp"
+
+namespace {
+
+using namespace bcop;
+
+facegen::MaskedFaceDataset tiny_dataset() {
+  facegen::DatasetConfig cfg;
+  cfg.per_class_train = 30;
+  cfg.per_class_test = 10;
+  cfg.seed = 77;
+  return facegen::MaskedFaceDataset::generate(cfg);
+}
+
+TEST(Trainer, ConfigValidation) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 1);
+  core::TrainConfig cfg;
+  cfg.epochs = 0;
+  EXPECT_THROW(core::Trainer(model, cfg), std::invalid_argument);
+  cfg = core::TrainConfig{};
+  cfg.batch_size = 0;
+  EXPECT_THROW(core::Trainer(model, cfg), std::invalid_argument);
+  cfg = core::TrainConfig{};
+  cfg.lr_start = -1.f;
+  EXPECT_THROW(core::Trainer(model, cfg), std::invalid_argument);
+}
+
+TEST(Trainer, EmptyTrainSetThrows) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 2);
+  core::Trainer trainer(model, core::TrainConfig{});
+  EXPECT_THROW(trainer.fit({}, {}), std::invalid_argument);
+}
+
+TEST(Trainer, ImprovesAccuracyOnTinyDataset) {
+  const auto ds = tiny_dataset();
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 3);
+  const double before =
+      core::Evaluator::evaluate_model(model, ds.test()).accuracy();
+
+  core::TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 24;
+  cfg.eval_every = 2;
+  core::Trainer trainer(model, cfg);
+  const auto history = trainer.fit(ds.train(), ds.test());
+
+  ASSERT_EQ(history.size(), 4u);
+  const double after =
+      core::Evaluator::evaluate_model(model, ds.test()).accuracy();
+  EXPECT_GT(after, before + 0.2);  // untrained ~0.25; must clearly improve
+  // Loss must trend down.
+  EXPECT_LT(history.back().mean_loss, history.front().mean_loss);
+}
+
+TEST(Trainer, EvalEveryControlsValidation) {
+  const auto ds = tiny_dataset();
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 4);
+  core::TrainConfig cfg;
+  cfg.epochs = 3;
+  cfg.eval_every = 2;
+  core::Trainer trainer(model, cfg);
+  const auto history = trainer.fit(ds.train(), ds.test());
+  // Epoch 0: skipped; epoch 1: (1+1)%2==0 -> evaluated; epoch 2: last.
+  EXPECT_LT(history[0].val_accuracy, 0.0);
+  EXPECT_GE(history[1].val_accuracy, 0.0);
+  EXPECT_GE(history[2].val_accuracy, 0.0);
+}
+
+TEST(Trainer, OnEpochCallbackFires) {
+  const auto ds = tiny_dataset();
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 5);
+  core::TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.max_batches_per_epoch = 2;
+  core::Trainer trainer(model, cfg);
+  int calls = 0;
+  trainer.on_epoch = [&](const core::EpochStats& s) {
+    EXPECT_EQ(s.epoch, calls);
+    ++calls;
+  };
+  trainer.fit(ds.train(), {});
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(Trainer, MaxBatchesCapsWork) {
+  const auto ds = tiny_dataset();
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 6);
+  core::TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 10;
+  cfg.max_batches_per_epoch = 3;
+  core::Trainer trainer(model, cfg);
+  const auto history = trainer.fit(ds.train(), {});
+  // Stats computed over exactly 30 samples; accuracy is a valid fraction.
+  EXPECT_GE(history[0].train_accuracy, 0.0);
+  EXPECT_LE(history[0].train_accuracy, 1.0);
+}
+
+}  // namespace

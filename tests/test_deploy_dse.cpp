@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "deploy/dse.hpp"
+
+namespace {
+
+using namespace bcop;
+using core::ArchitectureId;
+using deploy::DseGoal;
+
+TEST(Dse, MeetsReachableTarget) {
+  DseGoal goal;
+  goal.target_fps = 3000;
+  const auto result =
+      deploy::explore(core::layer_specs(ArchitectureId::kNCnv), goal);
+  EXPECT_TRUE(result.met_target);
+  EXPECT_GE(result.performance.fps(), 3000);
+  EXPECT_TRUE(result.resources.fits(goal.part.lut, goal.part.bram18,
+                                    goal.part.dsp));
+  EXPECT_FALSE(result.trajectory.empty());
+}
+
+TEST(Dse, StopsAtStreamBoundOrResourceBound) {
+  DseGoal goal;
+  goal.target_fps = 0;  // maximize
+  const auto result =
+      deploy::explore(core::layer_specs(ArchitectureId::kNCnv), goal);
+  // n-CNV's throughput ceiling: Conv1.1 (SIMD pinned to 3 input channels).
+  EXPECT_EQ(result.performance.bottleneck, "Conv1.1");
+  // The explorer must reach at least Table I's throughput with the whole
+  // Z7020 budget available.
+  EXPECT_GE(result.performance.fps(), 6000);
+}
+
+TEST(Dse, RespectsFirstLayerSimdCap) {
+  DseGoal goal;
+  goal.target_fps = 0;
+  const auto result =
+      deploy::explore(core::layer_specs(ArchitectureId::kNCnv), goal);
+  EXPECT_LE(result.specs[0].simd, 3);
+}
+
+TEST(Dse, StaysWithinTinyBudget) {
+  DseGoal goal;
+  goal.target_fps = 1e9;  // unreachable: exhaust the part instead
+  goal.part = deploy::z7010();
+  goal.dsp_offload = true;
+  const auto result =
+      deploy::explore(core::layer_specs(ArchitectureId::kMicroCnv), goal);
+  EXPECT_FALSE(result.met_target);
+  EXPECT_TRUE(result.resources.fits(goal.part.lut, goal.part.bram18,
+                                    goal.part.dsp));
+}
+
+TEST(Dse, TrajectoryIsMonotoneInFps) {
+  DseGoal goal;
+  goal.target_fps = 5000;
+  const auto result =
+      deploy::explore(core::layer_specs(ArchitectureId::kCnv), goal);
+  for (std::size_t i = 1; i < result.trajectory.size(); ++i)
+    EXPECT_GE(result.trajectory[i].fps_after,
+              result.trajectory[i - 1].fps_after * 0.999);
+}
+
+TEST(Dse, LegalDimensionsEverywhere) {
+  DseGoal goal;
+  goal.target_fps = 4000;
+  const auto result =
+      deploy::explore(core::layer_specs(ArchitectureId::kCnv), goal);
+  for (const auto& s : result.specs) {
+    EXPECT_GE(s.pe, 1);
+    EXPECT_LE(s.pe, s.matrix_rows());
+    EXPECT_GE(s.simd, 1);
+    EXPECT_LE(s.simd, s.matrix_cols());
+  }
+}
+
+TEST(Dse, EmptySpecsThrow) {
+  EXPECT_THROW(deploy::explore({}, DseGoal{}), std::invalid_argument);
+}
+
+}  // namespace

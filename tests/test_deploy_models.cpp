@@ -1,0 +1,184 @@
+// Analytical models vs. the paper's reported numbers (Table II, Sec. IV-B).
+// Absolute tolerances are generous -- these are models, not measurements --
+// but orderings and headline claims must hold.
+#include <gtest/gtest.h>
+
+#include "core/architecture.hpp"
+#include "deploy/performance.hpp"
+#include "deploy/power.hpp"
+#include "deploy/resource.hpp"
+
+namespace {
+
+using namespace bcop;
+using core::ArchitectureId;
+
+TEST(Performance, NCnvHitsThePapersThroughput) {
+  const auto perf =
+      deploy::analyze_performance(core::layer_specs(ArchitectureId::kNCnv));
+  // Paper: ~6400 classifications per second at 100 MHz.
+  EXPECT_NEAR(perf.fps(), 6400.0, 6400.0 * 0.10);
+}
+
+TEST(Performance, FirstConvIsTheBottleneckForNCnv) {
+  const auto perf =
+      deploy::analyze_performance(core::layer_specs(ArchitectureId::kNCnv));
+  EXPECT_EQ(perf.bottleneck, "Conv1.1");
+}
+
+TEST(Performance, NCnvIsTheFastestPrototype) {
+  const double cnv =
+      deploy::analyze_performance(core::layer_specs(ArchitectureId::kCnv)).fps();
+  const double ncnv =
+      deploy::analyze_performance(core::layer_specs(ArchitectureId::kNCnv)).fps();
+  const double ucnv = deploy::analyze_performance(
+                          core::layer_specs(ArchitectureId::kMicroCnv))
+                          .fps();
+  EXPECT_GT(ncnv, cnv);
+  EXPECT_GT(ncnv, ucnv);
+}
+
+TEST(Performance, LatencyExceedsInitiationInterval) {
+  for (int a = 0; a < 3; ++a) {
+    const auto perf = deploy::analyze_performance(
+        core::layer_specs(static_cast<ArchitectureId>(a)));
+    EXPECT_GT(perf.pipeline_latency_cycles, perf.initiation_interval);
+    EXPECT_GT(perf.initiation_interval, 0);
+    // Exactly one stage saturates the pipeline.
+    int saturated = 0;
+    for (const auto& l : perf.layers)
+      if (l.effective_cycles == perf.initiation_interval) ++saturated;
+    EXPECT_GE(saturated, 1);
+  }
+}
+
+TEST(Performance, UtilizationIsNormalized) {
+  const auto perf =
+      deploy::analyze_performance(core::layer_specs(ArchitectureId::kCnv));
+  for (const auto& l : perf.layers) {
+    EXPECT_GT(l.utilization, 0.0);
+    EXPECT_LE(l.utilization, 1.0);
+  }
+}
+
+TEST(Resources, LutEstimatesTrackTableII) {
+  const auto cnv =
+      deploy::estimate_resources(core::layer_specs(ArchitectureId::kCnv), false);
+  const auto ncnv =
+      deploy::estimate_resources(core::layer_specs(ArchitectureId::kNCnv), false);
+  const auto ucnv = deploy::estimate_resources(
+      core::layer_specs(ArchitectureId::kMicroCnv), true);
+  // Paper Table II: 26060 / 20425 / 11738 LUTs. Allow 25% model error.
+  EXPECT_NEAR(static_cast<double>(cnv.lut), 26060.0, 26060.0 * 0.25);
+  EXPECT_NEAR(static_cast<double>(ncnv.lut), 20425.0, 20425.0 * 0.25);
+  EXPECT_NEAR(static_cast<double>(ucnv.lut), 11738.0, 11738.0 * 0.25);
+  // Ordering must be exact.
+  EXPECT_GT(cnv.lut, ncnv.lut);
+  EXPECT_GT(ncnv.lut, ucnv.lut);
+}
+
+TEST(Resources, BramTracksTableII) {
+  const auto cnv =
+      deploy::estimate_resources(core::layer_specs(ArchitectureId::kCnv), false);
+  const auto ncnv =
+      deploy::estimate_resources(core::layer_specs(ArchitectureId::kNCnv), false);
+  const auto ucnv = deploy::estimate_resources(
+      core::layer_specs(ArchitectureId::kMicroCnv), true);
+  // Paper: 124 / 10.5 / 14. CNV dominated by its wide layers.
+  EXPECT_NEAR(cnv.bram18, 124.0, 124.0 * 0.25);
+  EXPECT_GT(cnv.bram18, 5 * ncnv.bram18);
+  EXPECT_LT(ncnv.bram18, 20.0);
+  EXPECT_LT(ucnv.bram18, 25.0);
+}
+
+TEST(Resources, DspOffloadShiftsComputeIntoDsps) {
+  const auto specs = core::layer_specs(ArchitectureId::kMicroCnv);
+  const auto plain = deploy::estimate_resources(specs, false);
+  const auto offload = deploy::estimate_resources(specs, true);
+  EXPECT_LT(offload.lut, plain.lut);
+  EXPECT_GT(offload.dsp, plain.dsp);
+  // Paper: u-CNV uses 27 DSPs (OrthrusPE XNOR offloading).
+  EXPECT_NEAR(static_cast<double>(offload.dsp), 27.0, 5.0);
+}
+
+TEST(Resources, DspCountsTrackTableII) {
+  const auto cnv =
+      deploy::estimate_resources(core::layer_specs(ArchitectureId::kCnv), false);
+  const auto ncnv =
+      deploy::estimate_resources(core::layer_specs(ArchitectureId::kNCnv), false);
+  // Paper: 24 / 14. The shared-accumulator model lands CNV exactly and
+  // overshoots n-CNV by a few blocks (documented in EXPERIMENTS.md);
+  // ordering must hold regardless.
+  EXPECT_NEAR(static_cast<double>(cnv.dsp), 24.0, 4.0);
+  EXPECT_NEAR(static_cast<double>(ncnv.dsp), 14.0, 6.0);
+  EXPECT_GT(cnv.dsp, ncnv.dsp);
+}
+
+TEST(Resources, EveryDesignFitsItsTargetPart) {
+  const auto z20 = deploy::z7020();
+  const auto z10 = deploy::z7010();
+  for (int a = 0; a < 3; ++a) {
+    const bool offload = a == 2;
+    const auto est = deploy::estimate_resources(
+        core::layer_specs(static_cast<ArchitectureId>(a)), offload);
+    EXPECT_TRUE(est.fits(z20.lut, z20.bram18, z20.dsp))
+        << core::arch_name(static_cast<ArchitectureId>(a));
+  }
+  // u-CNV with DSP offload is the one design that fits the tiny Z7010.
+  const auto ucnv = deploy::estimate_resources(
+      core::layer_specs(ArchitectureId::kMicroCnv), true);
+  EXPECT_TRUE(ucnv.fits(z10.lut, z10.bram18, z10.dsp));
+  const auto cnv =
+      deploy::estimate_resources(core::layer_specs(ArchitectureId::kCnv), false);
+  EXPECT_FALSE(cnv.fits(z10.lut, z10.bram18, z10.dsp));
+}
+
+TEST(Power, IdleFloorMatchesPaper) {
+  const auto est =
+      deploy::estimate_resources(core::layer_specs(ArchitectureId::kNCnv), false);
+  const auto p = deploy::estimate_power(est);
+  EXPECT_DOUBLE_EQ(p.idle_w, 1.6);
+  EXPECT_GT(p.active_w, p.idle_w);
+  EXPECT_LT(p.active_w, 5.0);  // plausible Zynq envelope
+}
+
+TEST(Power, DutyCycleInterpolates) {
+  const auto p = deploy::estimate_power(
+      deploy::estimate_resources(core::layer_specs(ArchitectureId::kCnv), false));
+  EXPECT_DOUBLE_EQ(p.average_w(0.0), p.idle_w);
+  EXPECT_DOUBLE_EQ(p.average_w(1.0), p.active_w);
+  EXPECT_GT(p.average_w(0.5), p.idle_w);
+  EXPECT_LT(p.average_w(0.5), p.active_w);
+}
+
+TEST(Power, EnergyPerFrameIsPositiveAndSmall) {
+  const auto specs = core::layer_specs(ArchitectureId::kNCnv);
+  const auto p = deploy::estimate_power(deploy::estimate_resources(specs, false));
+  const auto perf = deploy::analyze_performance(specs);
+  const double mj = p.energy_per_frame_mj(perf.fps());
+  EXPECT_GT(mj, 0.0);
+  EXPECT_LT(mj, 10.0);  // well under 10 mJ per classification
+}
+
+TEST(Performance, BatchThroughputApproachesSteadyState) {
+  const auto perf =
+      deploy::analyze_performance(core::layer_specs(ArchitectureId::kNCnv));
+  EXPECT_EQ(perf.batch_cycles(0), 0);
+  EXPECT_EQ(perf.batch_cycles(1), perf.pipeline_latency_cycles);
+  EXPECT_EQ(perf.batch_cycles(3),
+            perf.pipeline_latency_cycles + 2 * perf.initiation_interval);
+  // Single-frame rate is dominated by latency; large batches approach the
+  // steady-state fps (the paper's "pipeline is full" condition).
+  EXPECT_LT(perf.batch_fps(1), perf.fps());
+  EXPECT_GT(perf.batch_fps(10000), 0.99 * perf.fps());
+  EXPECT_LE(perf.batch_fps(10000), perf.fps());
+  // Monotone in n.
+  EXPECT_LT(perf.batch_fps(2), perf.batch_fps(20));
+}
+
+TEST(Models, EmptySpecsThrow) {
+  EXPECT_THROW(deploy::analyze_performance({}), std::invalid_argument);
+  EXPECT_THROW(deploy::estimate_resources({}, false), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,177 @@
+// MVTU fold-loop simulation: arithmetic must match the packed reference
+// kernels for every PE/SIMD dimensioning, and cycle accounting must follow
+// the folding formula.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "deploy/mvtu.hpp"
+#include "deploy/swu.hpp"
+#include "tensor/bit_tensor.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bcop;
+using deploy::BinaryMvtu;
+using deploy::FixedMvtu;
+using deploy::folds_per_vector;
+using deploy::MvtuConfig;
+using tensor::BitMatrix;
+
+std::vector<float> random_signs(std::int64_t n, util::Rng& rng) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (auto& x : v) x = rng.bernoulli(0.5) ? 1.f : -1.f;
+  return v;
+}
+
+xnor::ThresholdSpec mid_thresholds(std::int64_t rows, util::Rng& rng,
+                                   std::int64_t span) {
+  xnor::ThresholdSpec spec;
+  spec.t.resize(static_cast<std::size_t>(rows));
+  spec.flip.resize(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    spec.t[static_cast<std::size_t>(r)] = rng.uniform_int(-span, span);
+    spec.flip[static_cast<std::size_t>(r)] =
+        static_cast<std::uint8_t>(rng.bernoulli(0.3));
+  }
+  return spec;
+}
+
+TEST(FoldsPerVector, Formula) {
+  EXPECT_EQ(folds_per_vector(64, 576, {16, 32}), 4 * 18);
+  EXPECT_EQ(folds_per_vector(64, 576, {64, 576}), 1);
+  EXPECT_EQ(folds_per_vector(5, 7, {2, 3}), 3 * 3);  // ceil division
+  EXPECT_THROW(folds_per_vector(4, 4, {0, 1}), std::invalid_argument);
+}
+
+class MvtuDims
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(MvtuDims, BinaryMvtuMatchesXnorDotAndThresholds) {
+  const auto [rows, cols, pe, simd] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(rows * 131 + cols + pe * 7 + simd));
+  const auto wsrc = random_signs(static_cast<std::int64_t>(rows) * cols, rng);
+  const BitMatrix weights = tensor::pack_matrix(wsrc.data(), rows, cols);
+  const auto thresholds = mid_thresholds(rows, rng, cols);
+  const BinaryMvtu mvtu(&weights, &thresholds, MvtuConfig{pe, simd});
+
+  const auto in = random_signs(cols, rng);
+  const BitMatrix packed_in = tensor::pack_matrix(in.data(), 1, cols);
+
+  std::vector<std::uint8_t> out_bits;
+  std::vector<std::int32_t> acc;
+  const std::int64_t cycles = mvtu.process(packed_in.row(0), &out_bits, &acc);
+
+  EXPECT_EQ(cycles, folds_per_vector(rows, cols, {pe, simd}));
+  ASSERT_EQ(acc.size(), static_cast<std::size_t>(rows));
+  ASSERT_EQ(out_bits.size(), static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t expected = tensor::xnor_dot(
+        packed_in.row(0), weights.row(r), cols, weights.words_per_row());
+    EXPECT_EQ(acc[static_cast<std::size_t>(r)], expected) << "row " << r;
+    EXPECT_EQ(out_bits[static_cast<std::size_t>(r)] == 1,
+              thresholds.fire(expected, r))
+        << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Dimensionings, MvtuDims,
+    ::testing::Values(std::make_tuple(16, 144, 16, 16),  // n-CNV conv1.2
+                      std::make_tuple(64, 576, 4, 32),
+                      std::make_tuple(4, 128, 1, 1),     // FC.3
+                      std::make_tuple(7, 65, 3, 9),      // ragged folds
+                      std::make_tuple(1, 1, 1, 1),
+                      std::make_tuple(128, 64, 1, 4)));
+
+TEST(BinaryMvtu, RowOrderIsPreservedAcrossNeuronFolds) {
+  // With PE=2 and 4 rows, outputs must appear in row order 0,1,2,3.
+  util::Rng rng(77);
+  const auto wsrc = random_signs(4 * 8, rng);
+  const BitMatrix weights = tensor::pack_matrix(wsrc.data(), 4, 8);
+  // Thresholds that always fire for even rows, never for odd rows.
+  xnor::ThresholdSpec spec;
+  spec.t = {INT64_MIN + 1, INT64_MAX, INT64_MIN + 1, INT64_MAX};
+  spec.flip = {0, 0, 0, 0};
+  const BinaryMvtu mvtu(&weights, &spec, MvtuConfig{2, 4});
+  const auto in = random_signs(8, rng);
+  const BitMatrix packed = tensor::pack_matrix(in.data(), 1, 8);
+  std::vector<std::uint8_t> bits;
+  mvtu.process(packed.row(0), &bits, nullptr);
+  EXPECT_EQ(bits, (std::vector<std::uint8_t>{1, 0, 1, 0}));
+}
+
+TEST(BinaryMvtu, NullWeightsThrow) {
+  EXPECT_THROW(BinaryMvtu(nullptr, nullptr, MvtuConfig{1, 1}),
+               std::invalid_argument);
+}
+
+TEST(BinaryMvtu, ThresholdArityMismatchThrows) {
+  const BitMatrix weights(4, 8);
+  xnor::ThresholdSpec spec;
+  spec.t = {0};
+  spec.flip = {0};
+  EXPECT_THROW(BinaryMvtu(&weights, &spec, MvtuConfig{1, 1}),
+               std::invalid_argument);
+}
+
+TEST(FixedMvtu, MatchesSignedAccumulation) {
+  util::Rng rng(5);
+  const std::int64_t rows = 16, cols = 27;
+  tensor::Tensor w(tensor::Shape{cols, rows});
+  for (std::int64_t i = 0; i < w.numel(); ++i)
+    w[i] = rng.bernoulli(0.5) ? 1.f : -1.f;
+  std::vector<std::int32_t> in(static_cast<std::size_t>(cols));
+  for (auto& v : in)
+    v = static_cast<std::int32_t>(rng.uniform_int(-255, 255));
+
+  const FixedMvtu mvtu(&w, nullptr, MvtuConfig{4, 3});
+  std::vector<std::int32_t> acc;
+  const std::int64_t cycles = mvtu.process(in.data(), nullptr, &acc);
+  EXPECT_EQ(cycles, folds_per_vector(rows, cols, {4, 3}));
+  ASSERT_EQ(acc.size(), static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    std::int64_t expected = 0;
+    for (std::int64_t c = 0; c < cols; ++c)
+      expected += w.at2(c, r) >= 0.f ? in[static_cast<std::size_t>(c)]
+                                     : -in[static_cast<std::size_t>(c)];
+    EXPECT_EQ(acc[static_cast<std::size_t>(r)], expected);
+  }
+}
+
+TEST(Swu, PatchOrderMatchesIm2Row) {
+  // 4x4x2 map, k=3: patch (ky,kx,c) order.
+  const std::int64_t h = 4, w = 4, c = 2, k = 3;
+  std::vector<std::uint8_t> fmap(static_cast<std::size_t>(h * w * c));
+  util::Rng rng(6);
+  for (auto& b : fmap) b = static_cast<std::uint8_t>(rng.bernoulli(0.5));
+
+  deploy::SlidingWindowUnit swu(h, w, c, k);
+  EXPECT_EQ(swu.out_h(), 2);
+  EXPECT_EQ(swu.patch_bits(), 18);
+  EXPECT_EQ(swu.stream_cycles(), 16);
+
+  std::vector<std::uint64_t> words(static_cast<std::size_t>(swu.patch_words()));
+  swu.window_bits(fmap, 1, 1, words.data());
+  std::int64_t bit = 0;
+  for (std::int64_t ky = 0; ky < k; ++ky)
+    for (std::int64_t kx = 0; kx < k; ++kx)
+      for (std::int64_t ch = 0; ch < c; ++ch, ++bit) {
+        const bool expected =
+            fmap[static_cast<std::size_t>(((1 + ky) * w + 1 + kx) * c + ch)] != 0;
+        EXPECT_EQ(((words[static_cast<std::size_t>(bit >> 6)] >> (bit & 63)) & 1) == 1,
+                  expected)
+            << "bit " << bit;
+      }
+}
+
+TEST(Swu, BadGeometryThrows) {
+  EXPECT_THROW(deploy::SlidingWindowUnit(2, 2, 1, 3), std::invalid_argument);
+  deploy::SlidingWindowUnit swu(4, 4, 1, 3);
+  std::vector<std::uint8_t> wrong(7);
+  std::uint64_t out;
+  EXPECT_THROW(swu.window_bits(wrong, 0, 0, &out), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// Generator correctness: the synthetic faces must actually carry the
+// class-defining signal (mask coverage of nose/mouth/chin) and the emitted
+// ground-truth regions must be consistent with the rendered pixels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "facegen/attributes.hpp"
+#include "facegen/augment.hpp"
+#include "facegen/renderer.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bcop;
+using facegen::FaceAttributes;
+using facegen::MaskClass;
+
+TEST(Attributes, ClassNamesAreStable) {
+  EXPECT_STREQ(facegen::class_name(MaskClass::kCorrect), "Correctly Masked");
+  EXPECT_STREQ(facegen::class_short_name(MaskClass::kNoseMouthExposed), "N+M");
+}
+
+TEST(Attributes, SamplingIsDeterministic) {
+  util::Rng a(5), b(5);
+  for (int i = 0; i < 20; ++i) {
+    const auto x = facegen::sample_attributes(MaskClass::kCorrect, a);
+    const auto y = facegen::sample_attributes(MaskClass::kCorrect, b);
+    EXPECT_FLOAT_EQ(x.skin.r, y.skin.r);
+    EXPECT_FLOAT_EQ(x.center_x, y.center_x);
+    EXPECT_EQ(x.sunglasses, y.sunglasses);
+    EXPECT_FLOAT_EQ(x.mask_top_jitter, y.mask_top_jitter);
+  }
+}
+
+TEST(Attributes, CanonicalExtentsEncodeTheClasses) {
+  const auto correct = facegen::canonical_mask_extent(MaskClass::kCorrect);
+  const auto nose = facegen::canonical_mask_extent(MaskClass::kNoseExposed);
+  const auto nm = facegen::canonical_mask_extent(MaskClass::kNoseMouthExposed);
+  const auto chin = facegen::canonical_mask_extent(MaskClass::kChinExposed);
+  // Nose-exposed mask starts below the correct mask's top edge.
+  EXPECT_GT(nose[0], correct[0]);
+  // Nose+mouth-exposed starts even lower.
+  EXPECT_GT(nm[0], nose[0]);
+  // Chin-exposed shares the correct top but ends above the chin.
+  EXPECT_FLOAT_EQ(chin[0], correct[0]);
+  EXPECT_LT(chin[1], correct[1]);
+}
+
+TEST(Renderer, OutputIsNormalizedAndSized) {
+  util::Rng rng(1);
+  for (int c = 0; c < facegen::kNumClasses; ++c) {
+    const auto attrs =
+        facegen::sample_attributes(static_cast<MaskClass>(c), rng);
+    const auto r = facegen::render_face(attrs, 32);
+    EXPECT_EQ(r.image.height(), 32);
+    EXPECT_EQ(r.image.width(), 32);
+    for (const float v : r.image.data()) {
+      EXPECT_GE(v, 0.f);
+      EXPECT_LE(v, 1.f);
+    }
+  }
+}
+
+TEST(Renderer, SupportsOtherResolutions) {
+  util::Rng rng(2);
+  const auto attrs = facegen::sample_attributes(MaskClass::kCorrect, rng);
+  const auto r = facegen::render_face(attrs, 64);
+  EXPECT_EQ(r.image.height(), 64);
+}
+
+// Sample the mean colour inside a normalized rect of the rendered image.
+facegen::Rgb mean_color(const util::Image& img, const facegen::Rect& rect) {
+  double r = 0, g = 0, b = 0;
+  int n = 0;
+  for (int y = 0; y < img.height(); ++y)
+    for (int x = 0; x < img.width(); ++x) {
+      const float v = (static_cast<float>(y) + 0.5f) / static_cast<float>(img.height());
+      const float u = (static_cast<float>(x) + 0.5f) / static_cast<float>(img.width());
+      if (rect.contains(u, v)) {
+        r += img.at(y, x, 0);
+        g += img.at(y, x, 1);
+        b += img.at(y, x, 2);
+        ++n;
+      }
+    }
+  return {static_cast<float>(r / n), static_cast<float>(g / n),
+          static_cast<float>(b / n)};
+}
+
+float color_dist(const facegen::Rgb& a, const facegen::Rgb& b) {
+  return std::abs(a.r - b.r) + std::abs(a.g - b.g) + std::abs(a.b - b.b);
+}
+
+// The class signal: nose/mouth/chin regions are mask-coloured when covered
+// and skin-coloured when exposed. Use a neutral attribute set so eyes,
+// paint, etc. do not confound the colour probes.
+FaceAttributes plain_face(MaskClass cls) {
+  FaceAttributes a;
+  a.mask_class = cls;
+  a.skin = {0.85f, 0.65f, 0.5f};
+  a.mask_color = {0.1f, 0.3f, 0.9f};  // far from skin in colour space
+  a.background = {0.5f, 0.5f, 0.5f};
+  a.hair_style = facegen::HairStyle::kBald;
+  a.sunglasses = a.face_paint = a.double_mask = a.headgear = false;
+  return a;
+}
+
+class MaskCoverage : public ::testing::TestWithParam<int> {};
+
+TEST_P(MaskCoverage, RegionsMatchClassSemantics) {
+  const auto cls = static_cast<MaskClass>(GetParam());
+  const auto attrs = plain_face(cls);
+  const auto rendered = facegen::render_face(attrs, 64);
+  const auto& reg = rendered.regions;
+
+  const auto nose = mean_color(rendered.image, reg.nose);
+  const auto mouth = mean_color(rendered.image, reg.mouth);
+  const auto chin = mean_color(rendered.image, reg.chin);
+
+  const bool nose_covered =
+      cls == MaskClass::kCorrect || cls == MaskClass::kChinExposed;
+  const bool mouth_covered = cls != MaskClass::kNoseMouthExposed;
+  const bool chin_covered = cls != MaskClass::kChinExposed;
+
+  auto looks_masked = [&](const facegen::Rgb& c) {
+    return color_dist(c, attrs.mask_color) < color_dist(c, attrs.skin);
+  };
+  EXPECT_EQ(looks_masked(nose), nose_covered) << "nose region";
+  EXPECT_EQ(looks_masked(mouth), mouth_covered) << "mouth region";
+  EXPECT_EQ(looks_masked(chin), chin_covered) << "chin region";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllClasses, MaskCoverage, ::testing::Range(0, 4));
+
+TEST(Renderer, RegionsAreOrderedTopToBottom) {
+  util::Rng rng(3);
+  const auto attrs = facegen::sample_attributes(MaskClass::kCorrect, rng);
+  const auto reg = facegen::compute_regions(attrs);
+  EXPECT_LT(reg.eyes.v1, reg.nose.v1);
+  EXPECT_LT(reg.nose.v0, reg.mouth.v0);
+  EXPECT_LT(reg.mouth.v0, reg.chin.v0);
+  EXPECT_GT(reg.mask.area(), 0.f);
+  EXPECT_FLOAT_EQ(reg.mask.v0, reg.mask_top_v);
+}
+
+TEST(Augment, FlipIsInvolution) {
+  util::Rng rng(4);
+  const auto attrs = facegen::sample_attributes(MaskClass::kCorrect, rng);
+  auto img = facegen::render_face(attrs).image;
+  auto twice = img;
+  facegen::flip_horizontal(twice);
+  facegen::flip_horizontal(twice);
+  for (std::size_t i = 0; i < img.data().size(); ++i)
+    EXPECT_FLOAT_EQ(twice.data()[i], img.data()[i]);
+}
+
+TEST(Augment, ContrastIdentityAtFactorOne) {
+  util::Rng rng(5);
+  auto img = facegen::render_face(
+                 facegen::sample_attributes(MaskClass::kNoseExposed, rng))
+                 .image;
+  auto copy = img;
+  facegen::adjust_contrast(copy, 1.f);
+  for (std::size_t i = 0; i < img.data().size(); ++i)
+    EXPECT_NEAR(copy.data()[i], img.data()[i], 1e-6f);
+}
+
+TEST(Augment, BrightnessShiftsAndClamps) {
+  util::Image img(2, 2, 0.95f);
+  facegen::adjust_brightness(img, 0.2f);
+  for (const float v : img.data()) EXPECT_FLOAT_EQ(v, 1.f);
+  facegen::adjust_brightness(img, -0.3f);
+  for (const float v : img.data()) EXPECT_FLOAT_EQ(v, 0.7f);
+}
+
+TEST(Augment, NoiseStaysInRangeAndPerturbs) {
+  util::Rng rng(6);
+  util::Image img(8, 8, 0.5f);
+  facegen::add_gaussian_noise(img, 0.05f, rng);
+  bool changed = false;
+  for (const float v : img.data()) {
+    EXPECT_GE(v, 0.f);
+    EXPECT_LE(v, 1.f);
+    if (std::abs(v - 0.5f) > 1e-6f) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Augment, RotatePreservesSizeAndRange) {
+  util::Rng rng(7);
+  auto img = facegen::render_face(
+                 facegen::sample_attributes(MaskClass::kChinExposed, rng))
+                 .image;
+  facegen::rotate(img, 0.1f);
+  EXPECT_EQ(img.height(), 32);
+  for (const float v : img.data()) {
+    EXPECT_GE(v, 0.f);
+    EXPECT_LE(v, 1.f);
+  }
+}
+
+TEST(Augment, RandomAugmentIsDeterministicPerSeed) {
+  util::Rng r1(8), r2(8), attr_rng(9);
+  auto base = facegen::render_face(
+                  facegen::sample_attributes(MaskClass::kCorrect, attr_rng))
+                  .image;
+  auto a = base, b = base;
+  facegen::random_augment(a, r1);
+  facegen::random_augment(b, r2);
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+}
+
+}  // namespace

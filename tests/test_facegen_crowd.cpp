@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "facegen/crowd.hpp"
+
+namespace {
+
+using namespace bcop;
+using facegen::CrowdConfig;
+using facegen::Rect;
+
+TEST(Iou, BasicGeometry) {
+  const Rect a{0, 0, 0.5f, 0.5f};
+  EXPECT_FLOAT_EQ(facegen::iou(a, a), 1.f);
+  const Rect b{0.5f, 0.5f, 1, 1};
+  EXPECT_FLOAT_EQ(facegen::iou(a, b), 0.f);
+  const Rect c{0.25f, 0, 0.75f, 0.5f};  // half-overlap with a
+  EXPECT_NEAR(facegen::iou(a, c), (0.25f * 0.5f) / (0.375f), 1e-6f);
+}
+
+TEST(Crowd, PlacesRequestedFacesWithoutOverlap) {
+  util::Rng rng(1);
+  CrowdConfig cfg;
+  cfg.faces = 10;
+  const auto scene = facegen::render_crowd(cfg, rng);
+  EXPECT_EQ(scene.canvas.width(), cfg.canvas_width);
+  EXPECT_EQ(scene.canvas.height(), cfg.canvas_height);
+  EXPECT_GE(scene.faces.size(), 8u);  // bounded retries may drop a couple
+  for (std::size_t i = 0; i < scene.faces.size(); ++i)
+    for (std::size_t j = i + 1; j < scene.faces.size(); ++j)
+      EXPECT_FLOAT_EQ(facegen::iou(scene.faces[i].bbox, scene.faces[j].bbox), 0.f);
+}
+
+TEST(Crowd, ConfigValidation) {
+  util::Rng rng(2);
+  CrowdConfig cfg;
+  cfg.faces = 0;
+  EXPECT_THROW(facegen::render_crowd(cfg, rng), std::invalid_argument);
+  cfg = CrowdConfig{};
+  cfg.max_face_px = cfg.min_face_px - 1;
+  EXPECT_THROW(facegen::render_crowd(cfg, rng), std::invalid_argument);
+}
+
+TEST(Crowd, CropResizeRecoversAPlacedFace) {
+  util::Rng rng(3);
+  CrowdConfig cfg;
+  cfg.faces = 4;
+  const auto scene = facegen::render_crowd(cfg, rng);
+  ASSERT_FALSE(scene.faces.empty());
+  const auto tile = facegen::crop_resize(scene.canvas, scene.faces[0].bbox, 32);
+  EXPECT_EQ(tile.height(), 32);
+  EXPECT_EQ(tile.width(), 32);
+  // A face tile must not be flat background.
+  float mn = 1.f, mx = 0.f;
+  for (const float v : tile.data()) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_GT(mx - mn, 0.2f);
+}
+
+TEST(Crowd, CropResizeValidation) {
+  const util::Image canvas(16, 16);
+  EXPECT_THROW(facegen::crop_resize(canvas, {0, 0, 1, 1}, 0),
+               std::invalid_argument);
+}
+
+TEST(Localizer, FindsMostPlacedFaces) {
+  util::Rng rng(4);
+  CrowdConfig cfg;
+  cfg.faces = 8;
+  const auto scene = facegen::render_crowd(cfg, rng);
+  ASSERT_GE(scene.faces.size(), 6u);
+
+  const facegen::FaceLocalizer localizer;
+  const auto detections =
+      localizer.detect(scene.canvas, static_cast<int>(scene.faces.size()) + 4);
+
+  int recalled = 0;
+  for (const auto& gt : scene.faces) {
+    for (const auto& d : detections)
+      if (facegen::iou(gt.bbox, d.bbox) > 0.3f) {
+        ++recalled;
+        break;
+      }
+  }
+  // The cheap correlation localizer must recall the clear majority.
+  EXPECT_GE(static_cast<double>(recalled) /
+                static_cast<double>(scene.faces.size()),
+            0.7);
+}
+
+TEST(Localizer, DetectionsAreSortedAndSuppressed) {
+  util::Rng rng(5);
+  CrowdConfig cfg;
+  cfg.faces = 6;
+  const auto scene = facegen::render_crowd(cfg, rng);
+  const facegen::FaceLocalizer localizer;
+  const auto detections = localizer.detect(scene.canvas, 16);
+  for (std::size_t i = 1; i < detections.size(); ++i)
+    EXPECT_GE(detections[i - 1].score, detections[i].score);
+  for (std::size_t i = 0; i < detections.size(); ++i)
+    for (std::size_t j = i + 1; j < detections.size(); ++j)
+      EXPECT_LE(facegen::iou(detections[i].bbox, detections[j].bbox), 0.25f);
+}
+
+TEST(Localizer, EmptySceneYieldsNoStrongDetections) {
+  util::Image canvas(96, 128, 0.5f);  // flat gray, no faces
+  const facegen::FaceLocalizer localizer;
+  const auto detections = localizer.detect(canvas, 8, 0.4f);
+  EXPECT_TRUE(detections.empty());
+}
+
+}  // namespace

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <numeric>
+
+#include "facegen/dataset.hpp"
+
+namespace {
+
+using namespace bcop;
+using facegen::DatasetConfig;
+using facegen::MaskedFaceDataset;
+
+DatasetConfig small_config() {
+  DatasetConfig cfg;
+  cfg.per_class_train = 40;
+  cfg.per_class_test = 10;
+  cfg.seed = 123;
+  return cfg;
+}
+
+std::array<std::int64_t, 4> class_counts(const std::vector<facegen::Sample>& v) {
+  std::array<std::int64_t, 4> counts{};
+  for (const auto& s : v) ++counts[static_cast<std::size_t>(s.label)];
+  return counts;
+}
+
+TEST(Dataset, BalancedClassCounts) {
+  const auto ds = MaskedFaceDataset::generate(small_config());
+  const auto train = class_counts(ds.train());
+  const auto test = class_counts(ds.test());
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(train[static_cast<std::size_t>(c)], 40);
+    EXPECT_EQ(test[static_cast<std::size_t>(c)], 10);
+  }
+}
+
+TEST(Dataset, RawPoolReflectsPaperImbalance) {
+  const auto ds = MaskedFaceDataset::generate(small_config());
+  const auto& raw = ds.raw_counts();
+  const double total = static_cast<double>(
+      std::accumulate(raw.begin(), raw.end(), std::int64_t{0}));
+  EXPECT_NEAR(raw[0] / total, 0.51, 0.02);  // CMFD
+  EXPECT_NEAR(raw[1] / total, 0.39, 0.02);  // IMFD Nose
+  EXPECT_NEAR(raw[2] / total, 0.05, 0.02);  // IMFD N+M
+  EXPECT_NEAR(raw[3] / total, 0.05, 0.02);  // IMFD Chin
+}
+
+TEST(Dataset, AugmentationFillsBeyondNaturalFraction) {
+  auto cfg = small_config();
+  cfg.natural_fraction = 0.5;
+  const auto ds = MaskedFaceDataset::generate(cfg);
+  std::int64_t augmented = 0;
+  for (const auto& s : ds.train())
+    if (s.augmented) ++augmented;
+  // Half of each class (20 of 40) must come from augmentation.
+  EXPECT_EQ(augmented, 4 * 20);
+}
+
+TEST(Dataset, SameSeedIsReproducible) {
+  const auto a = MaskedFaceDataset::generate(small_config());
+  const auto b = MaskedFaceDataset::generate(small_config());
+  ASSERT_EQ(a.train().size(), b.train().size());
+  for (std::size_t i = 0; i < a.train().size(); ++i) {
+    EXPECT_EQ(a.train()[i].label, b.train()[i].label);
+    ASSERT_EQ(a.train()[i].image.data().size(), b.train()[i].image.data().size());
+    for (std::size_t j = 0; j < a.train()[i].image.data().size(); ++j)
+      ASSERT_FLOAT_EQ(a.train()[i].image.data()[j], b.train()[i].image.data()[j]);
+  }
+}
+
+TEST(Dataset, DifferentSeedsDiffer) {
+  auto cfg = small_config();
+  const auto a = MaskedFaceDataset::generate(cfg);
+  cfg.seed = 999;
+  const auto b = MaskedFaceDataset::generate(cfg);
+  // Label sequences (after shuffling) should differ somewhere.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.train().size() && !any_diff; ++i)
+    if (a.train()[i].label != b.train()[i].label) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Dataset, InvalidConfigThrows) {
+  DatasetConfig cfg = small_config();
+  cfg.per_class_train = 0;
+  EXPECT_THROW(MaskedFaceDataset::generate(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.natural_fraction = 0.0;
+  EXPECT_THROW(MaskedFaceDataset::generate(cfg), std::invalid_argument);
+  cfg = small_config();
+  cfg.natural_fraction = 1.5;
+  EXPECT_THROW(MaskedFaceDataset::generate(cfg), std::invalid_argument);
+}
+
+TEST(Dataset, ToBatchProducesQuantizedBipolarPixels) {
+  const auto ds = MaskedFaceDataset::generate(small_config());
+  std::vector<std::int64_t> indices(8);
+  std::iota(indices.begin(), indices.end(), 0);
+  tensor::Tensor x;
+  std::vector<std::int64_t> y;
+  MaskedFaceDataset::to_batch(ds.train(), indices, 0, 8, x, y);
+  EXPECT_EQ(x.shape(), (tensor::Shape{8, 32, 32, 3}));
+  EXPECT_EQ(y.size(), 8u);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    EXPECT_GE(x[i], -1.f);
+    EXPECT_LE(x[i], 1.f);
+    // Values sit on the odd-integer/255 grid of the 8-bit first layer.
+    const float k = x[i] * 255.f;
+    EXPECT_NEAR(k, std::round(k), 1e-3f);
+    EXPECT_EQ(std::abs(static_cast<int>(std::lround(k))) % 2, 1);
+  }
+  for (const auto label : y) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(Dataset, ToBatchRangeValidation) {
+  const auto ds = MaskedFaceDataset::generate(small_config());
+  std::vector<std::int64_t> indices{0, 1};
+  tensor::Tensor x;
+  std::vector<std::int64_t> y;
+  EXPECT_THROW(MaskedFaceDataset::to_batch(ds.train(), indices, 0, 5, x, y),
+               std::invalid_argument);
+  EXPECT_THROW(MaskedFaceDataset::to_batch(ds.train(), indices, 1, 1, x, y),
+               std::invalid_argument);
+}
+
+TEST(Dataset, ImageToTensorMatchesToBatch) {
+  const auto ds = MaskedFaceDataset::generate(small_config());
+  const auto& sample = ds.test().front();
+  const tensor::Tensor single = MaskedFaceDataset::image_to_tensor(sample.image);
+  EXPECT_EQ(single.shape(), (tensor::Shape{1, 32, 32, 3}));
+
+  std::vector<std::int64_t> indices{0};
+  tensor::Tensor x;
+  std::vector<std::int64_t> y;
+  MaskedFaceDataset::to_batch(ds.test(), indices, 0, 1, x, y);
+  for (std::int64_t i = 0; i < single.numel(); ++i)
+    EXPECT_FLOAT_EQ(single[i], x[i]);
+}
+
+TEST(Dataset, QuantizePixelGrid) {
+  EXPECT_FLOAT_EQ(MaskedFaceDataset::quantize_pixel(0.f), -1.f);
+  EXPECT_FLOAT_EQ(MaskedFaceDataset::quantize_pixel(1.f), 1.f);
+  EXPECT_FLOAT_EQ(MaskedFaceDataset::quantize_pixel(0.5f), 0.f + 1.f / 255.f);
+}
+
+}  // namespace

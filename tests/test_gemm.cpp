@@ -1,0 +1,99 @@
+// Property tests: the blocked/parallel GEMM kernels must agree with the
+// naive triple-loop references over a sweep of shapes, including shapes
+// that are not multiples of the block sizes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bcop::tensor;
+
+std::vector<float> random_matrix(std::int64_t n, bcop::util::Rng& rng) {
+  std::vector<float> m(static_cast<std::size_t>(n));
+  for (auto& v : m) v = static_cast<float>(rng.uniform(-2.0, 2.0));
+  return m;
+}
+
+void expect_close(const std::vector<float>& a, const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_NEAR(a[i], b[i], 1e-3f) << "at index " << i;
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, NnMatchesNaive) {
+  const auto [M, N, K] = GetParam();
+  bcop::util::Rng rng(static_cast<std::uint64_t>(M * 7919 + N * 31 + K));
+  const auto A = random_matrix(static_cast<std::int64_t>(M) * K, rng);
+  const auto B = random_matrix(static_cast<std::int64_t>(K) * N, rng);
+  std::vector<float> C(static_cast<std::size_t>(M) * N, 99.f);
+  std::vector<float> Cref = C;
+  gemm_nn(M, N, K, A.data(), B.data(), C.data());
+  gemm_nn_naive(M, N, K, A.data(), B.data(), Cref.data());
+  expect_close(C, Cref);
+}
+
+TEST_P(GemmShapes, NtMatchesNaive) {
+  const auto [M, N, K] = GetParam();
+  bcop::util::Rng rng(static_cast<std::uint64_t>(M * 131 + N * 17 + K));
+  const auto A = random_matrix(static_cast<std::int64_t>(M) * K, rng);
+  const auto B = random_matrix(static_cast<std::int64_t>(N) * K, rng);
+  std::vector<float> C(static_cast<std::size_t>(M) * N);
+  std::vector<float> Cref = C;
+  gemm_nt(M, N, K, A.data(), B.data(), C.data());
+  gemm_nt_naive(M, N, K, A.data(), B.data(), Cref.data());
+  expect_close(C, Cref);
+}
+
+TEST_P(GemmShapes, TnMatchesNaive) {
+  const auto [M, N, K] = GetParam();
+  bcop::util::Rng rng(static_cast<std::uint64_t>(M * 277 + N * 59 + K));
+  const auto A = random_matrix(static_cast<std::int64_t>(K) * M, rng);
+  const auto B = random_matrix(static_cast<std::int64_t>(K) * N, rng);
+  std::vector<float> C(static_cast<std::size_t>(M) * N);
+  std::vector<float> Cref = C;
+  gemm_tn(M, N, K, A.data(), B.data(), C.data());
+  gemm_tn_naive(M, N, K, A.data(), B.data(), Cref.data());
+  expect_close(C, Cref);
+}
+
+TEST_P(GemmShapes, AccumulateAddsOntoExisting) {
+  const auto [M, N, K] = GetParam();
+  bcop::util::Rng rng(static_cast<std::uint64_t>(M + N + K));
+  const auto A = random_matrix(static_cast<std::int64_t>(M) * K, rng);
+  const auto B = random_matrix(static_cast<std::int64_t>(K) * N, rng);
+  std::vector<float> C(static_cast<std::size_t>(M) * N, 1.f);
+  std::vector<float> Cref = C;
+  gemm_nn(M, N, K, A.data(), B.data(), C.data(), /*accumulate=*/true);
+  gemm_nn_naive(M, N, K, A.data(), B.data(), Cref.data(), /*accumulate=*/true);
+  expect_close(C, Cref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(16, 16, 16), std::make_tuple(1, 64, 300),
+                      std::make_tuple(65, 3, 257),   // crosses kBlockM/kBlockK
+                      std::make_tuple(128, 10, 512), // multiple blocks
+                      std::make_tuple(100, 128, 27)  // conv1.1-like
+                      ));
+
+TEST(Gemm, OverwriteVsAccumulateDiffer) {
+  const float A[] = {1.f, 2.f};
+  const float B[] = {3.f, 4.f};
+  float C1[] = {10.f};
+  float C2[] = {10.f};
+  gemm_nn(1, 1, 2, A, B, C1, false);
+  gemm_nn(1, 1, 2, A, B, C2, true);
+  EXPECT_FLOAT_EQ(C1[0], 11.f);
+  EXPECT_FLOAT_EQ(C2[0], 21.f);
+}
+
+}  // namespace

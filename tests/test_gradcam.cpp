@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/architecture.hpp"
+#include "facegen/renderer.hpp"
+#include "facegen/dataset.hpp"
+#include "gradcam/attention.hpp"
+#include "gradcam/gradcam.hpp"
+#include "gradcam/overlay.hpp"
+#include "nn/batchnorm.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace bcop;
+using bcop::tensor::Shape;
+using bcop::tensor::Tensor;
+
+nn::Sequential ucnv_model() {
+  return core::build_bnn(core::ArchitectureId::kMicroCnv, 17);
+}
+
+Tensor face_input(std::uint64_t seed, facegen::MaskClass cls,
+                  facegen::Regions* regions = nullptr) {
+  util::Rng rng(seed);
+  const auto rendered =
+      facegen::render_face(facegen::sample_attributes(cls, rng));
+  if (regions) *regions = rendered.regions;
+  return facegen::MaskedFaceDataset::image_to_tensor(rendered.image);
+}
+
+TEST(GradCam, ProducesNormalizedMapsAtConv22Resolution) {
+  nn::Sequential model = ucnv_model();
+  gradcam::GradCam cam(model, core::gradcam_layer_index(model));
+  const auto result = cam.compute(face_input(1, facegen::MaskClass::kCorrect));
+  EXPECT_EQ(result.fm_h, 5);
+  EXPECT_EQ(result.fm_w, 5);
+  EXPECT_EQ(result.heatmap.size(), 25u);
+  EXPECT_EQ(result.upsampled.size(), 32u * 32u);
+  float mx = 0;
+  for (const float v : result.heatmap) {
+    EXPECT_GE(v, 0.f);
+    EXPECT_LE(v, 1.f);
+    EXPECT_FALSE(std::isnan(v));
+    mx = std::max(mx, v);
+  }
+  EXPECT_TRUE(mx == 0.f || std::abs(mx - 1.f) < 1e-6f);
+}
+
+TEST(GradCam, TargetClassIsHonored) {
+  nn::Sequential model = ucnv_model();
+  gradcam::GradCam cam(model, core::gradcam_layer_index(model));
+  const Tensor x = face_input(2, facegen::MaskClass::kNoseExposed);
+  const auto r0 = cam.compute(x, 0);
+  const auto r3 = cam.compute(x, 3);
+  EXPECT_EQ(r0.target_class, 0);
+  EXPECT_EQ(r3.target_class, 3);
+  EXPECT_EQ(r0.predicted_class, r3.predicted_class);
+}
+
+TEST(GradCam, DoesNotPolluteBatchNormRunningStats) {
+  nn::Sequential model = ucnv_model();
+  std::vector<float> means_before;
+  for (std::size_t i = 0; i < model.size(); ++i)
+    if (auto* bn = dynamic_cast<nn::BatchNorm*>(&model.layer(i)))
+      means_before.push_back(bn->running_mean()[0]);
+
+  gradcam::GradCam cam(model, core::gradcam_layer_index(model));
+  cam.compute(face_input(3, facegen::MaskClass::kChinExposed));
+
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < model.size(); ++i)
+    if (auto* bn = dynamic_cast<nn::BatchNorm*>(&model.layer(i))) {
+      EXPECT_FLOAT_EQ(bn->running_mean()[0], means_before[idx++]);
+      EXPECT_FALSE(bn->frozen());  // restored afterwards
+    }
+}
+
+TEST(GradCam, WorksOnFp32Baseline) {
+  nn::Sequential model = core::build_fp32_cnv(19);
+  gradcam::GradCam cam(model, core::gradcam_layer_index(model));
+  const auto result = cam.compute(face_input(4, facegen::MaskClass::kCorrect));
+  EXPECT_EQ(result.fm_h, 5);
+  for (const float v : result.upsampled) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(GradCam, InvalidArgumentsThrow) {
+  nn::Sequential model = ucnv_model();
+  EXPECT_THROW(gradcam::GradCam(model, 999), std::invalid_argument);
+  gradcam::GradCam cam(model, core::gradcam_layer_index(model));
+  EXPECT_THROW(cam.compute(Tensor(Shape{2, 32, 32, 3})),
+               std::invalid_argument);
+  EXPECT_THROW(cam.compute(face_input(5, facegen::MaskClass::kCorrect), 9),
+               std::invalid_argument);
+}
+
+TEST(Overlay, HeatColorEndpoints) {
+  float r, g, b;
+  gradcam::heat_color(0.f, r, g, b);
+  EXPECT_GT(b, 0.9f);  // cold = blue
+  EXPECT_LT(r, 0.1f);
+  gradcam::heat_color(1.f, r, g, b);
+  EXPECT_GT(r, 0.9f);  // hot = red
+  EXPECT_LT(b, 0.1f);
+}
+
+TEST(Overlay, OverlayKeepsColdPixelsIntact) {
+  util::Image base(4, 4, 0.3f);
+  std::vector<float> heat(16, 0.f);
+  heat[5] = 1.f;
+  const util::Image out = gradcam::overlay(base, heat, 0.5f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0), 0.3f);  // zero heat -> untouched
+  EXPECT_GT(out.at(1, 1, 0), 0.3f);        // hot pixel pulled toward red
+}
+
+TEST(Overlay, SizeMismatchThrows) {
+  util::Image base(4, 4);
+  EXPECT_THROW(gradcam::overlay(base, std::vector<float>(9, 0.f)),
+               std::invalid_argument);
+  EXPECT_THROW(gradcam::colorize(std::vector<float>(9, 0.f), 2, 2),
+               std::invalid_argument);
+}
+
+TEST(Overlay, HstackConcatenatesWidths) {
+  const util::Image a(4, 3), b(4, 5);
+  const util::Image out = gradcam::hstack({a, b});
+  EXPECT_EQ(out.height(), 4);
+  EXPECT_EQ(out.width(), 3 + 1 + 5);
+  EXPECT_THROW(gradcam::hstack({a, util::Image(5, 3)}), std::invalid_argument);
+  EXPECT_THROW(gradcam::hstack({}), std::invalid_argument);
+}
+
+TEST(Attention, RegionMassFractions) {
+  std::vector<float> heat(16, 0.f);
+  // All mass in the top-left quadrant of a 4x4 map.
+  heat[0] = heat[1] = heat[4] = heat[5] = 1.f;
+  const facegen::Rect top_left{0.f, 0.f, 0.5f, 0.5f};
+  const facegen::Rect bottom{0.f, 0.5f, 1.f, 1.f};
+  EXPECT_NEAR(gradcam::region_mass(heat, 4, 4, top_left), 1.0, 1e-9);
+  EXPECT_NEAR(gradcam::region_mass(heat, 4, 4, bottom), 0.0, 1e-9);
+  // Saliency: quarter of the pixels hold all mass -> 4x the average.
+  EXPECT_NEAR(gradcam::region_saliency(heat, 4, 4, top_left), 4.0, 1e-9);
+}
+
+TEST(Attention, EmptyHeatmapGivesZero) {
+  const std::vector<float> heat(16, 0.f);
+  const facegen::Rect r{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(gradcam::region_mass(heat, 4, 4, r), 0.0);
+  EXPECT_DOUBLE_EQ(gradcam::region_saliency(heat, 4, 4, r), 0.0);
+}
+
+TEST(Attention, ScoreAttentionPicksDominantRegion) {
+  facegen::FaceAttributes attrs;  // defaults: centered face
+  const auto regions = facegen::compute_regions(attrs);
+  // Heat concentrated on the nose region's center.
+  std::vector<float> heat(32 * 32, 0.f);
+  const float cx = 0.5f * (regions.nose.u0 + regions.nose.u1);
+  const float cy = 0.5f * (regions.nose.v0 + regions.nose.v1);
+  heat[static_cast<std::size_t>(static_cast<int>(cy * 32) * 32 +
+                                static_cast<int>(cx * 32))] = 1.f;
+  const auto report = gradcam::score_attention(heat, 32, 32, regions);
+  EXPECT_EQ(report.dominant, "nose");
+  EXPECT_GT(report.nose, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "tensor/im2row.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bcop::tensor;
+
+Tensor random_tensor(const Shape& s, bcop::util::Rng& rng) {
+  Tensor t(s);
+  for (std::int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+TEST(Im2Row, OutDim) {
+  EXPECT_EQ(conv_out_dim(32, 3), 30);
+  EXPECT_EQ(conv_out_dim(5, 3), 3);
+  EXPECT_EQ(conv_out_dim(3, 3), 1);
+}
+
+TEST(Im2Row, KnownSmallCase) {
+  // 1x3x3x1 input, k=2 -> 4 patches of 4 elements each.
+  Tensor in(Shape{1, 3, 3, 1});
+  for (std::int64_t i = 0; i < 9; ++i) in[i] = static_cast<float>(i);
+  Tensor rows;
+  im2row(in, 2, rows);
+  ASSERT_EQ(rows.shape(), (Shape{4, 4}));
+  // Patch at (0,0): elements (0,0),(0,1),(1,0),(1,1) = 0,1,3,4.
+  EXPECT_FLOAT_EQ(rows.at2(0, 0), 0.f);
+  EXPECT_FLOAT_EQ(rows.at2(0, 1), 1.f);
+  EXPECT_FLOAT_EQ(rows.at2(0, 2), 3.f);
+  EXPECT_FLOAT_EQ(rows.at2(0, 3), 4.f);
+  // Patch at (1,1): 4,5,7,8.
+  EXPECT_FLOAT_EQ(rows.at2(3, 0), 4.f);
+  EXPECT_FLOAT_EQ(rows.at2(3, 3), 8.f);
+}
+
+TEST(Im2Row, PatchElementOrderIsKyKxC) {
+  // 2 channels: the patch must interleave (ky, kx, c).
+  Tensor in(Shape{1, 2, 2, 2});
+  for (std::int64_t i = 0; i < 8; ++i) in[i] = static_cast<float>(i);
+  Tensor rows;
+  im2row(in, 2, rows);
+  ASSERT_EQ(rows.shape(), (Shape{1, 8}));
+  for (std::int64_t i = 0; i < 8; ++i)
+    EXPECT_FLOAT_EQ(rows[i], static_cast<float>(i));  // NHWC is already kyKxC
+}
+
+TEST(Im2Row, MultiBatch) {
+  bcop::util::Rng rng(3);
+  const Tensor in = random_tensor(Shape{3, 6, 5, 4}, rng);
+  Tensor rows;
+  im2row(in, 3, rows);
+  ASSERT_EQ(rows.shape(), (Shape{3 * 4 * 3, 36}));
+  // Cross-check one arbitrary element: batch 2, patch (1,2), offset (ky=2,kx=0,c=3).
+  const std::int64_t row = (2 * 4 + 1) * 3 + 2;
+  const std::int64_t col = (2 * 3 + 0) * 4 + 3;
+  EXPECT_FLOAT_EQ(rows.at2(row, col), in.at4(2, 1 + 2, 2 + 0, 3));
+}
+
+TEST(Im2Row, KernelTooLargeThrows) {
+  const Tensor in(Shape{1, 2, 2, 1});
+  Tensor rows;
+  EXPECT_THROW(im2row(in, 3, rows), std::invalid_argument);
+}
+
+TEST(Im2Row, NonRank4Throws) {
+  const Tensor in(Shape{4, 4});
+  Tensor rows;
+  EXPECT_THROW(im2row(in, 2, rows), std::invalid_argument);
+}
+
+TEST(Row2Im, ShapeMismatchThrows) {
+  Tensor grad(Shape{1, 4, 4, 1});
+  const Tensor rows(Shape{5, 9});
+  EXPECT_THROW(row2im(rows, 3, grad), std::invalid_argument);
+}
+
+// Adjointness: <im2row(x), y> == <x, row2im(y)> for all x, y -- this is the
+// property that makes the conv backward pass correct.
+TEST(Row2Im, IsAdjointOfIm2Row) {
+  bcop::util::Rng rng(11);
+  const Tensor x = random_tensor(Shape{2, 7, 6, 3}, rng);
+  Tensor rows;
+  im2row(x, 3, rows);
+  const Tensor y = random_tensor(rows.shape(), rng);
+
+  double lhs = 0;
+  for (std::int64_t i = 0; i < rows.numel(); ++i) lhs += rows[i] * y[i];
+
+  Tensor xback(x.shape());
+  row2im(y, 3, xback);
+  double rhs = 0;
+  for (std::int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * xback[i];
+
+  EXPECT_NEAR(lhs, rhs, 1e-2);
+}
+
+TEST(Row2Im, AccumulatesOverlappingPatches) {
+  // All-ones patch gradients: interior pixels of a 3x3-kernel conv receive
+  // k*k contributions.
+  Tensor grad(Shape{1, 5, 5, 1});
+  Tensor rows(Shape{9, 9});
+  rows.fill(1.f);
+  row2im(rows, 3, grad);
+  EXPECT_FLOAT_EQ(grad.at4(0, 2, 2, 0), 9.f);  // center: all 9 patches
+  EXPECT_FLOAT_EQ(grad.at4(0, 0, 0, 0), 1.f);  // corner: 1 patch
+  EXPECT_FLOAT_EQ(grad.at4(0, 0, 2, 0), 3.f);  // edge: 3 patches
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Full-system integration: dataset -> training -> folding -> deployment
+// pipeline -> Grad-CAM, on a reduced scale. This is the miniature version
+// of the paper's whole experimental flow and must hold together end to end.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <numeric>
+
+#include "core/architecture.hpp"
+#include "core/evaluator.hpp"
+#include "core/predictor.hpp"
+#include "core/trainer.hpp"
+#include "deploy/performance.hpp"
+#include "deploy/pipeline.hpp"
+#include "facegen/dataset.hpp"
+#include "gradcam/attention.hpp"
+#include "gradcam/gradcam.hpp"
+
+namespace {
+
+using namespace bcop;
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    facegen::DatasetConfig dcfg;
+    dcfg.per_class_train = 150;
+    dcfg.per_class_test = 40;
+    dcfg.seed = 0xe2e;
+    dataset_ = new facegen::MaskedFaceDataset(
+        facegen::MaskedFaceDataset::generate(dcfg));
+
+    model_ = new nn::Sequential(
+        core::build_bnn(core::ArchitectureId::kMicroCnv, 99));
+    core::TrainConfig tcfg;
+    tcfg.epochs = 5;
+    tcfg.batch_size = 40;
+    tcfg.eval_every = 0;
+    core::Trainer trainer(*model_, tcfg);
+    trainer.fit(dataset_->train(), {});
+  }
+
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete model_;
+    dataset_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static facegen::MaskedFaceDataset* dataset_;
+  static nn::Sequential* model_;
+};
+
+facegen::MaskedFaceDataset* EndToEnd::dataset_ = nullptr;
+nn::Sequential* EndToEnd::model_ = nullptr;
+
+TEST_F(EndToEnd, TrainedModelBeatsChanceByFar) {
+  const auto cm = core::Evaluator::evaluate_model(*model_, dataset_->test());
+  EXPECT_GT(cm.accuracy(), 0.75) << cm.render();
+}
+
+TEST_F(EndToEnd, FoldedNetworkKeepsTheAccuracy) {
+  const auto cm_model = core::Evaluator::evaluate_model(*model_, dataset_->test());
+  xnor::XnorNetwork net = xnor::XnorNetwork::fold(*model_);
+  const auto cm_xnor = core::Evaluator::evaluate_xnor(net, dataset_->test());
+  EXPECT_NEAR(cm_xnor.accuracy(), cm_model.accuracy(), 0.03);
+}
+
+TEST_F(EndToEnd, PipelineAgreesWithEngineOnTestImages) {
+  xnor::XnorNetwork net = xnor::XnorNetwork::fold(*model_);
+  deploy::StreamingPipeline pipeline(
+      net, core::layer_specs(core::ArchitectureId::kMicroCnv));
+  for (int i = 0; i < 5; ++i) {
+    const auto& sample = dataset_->test()[static_cast<std::size_t>(i * 7)];
+    const auto x = facegen::MaskedFaceDataset::image_to_tensor(sample.image);
+    const auto ref = net.forward(x);
+    const auto run = pipeline.run(x);
+    for (std::int64_t j = 0; j < ref.numel(); ++j)
+      ASSERT_FLOAT_EQ(run.logits[j], ref[j]);
+  }
+}
+
+TEST_F(EndToEnd, SaveLoadFoldPreservesPredictions) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "bcop_e2e.bcop").string();
+  model_->save(path);
+  core::Predictor loaded = core::Predictor::from_file(path);
+  xnor::XnorNetwork net = xnor::XnorNetwork::fold(*model_);
+
+  std::vector<std::int64_t> indices(20);
+  std::iota(indices.begin(), indices.end(), 0);
+  tensor::Tensor x;
+  std::vector<std::int64_t> y;
+  facegen::MaskedFaceDataset::to_batch(dataset_->test(), indices, 0, 20, x, y);
+  const auto a = net.predict(x);
+  const auto b = loaded.network().predict(x);
+  EXPECT_EQ(a, b);
+  std::remove(path.c_str());
+}
+
+TEST_F(EndToEnd, GradCamFocusesOnTheFace) {
+  gradcam::GradCam cam(*model_, core::gradcam_layer_index(*model_));
+  double face_saliency_sum = 0;
+  int n = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto& sample = dataset_->test()[static_cast<std::size_t>(i * 11)];
+    const auto x = facegen::MaskedFaceDataset::image_to_tensor(sample.image);
+    const auto result = cam.compute(x);
+    const auto report =
+        gradcam::score_attention(result.upsampled, 32, 32, sample.regions);
+    if (report.face > 0) {
+      face_saliency_sum += report.face;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  // On average the trained classifier attends to the face region more than
+  // to the background (saliency ratio > 1).
+  EXPECT_GT(face_saliency_sum / n, 1.0);
+}
+
+TEST_F(EndToEnd, ThroughputModelOrdersPrototypesAsThePaper) {
+  const auto ncnv =
+      deploy::analyze_performance(core::layer_specs(core::ArchitectureId::kNCnv));
+  EXPECT_NEAR(ncnv.fps(), 6400, 650);
+}
+
+}  // namespace

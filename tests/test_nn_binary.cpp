@@ -1,0 +1,160 @@
+// Binary layer semantics: weight binarization, straight-through weight
+// gradients, latent clipping and equivalence with explicit {-1,+1} math.
+#include <gtest/gtest.h>
+
+#include "nn/binary_conv2d.hpp"
+#include "nn/binary_dense.hpp"
+#include "tensor/gemm.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace bcop;
+using bcop::tensor::Shape;
+using bcop::tensor::Tensor;
+using bcop::testhelpers::random_tensor;
+
+TEST(BinaryDense, ForwardUsesSignOfLatents) {
+  util::Rng rng(1);
+  nn::BinaryDense layer(4, 2, rng);
+  Tensor& w = layer.mutable_latent_weights();
+  // Latents with mixed magnitudes; only the sign may matter.
+  w.at2(0, 0) = 0.9f;
+  w.at2(1, 0) = -0.1f;
+  w.at2(2, 0) = 0.0f;  // sign(0) = +1
+  w.at2(3, 0) = -0.9f;
+  w.at2(0, 1) = -0.2f;
+  w.at2(1, 1) = 0.2f;
+  w.at2(2, 1) = 0.7f;
+  w.at2(3, 1) = 0.01f;
+
+  Tensor x(Shape{1, 4});
+  x[0] = 1.f;
+  x[1] = 1.f;
+  x[2] = -1.f;
+  x[3] = -1.f;
+  const Tensor y = layer.forward(x, false);
+  // Row 0: signs (+,-,+,-): 1*1 + 1*(-1) + (-1)*1 + (-1)*(-1) = 0.
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 0.f);
+  // Row 1: signs (-,+,+,+): -1 + 1 - 1 - 1 = -2.
+  EXPECT_FLOAT_EQ(y.at2(0, 1), -2.f);
+}
+
+TEST(BinaryDense, BinarizedWeightsAreBipolar) {
+  util::Rng rng(2);
+  nn::BinaryDense layer(16, 8, rng);
+  const Tensor wb = layer.binarized_weights();
+  for (std::int64_t i = 0; i < wb.numel(); ++i)
+    EXPECT_TRUE(wb[i] == 1.f || wb[i] == -1.f);
+}
+
+TEST(BinaryDense, PostUpdateClipsLatents) {
+  util::Rng rng(3);
+  nn::BinaryDense layer(4, 4, rng);
+  Tensor& w = layer.mutable_latent_weights();
+  w[0] = 5.f;
+  w[1] = -3.f;
+  layer.post_update();
+  EXPECT_FLOAT_EQ(w[0], 1.f);
+  EXPECT_FLOAT_EQ(w[1], -1.f);
+  for (std::int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LE(w[i], 1.f);
+    EXPECT_GE(w[i], -1.f);
+  }
+}
+
+TEST(BinaryDense, WeightGradientIsStraightThrough) {
+  // dL/dW_latent must equal x^T dY -- the gradient with respect to the
+  // *binarized* weights passed through unchanged.
+  util::Rng rng(4);
+  nn::BinaryDense layer(3, 2, rng);
+  const Tensor x = random_tensor(Shape{5, 3}, rng);
+  const Tensor dy = random_tensor(Shape{5, 2}, rng);
+  layer.forward(x, true);
+  for (nn::Param* p : layer.params()) {
+    p->ensure_grad();
+    p->grad.fill(0.f);
+  }
+  layer.backward(dy);
+
+  Tensor expected(Shape{3, 2});
+  tensor::gemm_tn_naive(3, 2, 5, x.data(), dy.data(), expected.data());
+  const Tensor& got = layer.params()[0]->grad;
+  for (std::int64_t i = 0; i < expected.numel(); ++i)
+    EXPECT_NEAR(got[i], expected[i], 1e-4f);
+}
+
+TEST(BinaryDense, InputGradientUsesBinarizedWeights) {
+  util::Rng rng(5);
+  nn::BinaryDense layer(3, 2, rng);
+  const Tensor x = random_tensor(Shape{4, 3}, rng);
+  const Tensor dy = random_tensor(Shape{4, 2}, rng);
+  layer.forward(x, true);
+  const Tensor dx = layer.backward(dy);
+
+  const Tensor wb = layer.binarized_weights();
+  Tensor expected(Shape{4, 3});
+  tensor::gemm_nt_naive(4, 3, 2, dy.data(), wb.data(), expected.data());
+  for (std::int64_t i = 0; i < expected.numel(); ++i)
+    EXPECT_NEAR(dx[i], expected[i], 1e-4f);
+}
+
+TEST(BinaryConv2d, MatchesBinarizedDirectConvolution) {
+  util::Rng rng(6);
+  nn::BinaryConv2d conv(3, 2, 4, rng);
+  const Tensor x = random_tensor(Shape{1, 6, 6, 2}, rng);
+  const Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{1, 4, 4, 4}));
+
+  const Tensor wb = conv.binarized_weights();
+  for (std::int64_t oy = 0; oy < 4; ++oy)
+    for (std::int64_t ox = 0; ox < 4; ++ox)
+      for (std::int64_t o = 0; o < 4; ++o) {
+        float acc = 0;
+        for (std::int64_t ky = 0; ky < 3; ++ky)
+          for (std::int64_t kx = 0; kx < 3; ++kx)
+            for (std::int64_t c = 0; c < 2; ++c)
+              acc += x.at4(0, oy + ky, ox + kx, c) *
+                     wb.at2((ky * 3 + kx) * 2 + c, o);
+        EXPECT_NEAR(y.at4(0, oy, ox, o), acc, 1e-4f);
+      }
+}
+
+TEST(BinaryConv2d, BipolarInputGivesIntegerOutputs) {
+  util::Rng rng(7);
+  nn::BinaryConv2d conv(3, 4, 8, rng);
+  Tensor x(Shape{2, 5, 5, 4});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = rng.bernoulli(0.5) ? 1.f : -1.f;
+  const Tensor y = conv.forward(x, false);
+  for (std::int64_t i = 0; i < y.numel(); ++i) {
+    EXPECT_FLOAT_EQ(y[i], std::round(y[i]));
+    // Fan-in 36: outputs bounded and share the fan-in's parity.
+    EXPECT_LE(std::abs(y[i]), 36.f);
+    EXPECT_EQ(static_cast<int>(std::abs(y[i])) % 2, 0);
+  }
+}
+
+TEST(BinaryConv2d, PostUpdateClips) {
+  util::Rng rng(8);
+  nn::BinaryConv2d conv(3, 1, 1, rng);
+  conv.mutable_latent_weights()[0] = -7.f;
+  conv.post_update();
+  EXPECT_FLOAT_EQ(conv.latent_weights()[0], -1.f);
+}
+
+TEST(BinaryConv2d, BadShapeThrows) {
+  util::Rng rng(9);
+  nn::BinaryConv2d conv(3, 2, 4, rng);
+  EXPECT_THROW(conv.forward(Tensor(Shape{1, 6, 6, 3}), false),
+               std::invalid_argument);
+  EXPECT_THROW(nn::BinaryConv2d(0, 2, 4, rng), std::invalid_argument);
+}
+
+TEST(BinaryDense, BackwardBeforeForwardThrows) {
+  util::Rng rng(10);
+  nn::BinaryDense layer(2, 2, rng);
+  EXPECT_THROW(layer.backward(Tensor(Shape{1, 2})), std::logic_error);
+}
+
+}  // namespace

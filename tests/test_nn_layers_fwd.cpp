@@ -1,0 +1,211 @@
+// Forward-pass correctness of the non-binary layers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace bcop;
+using bcop::tensor::Shape;
+using bcop::tensor::Tensor;
+using bcop::testhelpers::random_tensor;
+
+// Naive direct convolution for cross-checking the im2row+GEMM path.
+Tensor naive_conv(const Tensor& in, const Tensor& w /*[K*K*Ci, Co]*/,
+                  std::int64_t k, std::int64_t co) {
+  const std::int64_t N = in.shape()[0], H = in.shape()[1], W = in.shape()[2],
+                     Ci = in.shape()[3];
+  const std::int64_t Ho = H - k + 1, Wo = W - k + 1;
+  Tensor out(Shape{N, Ho, Wo, co});
+  for (std::int64_t n = 0; n < N; ++n)
+    for (std::int64_t y = 0; y < Ho; ++y)
+      for (std::int64_t x = 0; x < Wo; ++x)
+        for (std::int64_t o = 0; o < co; ++o) {
+          float acc = 0;
+          for (std::int64_t ky = 0; ky < k; ++ky)
+            for (std::int64_t kx = 0; kx < k; ++kx)
+              for (std::int64_t c = 0; c < Ci; ++c)
+                acc += in.at4(n, y + ky, x + kx, c) *
+                       w.at2((ky * k + kx) * Ci + c, o);
+          out.at4(n, y, x, o) = acc;
+        }
+  return out;
+}
+
+TEST(Conv2d, MatchesNaiveConvolutionPlusBias) {
+  util::Rng rng(1);
+  nn::Conv2d conv(3, 2, 5, rng);
+  const Tensor x = random_tensor(Shape{2, 6, 7, 2}, rng);
+  const Tensor y = conv.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{2, 4, 5, 5}));
+
+  // Bias starts at zero, so the naive conv without bias must match.
+  auto params = conv.params();
+  const Tensor& wt = params[0]->value;
+  const Tensor ref = naive_conv(x, wt, 3, 5);
+  for (std::int64_t i = 0; i < y.numel(); ++i) EXPECT_NEAR(y[i], ref[i], 1e-4f);
+}
+
+TEST(Conv2d, RejectsWrongChannelCount) {
+  util::Rng rng(2);
+  nn::Conv2d conv(3, 4, 8, rng);
+  EXPECT_THROW(conv.forward(Tensor(Shape{1, 8, 8, 3}), false),
+               std::invalid_argument);
+}
+
+TEST(Dense, ComputesAffineMap) {
+  util::Rng rng(3);
+  nn::Dense dense(3, 2, rng);
+  auto params = dense.params();
+  Tensor& w = params[0]->value;
+  Tensor& b = params[1]->value;
+  w.fill(0.f);
+  w.at2(0, 0) = 1.f;
+  w.at2(1, 0) = 2.f;
+  w.at2(2, 1) = -1.f;
+  b[0] = 0.5f;
+
+  Tensor x(Shape{1, 3});
+  x[0] = 1.f;
+  x[1] = 2.f;
+  x[2] = 3.f;
+  const Tensor y = dense.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at2(0, 0), 1.f + 4.f + 0.5f);
+  EXPECT_FLOAT_EQ(y.at2(0, 1), -3.f);
+}
+
+TEST(BatchNorm, TrainingNormalizesToZeroMeanUnitVar) {
+  util::Rng rng(4);
+  nn::BatchNorm bn(3);
+  const Tensor x = random_tensor(Shape{8, 4, 4, 3}, rng, -5.0, 3.0);
+  const Tensor y = bn.forward(x, true);
+  for (std::int64_t c = 0; c < 3; ++c) {
+    double mean = 0, var = 0;
+    const std::int64_t rows = 8 * 4 * 4;
+    for (std::int64_t r = 0; r < rows; ++r) mean += y[r * 3 + c];
+    mean /= static_cast<double>(rows);
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const double d = y[r * 3 + c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(rows);
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(BatchNorm, InferenceUsesRunningStatistics) {
+  util::Rng rng(5);
+  nn::BatchNorm bn(2);
+  // Warm the running stats with many training batches of a fixed shift.
+  for (int i = 0; i < 200; ++i) {
+    Tensor x = random_tensor(Shape{16, 2}, rng);
+    for (std::int64_t r = 0; r < 16; ++r) x.at2(r, 1) += 10.f;
+    bn.forward(x, true);
+  }
+  // At inference, a value equal to the running mean maps to ~beta = 0.
+  Tensor probe(Shape{1, 2});
+  probe.at2(0, 0) = bn.running_mean()[0];
+  probe.at2(0, 1) = bn.running_mean()[1];
+  const Tensor y = bn.forward(probe, false);
+  EXPECT_NEAR(y.at2(0, 0), 0.f, 1e-3f);
+  EXPECT_NEAR(y.at2(0, 1), 0.f, 1e-3f);
+  EXPECT_GT(bn.running_mean()[1], 5.f);
+}
+
+TEST(BatchNorm, FrozenModeUsesRunningStatsAndSkipsEma) {
+  util::Rng rng(6);
+  nn::BatchNorm bn(2);
+  for (int i = 0; i < 50; ++i) bn.forward(random_tensor(Shape{8, 2}, rng), true);
+  const float mean_before = bn.running_mean()[0];
+
+  bn.set_frozen(true);
+  const Tensor x = random_tensor(Shape{4, 2}, rng, 3.0, 9.0);
+  const Tensor y_frozen = bn.forward(x, true);
+  EXPECT_FLOAT_EQ(bn.running_mean()[0], mean_before);  // no EMA update
+
+  const Tensor y_eval = bn.forward(x, false);
+  for (std::int64_t i = 0; i < y_eval.numel(); ++i)
+    EXPECT_NEAR(y_frozen[i], y_eval[i], 1e-5f);  // same function as inference
+}
+
+TEST(BatchNorm, ChannelMismatchThrows) {
+  nn::BatchNorm bn(4);
+  EXPECT_THROW(bn.forward(Tensor(Shape{2, 3}), true), std::invalid_argument);
+}
+
+TEST(BatchNorm, BackwardBeforeForwardThrows) {
+  nn::BatchNorm bn(2);
+  EXPECT_THROW(bn.backward(Tensor(Shape{2, 2})), std::logic_error);
+}
+
+TEST(MaxPool2, SelectsWindowMaxima) {
+  Tensor x(Shape{1, 2, 4, 1});
+  const float vals[] = {1, 5, 2, 0, 3, 4, 1, 7};
+  for (int i = 0; i < 8; ++i) x[i] = vals[i];
+  nn::MaxPool2 pool;
+  const Tensor y = pool.forward(x, false);
+  ASSERT_EQ(y.shape(), (Shape{1, 1, 2, 1}));
+  EXPECT_FLOAT_EQ(y[0], 5.f);
+  EXPECT_FLOAT_EQ(y[1], 7.f);
+}
+
+TEST(MaxPool2, BackwardRoutesToArgmax) {
+  Tensor x(Shape{1, 2, 2, 1});
+  x[0] = 1.f;
+  x[1] = 9.f;
+  x[2] = 3.f;
+  x[3] = 2.f;
+  nn::MaxPool2 pool;
+  pool.forward(x, true);
+  Tensor dy(Shape{1, 1, 1, 1});
+  dy[0] = 4.f;
+  const Tensor dx = pool.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0.f);
+  EXPECT_FLOAT_EQ(dx[1], 4.f);
+  EXPECT_FLOAT_EQ(dx[2], 0.f);
+  EXPECT_FLOAT_EQ(dx[3], 0.f);
+}
+
+TEST(MaxPool2, OddSpatialDimsThrow) {
+  nn::MaxPool2 pool;
+  EXPECT_THROW(pool.forward(Tensor(Shape{1, 3, 4, 1}), false),
+               std::invalid_argument);
+}
+
+TEST(Flatten, RoundTripsThroughBackward) {
+  util::Rng rng(7);
+  nn::Flatten flat;
+  const Tensor x = random_tensor(Shape{2, 3, 4, 5}, rng);
+  const Tensor y = flat.forward(x, true);
+  ASSERT_EQ(y.shape(), (Shape{2, 60}));
+  const Tensor dx = flat.backward(y);
+  ASSERT_EQ(dx.shape(), x.shape());
+  for (std::int64_t i = 0; i < x.numel(); ++i) EXPECT_FLOAT_EQ(dx[i], x[i]);
+}
+
+TEST(ReLU, ClampsAndGates) {
+  nn::ReLU relu;
+  Tensor x(Shape{3});
+  x[0] = -2.f;
+  x[1] = 0.f;
+  x[2] = 3.f;
+  const Tensor y = relu.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.f);
+  EXPECT_FLOAT_EQ(y[2], 3.f);
+  Tensor dy(Shape{3}, 1.f);
+  const Tensor dx = relu.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0.f);
+  EXPECT_FLOAT_EQ(dx[1], 0.f);  // gradient at exactly 0 is gated off
+  EXPECT_FLOAT_EQ(dx[2], 1.f);
+}
+
+}  // namespace

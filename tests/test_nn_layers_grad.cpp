@@ -1,0 +1,134 @@
+// Finite-difference gradient checks for every differentiable layer, plus
+// direct verification of the straight-through estimators (which are *not*
+// true gradients and therefore cannot be FD-checked).
+#include <gtest/gtest.h>
+
+#include "nn/batchnorm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/relu.hpp"
+#include "nn/sign_activation.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace bcop;
+using bcop::tensor::Shape;
+using bcop::tensor::Tensor;
+using bcop::testhelpers::check_input_gradient;
+using bcop::testhelpers::check_param_gradients;
+using bcop::testhelpers::random_tensor;
+
+TEST(GradCheck, DenseInputAndParams) {
+  util::Rng rng(1);
+  nn::Dense dense(6, 4, rng);
+  const Tensor x = random_tensor(Shape{3, 6}, rng);
+  const Tensor seed = random_tensor(Shape{3, 4}, rng);
+  check_input_gradient(dense, x, seed);
+  check_param_gradients(dense, x, seed);
+}
+
+TEST(GradCheck, Conv2dInputAndParams) {
+  util::Rng rng(2);
+  nn::Conv2d conv(3, 2, 3, rng);
+  const Tensor x = random_tensor(Shape{2, 5, 5, 2}, rng);
+  const Tensor seed = random_tensor(Shape{2, 3, 3, 3}, rng);
+  check_input_gradient(conv, x, seed, 1e-3, 2e-2, /*stride=*/3);
+  check_param_gradients(conv, x, seed, 1e-3, 2e-2, /*stride=*/3);
+}
+
+TEST(GradCheck, BatchNormInputAndParams) {
+  util::Rng rng(3);
+  nn::BatchNorm bn(3);
+  // Non-trivial gamma/beta so the test covers the scaling path.
+  auto params = bn.params();
+  for (std::int64_t c = 0; c < 3; ++c) {
+    params[0]->value[c] = 0.5f + 0.3f * static_cast<float>(c);
+    params[1]->value[c] = -0.2f * static_cast<float>(c);
+  }
+  const Tensor x = random_tensor(Shape{6, 3}, rng, -2.0, 2.0);
+  const Tensor seed = random_tensor(Shape{6, 3}, rng);
+  check_input_gradient(bn, x, seed, 1e-3, 3e-2);
+  check_param_gradients(bn, x, seed, 1e-3, 3e-2);
+}
+
+TEST(GradCheck, BatchNormRank4) {
+  util::Rng rng(4);
+  nn::BatchNorm bn(2);
+  const Tensor x = random_tensor(Shape{2, 3, 3, 2}, rng, -2.0, 2.0);
+  const Tensor seed = random_tensor(Shape{2, 3, 3, 2}, rng);
+  check_input_gradient(bn, x, seed, 1e-3, 3e-2, /*stride=*/2);
+}
+
+TEST(GradCheck, BatchNormFrozenMode) {
+  util::Rng rng(5);
+  nn::BatchNorm bn(3);
+  // Give the running stats some history first.
+  for (int i = 0; i < 20; ++i)
+    bn.forward(random_tensor(Shape{8, 3}, rng, -1.0, 3.0), true);
+  bn.set_frozen(true);
+  const Tensor x = random_tensor(Shape{4, 3}, rng);
+  const Tensor seed = random_tensor(Shape{4, 3}, rng);
+  check_input_gradient(bn, x, seed);
+}
+
+TEST(GradCheck, ReLU) {
+  util::Rng rng(6);
+  nn::ReLU relu;
+  // Keep inputs away from the kink at 0 where FD is ill-defined.
+  Tensor x = random_tensor(Shape{4, 5}, rng);
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    if (std::abs(x[i]) < 0.05f) x[i] = 0.1f;
+  const Tensor seed = random_tensor(Shape{4, 5}, rng);
+  check_input_gradient(relu, x, seed);
+}
+
+TEST(GradCheck, MaxPool2) {
+  util::Rng rng(7);
+  nn::MaxPool2 pool;
+  // Perturbations must not flip the argmax: spread the values.
+  Tensor x(Shape{1, 4, 4, 2});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(i) * 0.37f +
+           static_cast<float>(rng.uniform(0, 0.01));
+  const Tensor seed = random_tensor(Shape{1, 2, 2, 2}, rng);
+  check_input_gradient(pool, x, seed);
+}
+
+TEST(Ste, SignPassesGradientInsideUnitWindow) {
+  nn::SignActivation sign;
+  Tensor x(Shape{5});
+  x[0] = -2.f;   // outside window -> blocked
+  x[1] = -0.5f;  // inside -> passed
+  x[2] = 0.f;
+  x[3] = 1.f;    // boundary counts as inside
+  x[4] = 1.01f;  // outside
+  sign.forward(x, true);
+  Tensor dy(Shape{5}, 2.f);
+  const Tensor dx = sign.backward(dy);
+  EXPECT_FLOAT_EQ(dx[0], 0.f);
+  EXPECT_FLOAT_EQ(dx[1], 2.f);
+  EXPECT_FLOAT_EQ(dx[2], 2.f);
+  EXPECT_FLOAT_EQ(dx[3], 2.f);
+  EXPECT_FLOAT_EQ(dx[4], 0.f);
+}
+
+TEST(Ste, SignForwardIsBipolar) {
+  nn::SignActivation sign;
+  Tensor x(Shape{3});
+  x[0] = -0.001f;
+  x[1] = 0.f;
+  x[2] = 123.f;
+  const Tensor y = sign.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], -1.f);
+  EXPECT_FLOAT_EQ(y[1], 1.f);  // sign(0) = +1, hardware convention
+  EXPECT_FLOAT_EQ(y[2], 1.f);
+}
+
+TEST(Ste, BackwardWithoutForwardThrows) {
+  nn::SignActivation sign;
+  EXPECT_THROW(sign.backward(Tensor(Shape{2})), std::logic_error);
+}
+
+}  // namespace

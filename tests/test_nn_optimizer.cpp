@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dense.hpp"
+#include "nn/binary_dense.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/softmax_xent.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace bcop;
+using bcop::tensor::Shape;
+using bcop::tensor::Tensor;
+using bcop::testhelpers::random_tensor;
+
+nn::Sequential one_dense(std::uint64_t seed) {
+  util::Rng rng(seed);
+  nn::Sequential m;
+  m.emplace<nn::Dense>(2, 2, rng);
+  return m;
+}
+
+TEST(Sgd, SingleStepMatchesHandComputation) {
+  nn::Sequential m = one_dense(1);
+  auto* w = m.params()[0];
+  w->value.fill(1.f);
+  w->ensure_grad();
+  w->grad.fill(0.5f);
+  auto* b = m.params()[1];
+  b->ensure_grad();
+
+  nn::Sgd sgd(m, /*lr=*/0.1f, /*momentum=*/0.0f);
+  sgd.step();
+  for (std::int64_t i = 0; i < w->value.numel(); ++i)
+    EXPECT_FLOAT_EQ(w->value[i], 1.f - 0.1f * 0.5f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  nn::Sequential m = one_dense(2);
+  auto* w = m.params()[0];
+  w->value.fill(0.f);
+  nn::Sgd sgd(m, 0.1f, 0.9f);
+  // Two identical-gradient steps: v1 = -0.1g; v2 = 0.9*v1 - 0.1g.
+  w->ensure_grad();
+  w->grad.fill(1.f);
+  sgd.step();
+  EXPECT_FLOAT_EQ(w->value[0], -0.1f);
+  w->grad.fill(1.f);
+  sgd.step();
+  EXPECT_NEAR(w->value[0], -0.1f + (0.9f * -0.1f - 0.1f), 1e-6f);
+}
+
+TEST(Optimizer, StepZeroesGradients) {
+  nn::Sequential m = one_dense(3);
+  auto* w = m.params()[0];
+  w->ensure_grad();
+  w->grad.fill(2.f);
+  nn::Sgd sgd(m, 0.01f);
+  sgd.step();
+  for (std::int64_t i = 0; i < w->grad.numel(); ++i)
+    EXPECT_FLOAT_EQ(w->grad[i], 0.f);
+}
+
+TEST(Optimizer, StepInvokesPostUpdateClipping) {
+  util::Rng rng(4);
+  nn::Sequential m;
+  m.emplace<nn::BinaryDense>(2, 2, rng);
+  auto* w = m.params()[0];
+  w->value.fill(0.999f);
+  w->ensure_grad();
+  w->grad.fill(-100.f);  // huge step upward
+  nn::Sgd sgd(m, 1.f, 0.f);
+  sgd.step();
+  for (std::int64_t i = 0; i < w->value.numel(); ++i)
+    EXPECT_FLOAT_EQ(w->value[i], 1.f);  // clipped by post_update
+}
+
+TEST(Adam, FirstStepHasLrMagnitude) {
+  nn::Sequential m = one_dense(5);
+  auto* w = m.params()[0];
+  w->value.fill(0.f);
+  w->ensure_grad();
+  w->grad.fill(3.f);  // any positive gradient: first Adam step = -lr
+  nn::Adam adam(m, 0.01f);
+  adam.step();
+  for (std::int64_t i = 0; i < w->value.numel(); ++i)
+    EXPECT_NEAR(w->value[i], -0.01f, 1e-5f);
+}
+
+TEST(Adam, MinimizesQuadratic) {
+  // Minimize L(w) = sum w^2 by feeding grad = 2w.
+  nn::Sequential m = one_dense(6);
+  auto* w = m.params()[0];
+  auto* b = m.params()[1];
+  w->value.fill(1.f);
+  nn::Adam adam(m, 0.05f);
+  for (int i = 0; i < 200; ++i) {
+    w->ensure_grad();
+    b->ensure_grad();
+    for (std::int64_t j = 0; j < w->value.numel(); ++j)
+      w->grad[j] = 2.f * w->value[j];
+    adam.step();
+  }
+  for (std::int64_t j = 0; j < w->value.numel(); ++j)
+    EXPECT_NEAR(w->value[j], 0.f, 1e-2f);
+}
+
+TEST(SoftmaxXent, LossOfUniformLogitsIsLogC) {
+  nn::SoftmaxCrossEntropy head;
+  const Tensor logits(Shape{3, 4}, 0.f);
+  const float loss = head.forward(logits, {0, 1, 2});
+  EXPECT_NEAR(loss, std::log(4.f), 1e-5f);
+}
+
+TEST(SoftmaxXent, GradientIsSoftmaxMinusOnehotOverN) {
+  util::Rng rng(7);
+  nn::SoftmaxCrossEntropy head;
+  const Tensor logits = random_tensor(Shape{2, 3}, rng);
+  head.forward(logits, {2, 0});
+  const Tensor g = head.backward();
+  const Tensor p = head.probabilities();
+  EXPECT_NEAR(g.at2(0, 2), (p.at2(0, 2) - 1.f) / 2.f, 1e-6f);
+  EXPECT_NEAR(g.at2(0, 0), p.at2(0, 0) / 2.f, 1e-6f);
+  EXPECT_NEAR(g.at2(1, 0), (p.at2(1, 0) - 1.f) / 2.f, 1e-6f);
+  // Gradient rows sum to zero.
+  for (std::int64_t r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (std::int64_t c = 0; c < 3; ++c) sum += g.at2(r, c);
+    EXPECT_NEAR(sum, 0.f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxXent, GradientMatchesFiniteDifference) {
+  util::Rng rng(8);
+  nn::SoftmaxCrossEntropy head;
+  Tensor logits = random_tensor(Shape{2, 4}, rng);
+  const std::vector<std::int64_t> labels{1, 3};
+  head.forward(logits, labels);
+  const Tensor g = head.backward();
+  const double eps = 1e-3;
+  for (std::int64_t i = 0; i < logits.numel(); ++i) {
+    const float orig = logits[i];
+    logits[i] = orig + static_cast<float>(eps);
+    const double lp = head.forward(logits, labels);
+    logits[i] = orig - static_cast<float>(eps);
+    const double lm = head.forward(logits, labels);
+    logits[i] = orig;
+    EXPECT_NEAR(g[i], (lp - lm) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(SoftmaxXent, InvalidLabelsThrow) {
+  nn::SoftmaxCrossEntropy head;
+  const Tensor logits(Shape{2, 3});
+  EXPECT_THROW(head.forward(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(head.forward(logits, {0, 3}), std::invalid_argument);
+  EXPECT_THROW(head.forward(logits, {0, -1}), std::invalid_argument);
+}
+
+}  // namespace

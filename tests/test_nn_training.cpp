@@ -1,0 +1,125 @@
+// End-to-end learning sanity: a small BNN trained with the full recipe
+// (latent weights + STE + Adam + BN->sign) must solve an easy synthetic
+// classification task. This exercises the interplay of all pieces, which
+// the per-layer unit tests cannot.
+#include <gtest/gtest.h>
+
+#include "nn/batchnorm.hpp"
+#include "nn/binary_conv2d.hpp"
+#include "nn/binary_dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/sign_activation.hpp"
+#include "nn/softmax_xent.hpp"
+#include "tensor/ops.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace bcop;
+using bcop::tensor::Shape;
+using bcop::tensor::Tensor;
+
+// Toy task: a bright 3x3 blob in one of four quadrants of an 8x8 image;
+// the label is the quadrant.
+void make_batch(std::int64_t n, util::Rng& rng, Tensor& x,
+                std::vector<std::int64_t>& y) {
+  x = Tensor(Shape{n, 8, 8, 1});
+  y.resize(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const auto quadrant = rng.uniform_int(0, 3);
+    y[static_cast<std::size_t>(i)] = quadrant;
+    const std::int64_t oy = (quadrant / 2) * 4 + rng.uniform_int(0, 1);
+    const std::int64_t ox = (quadrant % 2) * 4 + rng.uniform_int(0, 1);
+    for (std::int64_t py = 0; py < 8; ++py)
+      for (std::int64_t px = 0; px < 8; ++px)
+        x.at4(i, py, px, 0) = static_cast<float>(rng.uniform(-1.0, -0.6));
+    for (std::int64_t py = 0; py < 3; ++py)
+      for (std::int64_t px = 0; px < 3; ++px)
+        x.at4(i, oy + py, ox + px, 0) = static_cast<float>(rng.uniform(0.6, 1.0));
+  }
+}
+
+double accuracy(nn::Sequential& model, const Tensor& x,
+                const std::vector<std::int64_t>& y) {
+  const Tensor logits = model.forward(x, false);
+  const auto pred = tensor::argmax_rows(logits);
+  std::int64_t ok = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (pred[i] == y[i]) ++ok;
+  return static_cast<double>(ok) / static_cast<double>(y.size());
+}
+
+TEST(Training, BnnLearnsQuadrantTask) {
+  util::Rng rng(42);
+  nn::Sequential model("toy-bnn");
+  model.emplace<nn::BinaryConv2d>(3, 1, 8, rng);
+  model.emplace<nn::BatchNorm>(8);
+  model.emplace<nn::SignActivation>();
+  model.emplace<nn::MaxPool2>();
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::BinaryDense>(3 * 3 * 8, 4, rng);
+
+  nn::Adam opt(model, 5e-3f);
+  nn::SoftmaxCrossEntropy head;
+  util::Rng data_rng(7);
+  float first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 120; ++step) {
+    Tensor x;
+    std::vector<std::int64_t> y;
+    make_batch(32, data_rng, x, y);
+    const Tensor logits = model.forward(x, true);
+    const float loss = head.forward(logits, y);
+    if (step == 0) first_loss = loss;
+    last_loss = loss;
+    model.backward(head.backward());
+    opt.step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5f) << "loss did not decrease";
+
+  Tensor xt;
+  std::vector<std::int64_t> yt;
+  make_batch(200, data_rng, xt, yt);
+  EXPECT_GT(accuracy(model, xt, yt), 0.9);
+}
+
+TEST(Training, LatentWeightsStayClipped) {
+  util::Rng rng(1);
+  nn::Sequential model;
+  auto& dense = model.emplace<nn::BinaryDense>(64, 4, rng);
+  nn::Adam opt(model, 1e-1f);  // aggressive LR to push latents hard
+  nn::SoftmaxCrossEntropy head;
+  util::Rng data_rng(2);
+  for (int step = 0; step < 30; ++step) {
+    Tensor x = bcop::testhelpers::random_tensor(Shape{16, 64}, data_rng);
+    std::vector<std::int64_t> y(16);
+    for (auto& v : y) v = data_rng.uniform_int(0, 3);
+    head.forward(model.forward(x, true), y);
+    model.backward(head.backward());
+    opt.step();
+    const Tensor& w = dense.latent_weights();
+    for (std::int64_t i = 0; i < w.numel(); ++i) {
+      ASSERT_LE(w[i], 1.f);
+      ASSERT_GE(w[i], -1.f);
+    }
+  }
+}
+
+TEST(Training, RunningStatsEvolveOnlyInTrainingMode) {
+  util::Rng rng(3);
+  nn::Sequential model;
+  model.emplace<nn::BinaryDense>(8, 4, rng);
+  auto& bn = model.emplace<nn::BatchNorm>(4);
+  model.emplace<nn::SignActivation>();
+
+  const Tensor x = bcop::testhelpers::random_tensor(Shape{8, 8}, rng);
+  model.forward(x, true);
+  const float after_train = bn.running_mean()[0];
+  model.forward(x, false);
+  model.forward(x, false);
+  EXPECT_FLOAT_EQ(bn.running_mean()[0], after_train);
+}
+
+}  // namespace

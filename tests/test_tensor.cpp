@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/ops.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace {
+
+using bcop::tensor::Shape;
+using bcop::tensor::Tensor;
+
+TEST(Shape, BasicProperties) {
+  const Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.str(), "[2, 3, 4]");
+}
+
+TEST(Shape, EmptyShape) {
+  const Shape s;
+  EXPECT_EQ(s.rank(), 0);
+  EXPECT_EQ(s.numel(), 0);
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_NE((Shape{1, 2}), (Shape{1, 2, 1}));
+}
+
+TEST(Shape, OutOfRangeIndexThrows) {
+  const Shape s{2, 3};
+  EXPECT_THROW(s[2], std::out_of_range);
+  EXPECT_THROW(s[-1], std::out_of_range);
+}
+
+TEST(Shape, NegativeDimensionThrows) {
+  EXPECT_THROW((Shape{2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndIndex) {
+  Tensor t(Shape{2, 3}, 1.5f);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_FLOAT_EQ(t[5], 1.5f);
+  t.fill(-2.f);
+  EXPECT_FLOAT_EQ(t.at2(1, 2), -2.f);
+}
+
+TEST(Tensor, At4MatchesRowMajorNhwc) {
+  Tensor t(Shape{2, 3, 4, 5});
+  t.at4(1, 2, 3, 4) = 9.f;
+  EXPECT_FLOAT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 9.f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 6});
+  for (std::int64_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  const Tensor r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.shape(), (Shape{3, 4}));
+  for (std::int64_t i = 0; i < 12; ++i) EXPECT_FLOAT_EQ(r[i], static_cast<float>(i));
+}
+
+TEST(Tensor, ReshapeNumelMismatchThrows) {
+  const Tensor t(Shape{2, 6});
+  EXPECT_THROW(t.reshaped(Shape{5}), std::invalid_argument);
+}
+
+TEST(Ops, Argmax) {
+  const float v[] = {0.1f, 3.f, -1.f, 3.f};
+  EXPECT_EQ(bcop::tensor::argmax(v, 4), 1);  // first maximum wins
+}
+
+TEST(Ops, ArgmaxRows) {
+  Tensor m(Shape{2, 3});
+  m.at2(0, 2) = 5.f;
+  m.at2(1, 0) = 1.f;
+  const auto idx = bcop::tensor::argmax_rows(m);
+  EXPECT_EQ(idx[0], 2);
+  EXPECT_EQ(idx[1], 0);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Tensor m(Shape{2, 4});
+  m.at2(0, 0) = 100.f;  // stability under large logits
+  m.at2(1, 3) = -100.f;
+  const Tensor p = bcop::tensor::softmax_rows(m);
+  for (std::int64_t r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (std::int64_t c = 0; c < 4; ++c) {
+      EXPECT_GE(p.at2(r, c), 0.f);
+      sum += p.at2(r, c);
+    }
+    EXPECT_NEAR(sum, 1.f, 1e-5f);
+  }
+  EXPECT_GT(p.at2(0, 0), 0.99f);
+}
+
+TEST(Ops, ReluInplace) {
+  Tensor t(Shape{3});
+  t[0] = -1.f;
+  t[1] = 0.f;
+  t[2] = 2.f;
+  bcop::tensor::relu_inplace(t);
+  EXPECT_FLOAT_EQ(t[0], 0.f);
+  EXPECT_FLOAT_EQ(t[1], 0.f);
+  EXPECT_FLOAT_EQ(t[2], 2.f);
+}
+
+TEST(Ops, MeanAndMaxAbsDiff) {
+  Tensor a(Shape{4}, 1.f), b(Shape{4}, 1.f);
+  b[2] = -1.f;
+  EXPECT_DOUBLE_EQ(bcop::tensor::mean(a), 1.0);
+  EXPECT_FLOAT_EQ(bcop::tensor::max_abs_diff(a, b), 2.f);
+  EXPECT_THROW(bcop::tensor::max_abs_diff(a, Tensor(Shape{3})),
+               std::invalid_argument);
+}
+
+TEST(Ops, BilinearResizeIdentity) {
+  const std::vector<float> src = {1.f, 2.f, 3.f, 4.f};
+  const auto same = bcop::tensor::bilinear_resize(src, 2, 2, 2, 2);
+  EXPECT_EQ(same, src);
+}
+
+TEST(Ops, BilinearResizeInterpolatesMidpoints) {
+  const std::vector<float> src = {0.f, 1.f};  // 1x2
+  const auto up = bcop::tensor::bilinear_resize(src, 1, 2, 1, 3);
+  ASSERT_EQ(up.size(), 3u);
+  EXPECT_FLOAT_EQ(up[0], 0.f);
+  EXPECT_FLOAT_EQ(up[1], 0.5f);
+  EXPECT_FLOAT_EQ(up[2], 1.f);
+}
+
+TEST(Ops, BilinearResizeUpscalePreservesRange) {
+  std::vector<float> src(5 * 5);
+  for (std::size_t i = 0; i < src.size(); ++i)
+    src[i] = static_cast<float>(i % 3) / 2.f;
+  const auto up = bcop::tensor::bilinear_resize(src, 5, 5, 32, 32);
+  EXPECT_EQ(up.size(), 32u * 32u);
+  for (const float v : up) {
+    EXPECT_GE(v, 0.f);
+    EXPECT_LE(v, 1.f);
+  }
+}
+
+}  // namespace

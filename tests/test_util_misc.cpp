@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using bcop::util::Args;
+using bcop::util::AsciiTable;
+using bcop::util::CsvWriter;
+
+TEST(Args, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "--epochs", "20", "--lr", "0.003"};
+  Args args(5, argv);
+  EXPECT_EQ(args.get_int("epochs", 0), 20);
+  EXPECT_DOUBLE_EQ(args.get_double("lr", 0), 0.003);
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+}
+
+TEST(Args, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--arch=cnv"};
+  Args args(2, argv);
+  EXPECT_EQ(args.get("arch", ""), "cnv");
+}
+
+TEST(Args, ParsesFlags) {
+  const char* argv[] = {"prog", "--verbose", "--n", "3"};
+  Args args(4, argv, {"verbose"});
+  EXPECT_TRUE(args.get_flag("verbose"));
+  EXPECT_FALSE(args.get_flag("quiet"));
+  EXPECT_EQ(args.get_int("n", 0), 3);
+}
+
+TEST(Args, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  EXPECT_THROW(Args(2, argv), std::invalid_argument);
+}
+
+TEST(Args, RejectsMissingValue) {
+  const char* argv[] = {"prog", "--key"};
+  EXPECT_THROW(Args(2, argv), std::invalid_argument);
+}
+
+TEST(Csv, WritesHeaderAndEscapes) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "bcop_test.csv").string();
+  {
+    CsvWriter csv(path, {"name", "value"});
+    csv.row({"plain", "1"});
+    csv.row({"with,comma", "with\"quote"});
+    csv.rowv("fps", 6400.5);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "name,value");
+  std::getline(in, line);
+  EXPECT_EQ(line, "plain,1");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"with,comma\",\"with\"\"quote\"");
+  std::getline(in, line);
+  EXPECT_EQ(line, "fps,6400.5");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ArityMismatchThrows) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "bcop_arity.csv").string();
+  CsvWriter csv(path, {"a", "b"});
+  EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+TEST(Table, RendersAlignedBox) {
+  AsciiTable t({"Config", "LUT"});
+  t.add_row({"CNV", "26060"});
+  t.add_row({"n-CNV", "20425"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("| Config |"), std::string::npos);
+  EXPECT_NE(s.find("26060"), std::string::npos);
+  // Numeric column right-aligned: shorter header padded on the left side.
+  EXPECT_NE(s.find("| 26060 |"), std::string::npos);
+}
+
+TEST(Table, ArityMismatchThrows) {
+  AsciiTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"x"}), std::invalid_argument);
+}
+
+TEST(Fmt, FormatsPrecision) {
+  EXPECT_EQ(bcop::util::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(bcop::util::fmt(98.0, 1), "98.0");
+}
+
+}  // namespace

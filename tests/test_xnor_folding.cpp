@@ -1,0 +1,113 @@
+// Threshold folding must reproduce sign(BatchNorm(x)) for *every* integer
+// accumulator value, including negative-gamma and zero-gamma channels --
+// this is the exactness the paper's hardware relies on (Sec. III-A).
+#include <gtest/gtest.h>
+
+#include "nn/batchnorm.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+#include "xnor/folding.hpp"
+
+namespace {
+
+using namespace bcop;
+using xnor::bn_sign_predicate;
+using xnor::fold_batchnorm;
+using xnor::ThresholdSpec;
+
+// Build a BatchNorm with explicit gamma/beta/running stats.
+nn::BatchNorm make_bn(const std::vector<float>& gamma,
+                      const std::vector<float>& beta,
+                      const std::vector<float>& mean,
+                      const std::vector<float>& var) {
+  // Running statistics have no public setter (they are training state), so
+  // build the layer through its serialized form.
+  util::BinaryWriter w("/tmp/bcop_test_bn.bin");
+  w.write_tag("BNRM");
+  w.write_u64(gamma.size());
+  w.write_f32(1e-5f);
+  w.write_f32(0.9f);
+  w.write_f32_array(gamma);
+  w.write_f32_array(beta);
+  w.write_f32_array(mean);
+  w.write_f32_array(var);
+  w.close();
+  util::BinaryReader r("/tmp/bcop_test_bn.bin");
+  nn::BatchNorm out;
+  out.load(r);
+  return out;
+}
+
+void expect_fold_exact(const nn::BatchNorm& bn, std::int64_t acc_min,
+                       std::int64_t acc_max, double scale) {
+  const ThresholdSpec spec = fold_batchnorm(bn, acc_min, acc_max, scale);
+  for (std::int64_t c = 0; c < bn.channels(); ++c)
+    for (std::int64_t acc = acc_min; acc <= acc_max; ++acc)
+      ASSERT_EQ(spec.fire(acc, c), bn_sign_predicate(bn, c, acc, scale))
+          << "channel " << c << " acc " << acc;
+}
+
+TEST(Folding, PositiveGamma) {
+  const auto bn = make_bn({1.5f}, {0.3f}, {2.0f}, {4.0f});
+  expect_fold_exact(bn, -27, 27, 1.0);
+}
+
+TEST(Folding, NegativeGammaFlipsComparison) {
+  const auto bn = make_bn({-0.8f}, {0.1f}, {-1.0f}, {2.0f});
+  const ThresholdSpec spec = fold_batchnorm(bn, -27, 27, 1.0);
+  EXPECT_TRUE(spec.flip[0]);
+  expect_fold_exact(bn, -27, 27, 1.0);
+}
+
+TEST(Folding, ZeroGammaIsConstant) {
+  const auto bn_pos = make_bn({0.f}, {0.5f}, {0.f}, {1.0f});
+  const ThresholdSpec always = fold_batchnorm(bn_pos, -10, 10, 1.0);
+  for (std::int64_t acc = -10; acc <= 10; ++acc)
+    EXPECT_TRUE(always.fire(acc, 0));
+
+  const auto bn_neg = make_bn({0.f}, {-0.5f}, {0.f}, {1.0f});
+  const ThresholdSpec never = fold_batchnorm(bn_neg, -10, 10, 1.0);
+  for (std::int64_t acc = -10; acc <= 10; ++acc)
+    EXPECT_FALSE(never.fire(acc, 0));
+}
+
+TEST(Folding, ThresholdOutsideRangeSaturates) {
+  // Huge positive mean: predicate never fires within the range.
+  const auto bn = make_bn({1.f}, {0.f}, {1e6f}, {1.0f});
+  const ThresholdSpec spec = fold_batchnorm(bn, -27, 27, 1.0);
+  for (std::int64_t acc = -27; acc <= 27; ++acc)
+    EXPECT_FALSE(spec.fire(acc, 0));
+}
+
+TEST(Folding, FirstLayerScaleDomain) {
+  const auto bn = make_bn({0.7f, -1.2f}, {0.2f, 0.4f}, {3.0f, -2.0f},
+                          {9.0f, 0.25f});
+  expect_fold_exact(bn, -600, 600, 1.0 / 255.0);
+}
+
+class FoldingRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldingRandom, RandomBnParamsFoldExactly) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 7717);
+  const int C = 8;
+  std::vector<float> gamma(C), beta(C), mean(C), var(C);
+  for (int c = 0; c < C; ++c) {
+    gamma[static_cast<std::size_t>(c)] =
+        static_cast<float>(rng.uniform(-2.0, 2.0));
+    if (rng.bernoulli(0.1)) gamma[static_cast<std::size_t>(c)] = 0.f;
+    beta[static_cast<std::size_t>(c)] = static_cast<float>(rng.uniform(-1, 1));
+    mean[static_cast<std::size_t>(c)] = static_cast<float>(rng.uniform(-20, 20));
+    var[static_cast<std::size_t>(c)] = static_cast<float>(rng.uniform(0.01, 50));
+  }
+  const auto bn = make_bn(gamma, beta, mean, var);
+  expect_fold_exact(bn, -144, 144, 1.0);  // conv fan-in 144 (n-CNV conv1.2)
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FoldingRandom, ::testing::Range(0, 10));
+
+TEST(Folding, EmptyRangeThrows) {
+  const auto bn = make_bn({1.f}, {0.f}, {0.f}, {1.f});
+  EXPECT_THROW(fold_batchnorm(bn, 5, 4, 1.0), std::invalid_argument);
+}
+
+}  // namespace
