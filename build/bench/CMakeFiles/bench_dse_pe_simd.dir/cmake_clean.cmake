@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dse_pe_simd.dir/bench_dse_pe_simd.cpp.o"
+  "CMakeFiles/bench_dse_pe_simd.dir/bench_dse_pe_simd.cpp.o.d"
+  "bench_dse_pe_simd"
+  "bench_dse_pe_simd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dse_pe_simd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dse_pe_simd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_gradcam_correct.dir/bench_fig3_gradcam_correct.cpp.o"
+  "CMakeFiles/bench_fig3_gradcam_correct.dir/bench_fig3_gradcam_correct.cpp.o.d"
+  "bench_fig3_gradcam_correct"
+  "bench_fig3_gradcam_correct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_gradcam_correct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

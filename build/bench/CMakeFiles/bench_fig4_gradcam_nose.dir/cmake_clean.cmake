@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_gradcam_nose.dir/bench_fig4_gradcam_nose.cpp.o"
+  "CMakeFiles/bench_fig4_gradcam_nose.dir/bench_fig4_gradcam_nose.cpp.o.d"
+  "bench_fig4_gradcam_nose"
+  "bench_fig4_gradcam_nose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_gradcam_nose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gradcam_nose_mouth.dir/bench_fig5_gradcam_nose_mouth.cpp.o"
+  "CMakeFiles/bench_fig5_gradcam_nose_mouth.dir/bench_fig5_gradcam_nose_mouth.cpp.o.d"
+  "bench_fig5_gradcam_nose_mouth"
+  "bench_fig5_gradcam_nose_mouth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gradcam_nose_mouth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

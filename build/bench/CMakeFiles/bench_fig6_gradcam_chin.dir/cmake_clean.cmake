@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_gradcam_chin.dir/bench_fig6_gradcam_chin.cpp.o"
+  "CMakeFiles/bench_fig6_gradcam_chin.dir/bench_fig6_gradcam_chin.cpp.o.d"
+  "bench_fig6_gradcam_chin"
+  "bench_fig6_gradcam_chin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_gradcam_chin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

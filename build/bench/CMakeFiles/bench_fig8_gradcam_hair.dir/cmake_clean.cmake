@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_gradcam_hair.dir/bench_fig8_gradcam_hair.cpp.o"
+  "CMakeFiles/bench_fig8_gradcam_hair.dir/bench_fig8_gradcam_hair.cpp.o.d"
+  "bench_fig8_gradcam_hair"
+  "bench_fig8_gradcam_hair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_gradcam_hair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

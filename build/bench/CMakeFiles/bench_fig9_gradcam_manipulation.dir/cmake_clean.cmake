@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_gradcam_manipulation.dir/bench_fig9_gradcam_manipulation.cpp.o"
+  "CMakeFiles/bench_fig9_gradcam_manipulation.dir/bench_fig9_gradcam_manipulation.cpp.o.d"
+  "bench_fig9_gradcam_manipulation"
+  "bench_fig9_gradcam_manipulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_gradcam_manipulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_sim.dir/bench_stream_sim.cpp.o"
+  "CMakeFiles/bench_stream_sim.dir/bench_stream_sim.cpp.o.d"
+  "bench_stream_sim"
+  "bench_stream_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitstream_deploy.dir/bitstream_deploy.cpp.o"
+  "CMakeFiles/bitstream_deploy.dir/bitstream_deploy.cpp.o.d"
+  "bitstream_deploy"
+  "bitstream_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitstream_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_statistics.dir/crowd_statistics.cpp.o"
+  "CMakeFiles/crowd_statistics.dir/crowd_statistics.cpp.o.d"
+  "crowd_statistics"
+  "crowd_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

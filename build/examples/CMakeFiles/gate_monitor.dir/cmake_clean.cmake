@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gate_monitor.dir/gate_monitor.cpp.o"
+  "CMakeFiles/gate_monitor.dir/gate_monitor.cpp.o.d"
+  "gate_monitor"
+  "gate_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gate_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

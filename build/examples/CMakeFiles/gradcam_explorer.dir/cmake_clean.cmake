@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gradcam_explorer.dir/gradcam_explorer.cpp.o"
+  "CMakeFiles/gradcam_explorer.dir/gradcam_explorer.cpp.o.d"
+  "gradcam_explorer"
+  "gradcam_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gradcam_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

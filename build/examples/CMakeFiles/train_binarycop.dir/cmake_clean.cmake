@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_binarycop.dir/train_binarycop.cpp.o"
+  "CMakeFiles/train_binarycop.dir/train_binarycop.cpp.o.d"
+  "train_binarycop"
+  "train_binarycop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_binarycop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

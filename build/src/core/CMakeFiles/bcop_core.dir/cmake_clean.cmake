@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcop_core.dir/architecture.cpp.o"
+  "CMakeFiles/bcop_core.dir/architecture.cpp.o.d"
+  "CMakeFiles/bcop_core.dir/evaluator.cpp.o"
+  "CMakeFiles/bcop_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/bcop_core.dir/predictor.cpp.o"
+  "CMakeFiles/bcop_core.dir/predictor.cpp.o.d"
+  "CMakeFiles/bcop_core.dir/trainer.cpp.o"
+  "CMakeFiles/bcop_core.dir/trainer.cpp.o.d"
+  "libbcop_core.a"
+  "libbcop_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcop_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deploy/dse.cpp" "src/deploy/CMakeFiles/bcop_deploy.dir/dse.cpp.o" "gcc" "src/deploy/CMakeFiles/bcop_deploy.dir/dse.cpp.o.d"
+  "/root/repo/src/deploy/mvtu.cpp" "src/deploy/CMakeFiles/bcop_deploy.dir/mvtu.cpp.o" "gcc" "src/deploy/CMakeFiles/bcop_deploy.dir/mvtu.cpp.o.d"
+  "/root/repo/src/deploy/performance.cpp" "src/deploy/CMakeFiles/bcop_deploy.dir/performance.cpp.o" "gcc" "src/deploy/CMakeFiles/bcop_deploy.dir/performance.cpp.o.d"
+  "/root/repo/src/deploy/pipeline.cpp" "src/deploy/CMakeFiles/bcop_deploy.dir/pipeline.cpp.o" "gcc" "src/deploy/CMakeFiles/bcop_deploy.dir/pipeline.cpp.o.d"
+  "/root/repo/src/deploy/power.cpp" "src/deploy/CMakeFiles/bcop_deploy.dir/power.cpp.o" "gcc" "src/deploy/CMakeFiles/bcop_deploy.dir/power.cpp.o.d"
+  "/root/repo/src/deploy/resource.cpp" "src/deploy/CMakeFiles/bcop_deploy.dir/resource.cpp.o" "gcc" "src/deploy/CMakeFiles/bcop_deploy.dir/resource.cpp.o.d"
+  "/root/repo/src/deploy/stream_sim.cpp" "src/deploy/CMakeFiles/bcop_deploy.dir/stream_sim.cpp.o" "gcc" "src/deploy/CMakeFiles/bcop_deploy.dir/stream_sim.cpp.o.d"
+  "/root/repo/src/deploy/swu.cpp" "src/deploy/CMakeFiles/bcop_deploy.dir/swu.cpp.o" "gcc" "src/deploy/CMakeFiles/bcop_deploy.dir/swu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bcop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xnor/CMakeFiles/bcop_xnor.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bcop_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/facegen/CMakeFiles/bcop_facegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bcop_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bcop_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

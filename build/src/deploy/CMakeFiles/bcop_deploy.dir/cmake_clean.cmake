@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcop_deploy.dir/dse.cpp.o"
+  "CMakeFiles/bcop_deploy.dir/dse.cpp.o.d"
+  "CMakeFiles/bcop_deploy.dir/mvtu.cpp.o"
+  "CMakeFiles/bcop_deploy.dir/mvtu.cpp.o.d"
+  "CMakeFiles/bcop_deploy.dir/performance.cpp.o"
+  "CMakeFiles/bcop_deploy.dir/performance.cpp.o.d"
+  "CMakeFiles/bcop_deploy.dir/pipeline.cpp.o"
+  "CMakeFiles/bcop_deploy.dir/pipeline.cpp.o.d"
+  "CMakeFiles/bcop_deploy.dir/power.cpp.o"
+  "CMakeFiles/bcop_deploy.dir/power.cpp.o.d"
+  "CMakeFiles/bcop_deploy.dir/resource.cpp.o"
+  "CMakeFiles/bcop_deploy.dir/resource.cpp.o.d"
+  "CMakeFiles/bcop_deploy.dir/stream_sim.cpp.o"
+  "CMakeFiles/bcop_deploy.dir/stream_sim.cpp.o.d"
+  "CMakeFiles/bcop_deploy.dir/swu.cpp.o"
+  "CMakeFiles/bcop_deploy.dir/swu.cpp.o.d"
+  "libbcop_deploy.a"
+  "libbcop_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcop_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/facegen/attributes.cpp" "src/facegen/CMakeFiles/bcop_facegen.dir/attributes.cpp.o" "gcc" "src/facegen/CMakeFiles/bcop_facegen.dir/attributes.cpp.o.d"
+  "/root/repo/src/facegen/augment.cpp" "src/facegen/CMakeFiles/bcop_facegen.dir/augment.cpp.o" "gcc" "src/facegen/CMakeFiles/bcop_facegen.dir/augment.cpp.o.d"
+  "/root/repo/src/facegen/crowd.cpp" "src/facegen/CMakeFiles/bcop_facegen.dir/crowd.cpp.o" "gcc" "src/facegen/CMakeFiles/bcop_facegen.dir/crowd.cpp.o.d"
+  "/root/repo/src/facegen/dataset.cpp" "src/facegen/CMakeFiles/bcop_facegen.dir/dataset.cpp.o" "gcc" "src/facegen/CMakeFiles/bcop_facegen.dir/dataset.cpp.o.d"
+  "/root/repo/src/facegen/renderer.cpp" "src/facegen/CMakeFiles/bcop_facegen.dir/renderer.cpp.o" "gcc" "src/facegen/CMakeFiles/bcop_facegen.dir/renderer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bcop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bcop_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bcop_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

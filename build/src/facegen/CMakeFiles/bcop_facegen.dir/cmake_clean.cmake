@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcop_facegen.dir/attributes.cpp.o"
+  "CMakeFiles/bcop_facegen.dir/attributes.cpp.o.d"
+  "CMakeFiles/bcop_facegen.dir/augment.cpp.o"
+  "CMakeFiles/bcop_facegen.dir/augment.cpp.o.d"
+  "CMakeFiles/bcop_facegen.dir/crowd.cpp.o"
+  "CMakeFiles/bcop_facegen.dir/crowd.cpp.o.d"
+  "CMakeFiles/bcop_facegen.dir/dataset.cpp.o"
+  "CMakeFiles/bcop_facegen.dir/dataset.cpp.o.d"
+  "CMakeFiles/bcop_facegen.dir/renderer.cpp.o"
+  "CMakeFiles/bcop_facegen.dir/renderer.cpp.o.d"
+  "libbcop_facegen.a"
+  "libbcop_facegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcop_facegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcop_gradcam.dir/attention.cpp.o"
+  "CMakeFiles/bcop_gradcam.dir/attention.cpp.o.d"
+  "CMakeFiles/bcop_gradcam.dir/gradcam.cpp.o"
+  "CMakeFiles/bcop_gradcam.dir/gradcam.cpp.o.d"
+  "CMakeFiles/bcop_gradcam.dir/overlay.cpp.o"
+  "CMakeFiles/bcop_gradcam.dir/overlay.cpp.o.d"
+  "libbcop_gradcam.a"
+  "libbcop_gradcam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcop_gradcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

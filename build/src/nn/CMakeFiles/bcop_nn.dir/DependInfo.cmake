@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/bcop_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/binary_conv2d.cpp" "src/nn/CMakeFiles/bcop_nn.dir/binary_conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/binary_conv2d.cpp.o.d"
+  "/root/repo/src/nn/binary_dense.cpp" "src/nn/CMakeFiles/bcop_nn.dir/binary_dense.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/binary_dense.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/bcop_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/bcop_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/bcop_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/hinge_loss.cpp" "src/nn/CMakeFiles/bcop_nn.dir/hinge_loss.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/hinge_loss.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/bcop_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/maxpool.cpp" "src/nn/CMakeFiles/bcop_nn.dir/maxpool.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/maxpool.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/nn/CMakeFiles/bcop_nn.dir/optimizer.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/optimizer.cpp.o.d"
+  "/root/repo/src/nn/scaled_binary_conv2d.cpp" "src/nn/CMakeFiles/bcop_nn.dir/scaled_binary_conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/scaled_binary_conv2d.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/nn/CMakeFiles/bcop_nn.dir/sequential.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/sequential.cpp.o.d"
+  "/root/repo/src/nn/sign_activation.cpp" "src/nn/CMakeFiles/bcop_nn.dir/sign_activation.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/sign_activation.cpp.o.d"
+  "/root/repo/src/nn/softmax_xent.cpp" "src/nn/CMakeFiles/bcop_nn.dir/softmax_xent.cpp.o" "gcc" "src/nn/CMakeFiles/bcop_nn.dir/softmax_xent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/bcop_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bcop_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

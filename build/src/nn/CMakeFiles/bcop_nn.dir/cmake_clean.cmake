@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcop_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/bcop_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/binary_conv2d.cpp.o"
+  "CMakeFiles/bcop_nn.dir/binary_conv2d.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/binary_dense.cpp.o"
+  "CMakeFiles/bcop_nn.dir/binary_dense.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/bcop_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/dense.cpp.o"
+  "CMakeFiles/bcop_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/flatten.cpp.o"
+  "CMakeFiles/bcop_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/hinge_loss.cpp.o"
+  "CMakeFiles/bcop_nn.dir/hinge_loss.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/init.cpp.o"
+  "CMakeFiles/bcop_nn.dir/init.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/maxpool.cpp.o"
+  "CMakeFiles/bcop_nn.dir/maxpool.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/bcop_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/scaled_binary_conv2d.cpp.o"
+  "CMakeFiles/bcop_nn.dir/scaled_binary_conv2d.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/sequential.cpp.o"
+  "CMakeFiles/bcop_nn.dir/sequential.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/sign_activation.cpp.o"
+  "CMakeFiles/bcop_nn.dir/sign_activation.cpp.o.d"
+  "CMakeFiles/bcop_nn.dir/softmax_xent.cpp.o"
+  "CMakeFiles/bcop_nn.dir/softmax_xent.cpp.o.d"
+  "libbcop_nn.a"
+  "libbcop_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcop_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

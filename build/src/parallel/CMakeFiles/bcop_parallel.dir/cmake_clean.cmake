@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcop_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/bcop_parallel.dir/thread_pool.cpp.o.d"
+  "libbcop_parallel.a"
+  "libbcop_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcop_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbcop_parallel.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/bit_tensor.cpp" "src/tensor/CMakeFiles/bcop_tensor.dir/bit_tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/bcop_tensor.dir/bit_tensor.cpp.o.d"
+  "/root/repo/src/tensor/gemm.cpp" "src/tensor/CMakeFiles/bcop_tensor.dir/gemm.cpp.o" "gcc" "src/tensor/CMakeFiles/bcop_tensor.dir/gemm.cpp.o.d"
+  "/root/repo/src/tensor/im2row.cpp" "src/tensor/CMakeFiles/bcop_tensor.dir/im2row.cpp.o" "gcc" "src/tensor/CMakeFiles/bcop_tensor.dir/im2row.cpp.o.d"
+  "/root/repo/src/tensor/ops.cpp" "src/tensor/CMakeFiles/bcop_tensor.dir/ops.cpp.o" "gcc" "src/tensor/CMakeFiles/bcop_tensor.dir/ops.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/bcop_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/bcop_tensor.dir/tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/bcop_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bcop_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

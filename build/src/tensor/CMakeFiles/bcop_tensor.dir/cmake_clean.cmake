@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcop_tensor.dir/bit_tensor.cpp.o"
+  "CMakeFiles/bcop_tensor.dir/bit_tensor.cpp.o.d"
+  "CMakeFiles/bcop_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/bcop_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/bcop_tensor.dir/im2row.cpp.o"
+  "CMakeFiles/bcop_tensor.dir/im2row.cpp.o.d"
+  "CMakeFiles/bcop_tensor.dir/ops.cpp.o"
+  "CMakeFiles/bcop_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/bcop_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/bcop_tensor.dir/tensor.cpp.o.d"
+  "libbcop_tensor.a"
+  "libbcop_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcop_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcop_util.dir/args.cpp.o"
+  "CMakeFiles/bcop_util.dir/args.cpp.o.d"
+  "CMakeFiles/bcop_util.dir/csv.cpp.o"
+  "CMakeFiles/bcop_util.dir/csv.cpp.o.d"
+  "CMakeFiles/bcop_util.dir/image.cpp.o"
+  "CMakeFiles/bcop_util.dir/image.cpp.o.d"
+  "CMakeFiles/bcop_util.dir/log.cpp.o"
+  "CMakeFiles/bcop_util.dir/log.cpp.o.d"
+  "CMakeFiles/bcop_util.dir/rng.cpp.o"
+  "CMakeFiles/bcop_util.dir/rng.cpp.o.d"
+  "CMakeFiles/bcop_util.dir/serialize.cpp.o"
+  "CMakeFiles/bcop_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/bcop_util.dir/table.cpp.o"
+  "CMakeFiles/bcop_util.dir/table.cpp.o.d"
+  "libbcop_util.a"
+  "libbcop_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcop_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bcop_xnor.dir/bitstream.cpp.o"
+  "CMakeFiles/bcop_xnor.dir/bitstream.cpp.o.d"
+  "CMakeFiles/bcop_xnor.dir/engine.cpp.o"
+  "CMakeFiles/bcop_xnor.dir/engine.cpp.o.d"
+  "CMakeFiles/bcop_xnor.dir/folding.cpp.o"
+  "CMakeFiles/bcop_xnor.dir/folding.cpp.o.d"
+  "libbcop_xnor.a"
+  "libbcop_xnor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bcop_xnor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

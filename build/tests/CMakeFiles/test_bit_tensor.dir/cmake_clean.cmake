@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bit_tensor.dir/test_bit_tensor.cpp.o"
+  "CMakeFiles/test_bit_tensor.dir/test_bit_tensor.cpp.o.d"
+  "test_bit_tensor"
+  "test_bit_tensor.pdb"
+  "test_bit_tensor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bit_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

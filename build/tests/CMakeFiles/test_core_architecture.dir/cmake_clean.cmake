@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_architecture.dir/test_core_architecture.cpp.o"
+  "CMakeFiles/test_core_architecture.dir/test_core_architecture.cpp.o.d"
+  "test_core_architecture"
+  "test_core_architecture.pdb"
+  "test_core_architecture[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_evaluator.dir/test_core_evaluator.cpp.o"
+  "CMakeFiles/test_core_evaluator.dir/test_core_evaluator.cpp.o.d"
+  "test_core_evaluator"
+  "test_core_evaluator.pdb"
+  "test_core_evaluator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_evaluator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

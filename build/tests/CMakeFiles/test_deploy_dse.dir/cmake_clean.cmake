@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deploy_dse.dir/test_deploy_dse.cpp.o"
+  "CMakeFiles/test_deploy_dse.dir/test_deploy_dse.cpp.o.d"
+  "test_deploy_dse"
+  "test_deploy_dse.pdb"
+  "test_deploy_dse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deploy_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

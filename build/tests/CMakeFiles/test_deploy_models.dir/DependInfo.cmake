@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_deploy_models.cpp" "tests/CMakeFiles/test_deploy_models.dir/test_deploy_models.cpp.o" "gcc" "tests/CMakeFiles/test_deploy_models.dir/test_deploy_models.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bcop_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/deploy/CMakeFiles/bcop_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/gradcam/CMakeFiles/bcop_gradcam.dir/DependInfo.cmake"
+  "/root/repo/build/src/xnor/CMakeFiles/bcop_xnor.dir/DependInfo.cmake"
+  "/root/repo/build/src/facegen/CMakeFiles/bcop_facegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/bcop_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/bcop_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bcop_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/bcop_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

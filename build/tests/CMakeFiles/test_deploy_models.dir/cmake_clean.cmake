@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deploy_models.dir/test_deploy_models.cpp.o"
+  "CMakeFiles/test_deploy_models.dir/test_deploy_models.cpp.o.d"
+  "test_deploy_models"
+  "test_deploy_models.pdb"
+  "test_deploy_models[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deploy_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deploy_mvtu.dir/test_deploy_mvtu.cpp.o"
+  "CMakeFiles/test_deploy_mvtu.dir/test_deploy_mvtu.cpp.o.d"
+  "test_deploy_mvtu"
+  "test_deploy_mvtu.pdb"
+  "test_deploy_mvtu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deploy_mvtu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deploy_stream_sim.dir/test_deploy_stream_sim.cpp.o"
+  "CMakeFiles/test_deploy_stream_sim.dir/test_deploy_stream_sim.cpp.o.d"
+  "test_deploy_stream_sim"
+  "test_deploy_stream_sim.pdb"
+  "test_deploy_stream_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deploy_stream_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_facegen.dir/test_facegen.cpp.o"
+  "CMakeFiles/test_facegen.dir/test_facegen.cpp.o.d"
+  "test_facegen"
+  "test_facegen.pdb"
+  "test_facegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_facegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_facegen_crowd.dir/test_facegen_crowd.cpp.o"
+  "CMakeFiles/test_facegen_crowd.dir/test_facegen_crowd.cpp.o.d"
+  "test_facegen_crowd"
+  "test_facegen_crowd.pdb"
+  "test_facegen_crowd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_facegen_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_facegen_dataset.dir/test_facegen_dataset.cpp.o"
+  "CMakeFiles/test_facegen_dataset.dir/test_facegen_dataset.cpp.o.d"
+  "test_facegen_dataset"
+  "test_facegen_dataset.pdb"
+  "test_facegen_dataset[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_facegen_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

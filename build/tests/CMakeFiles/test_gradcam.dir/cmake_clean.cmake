@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gradcam.dir/test_gradcam.cpp.o"
+  "CMakeFiles/test_gradcam.dir/test_gradcam.cpp.o.d"
+  "test_gradcam"
+  "test_gradcam.pdb"
+  "test_gradcam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gradcam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_im2row.dir/test_im2row.cpp.o"
+  "CMakeFiles/test_im2row.dir/test_im2row.cpp.o.d"
+  "test_im2row"
+  "test_im2row.pdb"
+  "test_im2row[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_im2row.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration_artifact.dir/test_integration_artifact.cpp.o"
+  "CMakeFiles/test_integration_artifact.dir/test_integration_artifact.cpp.o.d"
+  "test_integration_artifact"
+  "test_integration_artifact.pdb"
+  "test_integration_artifact[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration_artifact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_hinge.dir/test_nn_hinge.cpp.o"
+  "CMakeFiles/test_nn_hinge.dir/test_nn_hinge.cpp.o.d"
+  "test_nn_hinge"
+  "test_nn_hinge.pdb"
+  "test_nn_hinge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_hinge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_layers_fwd.dir/test_nn_layers_fwd.cpp.o"
+  "CMakeFiles/test_nn_layers_fwd.dir/test_nn_layers_fwd.cpp.o.d"
+  "test_nn_layers_fwd"
+  "test_nn_layers_fwd.pdb"
+  "test_nn_layers_fwd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_layers_fwd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

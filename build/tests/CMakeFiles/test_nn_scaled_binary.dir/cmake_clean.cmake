@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_scaled_binary.dir/test_nn_scaled_binary.cpp.o"
+  "CMakeFiles/test_nn_scaled_binary.dir/test_nn_scaled_binary.cpp.o.d"
+  "test_nn_scaled_binary"
+  "test_nn_scaled_binary.pdb"
+  "test_nn_scaled_binary[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_scaled_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

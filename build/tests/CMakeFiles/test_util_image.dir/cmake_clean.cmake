@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_image.dir/test_util_image.cpp.o"
+  "CMakeFiles/test_util_image.dir/test_util_image.cpp.o.d"
+  "test_util_image"
+  "test_util_image.pdb"
+  "test_util_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xnor_bitstream.dir/test_xnor_bitstream.cpp.o"
+  "CMakeFiles/test_xnor_bitstream.dir/test_xnor_bitstream.cpp.o.d"
+  "test_xnor_bitstream"
+  "test_xnor_bitstream.pdb"
+  "test_xnor_bitstream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xnor_bitstream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

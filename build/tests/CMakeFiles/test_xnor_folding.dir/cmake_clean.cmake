@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xnor_folding.dir/test_xnor_folding.cpp.o"
+  "CMakeFiles/test_xnor_folding.dir/test_xnor_folding.cpp.o.d"
+  "test_xnor_folding"
+  "test_xnor_folding.pdb"
+  "test_xnor_folding[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xnor_folding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xnor_random_arch.dir/test_xnor_random_arch.cpp.o"
+  "CMakeFiles/test_xnor_random_arch.dir/test_xnor_random_arch.cpp.o.d"
+  "test_xnor_random_arch"
+  "test_xnor_random_arch.pdb"
+  "test_xnor_random_arch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xnor_random_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
