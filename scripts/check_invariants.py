@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Repo-invariant lint: structural rules clang-tidy cannot express.
+
+Rules (see docs/static-analysis.md):
+  R1  raw `data_[...]` index arithmetic is confined to src/tensor/ — every
+      other module must go through a named, contract-checked index helper.
+  R2  `std::thread` (and <thread>) is confined to src/parallel/ — all
+      concurrency flows through ThreadPool so the TSan matrix sees it.
+  R3  C `rand()`/`srand()` and non-reproducible std RNGs are forbidden in
+      src/ outside util/rng — all randomness must be seed-deterministic.
+  R4  every src/<module>/<name>.cpp must have its companion header
+      referenced by at least one file in tests/ — no untested modules.
+
+Exit status: 0 when clean, 1 with a per-violation report otherwise.
+"""
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+SRC = ROOT / "src"
+TESTS = ROOT / "tests"
+
+DATA_ARITH = re.compile(r"data_\s*\[[^\]]*[+\-*/%]")
+THREAD_USE = re.compile(r"std::thread\b|#include\s*<thread>")
+BAD_RNG = re.compile(
+    r"\b(?:s?rand)\s*\(|std::random_device|std::mt19937|std::default_random_engine"
+)
+
+
+def src_files() -> list[Path]:
+    return sorted(p for p in SRC.rglob("*") if p.suffix in (".cpp", ".hpp"))
+
+
+def grep_rule(name: str, pattern: re.Pattern[str], allowed_prefix: str,
+              violations: list[str]) -> None:
+    for path in src_files():
+        rel = path.relative_to(ROOT).as_posix()
+        if rel.startswith(allowed_prefix):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if pattern.search(line):
+                violations.append(f"{name}: {rel}:{lineno}: {line.strip()}")
+
+
+def check_test_references(violations: list[str]) -> None:
+    corpus = "\n".join(p.read_text() for p in sorted(TESTS.glob("*.[ch]pp")))
+    for cpp in sorted(SRC.rglob("*.cpp")):
+        rel = cpp.relative_to(SRC)
+        header = rel.with_suffix(".hpp").as_posix()
+        if header not in corpus:
+            violations.append(
+                f"R4: src/{rel.as_posix()}: no test includes \"{header}\"")
+
+
+def main() -> int:
+    violations: list[str] = []
+    grep_rule("R1", DATA_ARITH, "src/tensor/", violations)
+    grep_rule("R2", THREAD_USE, "src/parallel/", violations)
+    grep_rule("R3", BAD_RNG, "src/util/rng", violations)
+    check_test_references(violations)
+    if violations:
+        print(f"check_invariants: {len(violations)} violation(s)")
+        for v in violations:
+            print("  " + v)
+        return 1
+    print("check_invariants: OK "
+          f"({len(src_files())} files, 4 rules)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,11 +2,28 @@
 # Full reproduction pipeline: build, test, train the four models, run every
 # table/figure bench. Run from the repository root. Training dominates the
 # runtime; pass QUICK=1 to use reduced training schedules.
+#
+# Opt-in: STATIC_ANALYSIS=1 additionally runs scripts/static_analysis.sh
+# (clang-tidy + repo-invariant lint) and reports its result in the summary.
 set -euo pipefail
+
+declare -a SUMMARY
+note() { SUMMARY+=("$1"); }
 
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+note "build+ctest: PASS"
+
+if [[ "${STATIC_ANALYSIS:-0}" == "1" ]]; then
+  if scripts/static_analysis.sh build; then
+    note "static_analysis: PASS"
+  else
+    note "static_analysis: FAIL"
+  fi
+else
+  note "static_analysis: skipped (set STATIC_ANALYSIS=1 to enable)"
+fi
 
 TRAIN=build/examples/train_binarycop
 if [[ "${QUICK:-0}" == "1" ]]; then
@@ -20,8 +37,19 @@ else
   $TRAIN --arch cnv  --per-class 800  --epochs 6  --eval-every 3 --out models/cnv.bcop
   $TRAIN --arch fp32 --per-class 600  --epochs 5  --eval-every 3 --out models/fp32_cnv.bcop
 fi
+note "training: PASS"
 
 for b in build/bench/*; do
   echo "=== $b ==="
   "$b"
 done
+note "benches: PASS"
+
+echo
+echo "reproduce_all summary:"
+status=0
+for line in "${SUMMARY[@]}"; do
+  echo "  $line"
+  [[ "$line" == *FAIL* ]] && status=1
+done
+exit $status

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Static-analysis driver: clang-tidy (when installed) + repo-invariant lint.
+#
+# Usage: scripts/static_analysis.sh [build-dir]
+#   build-dir  CMake build tree providing compile_commands.json
+#              (default: build; configured automatically if missing).
+#
+# Exit status is non-zero iff any stage FAILs. A missing clang-tidy binary
+# is reported as SKIP, not failure, so the lint still gates environments
+# without the LLVM toolchain.
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+declare -a STAGE_NAMES STAGE_RESULTS
+record() { STAGE_NAMES+=("$1"); STAGE_RESULTS+=("$2"); }
+
+# --- Stage 1: clang-tidy over src/ ----------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [[ ! -f "$BUILD_DIR/compile_commands.json" ]]; then
+    cmake -B "$BUILD_DIR" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  mapfile -t SOURCES < <(find src -name '*.cpp' | sort)
+  echo "== clang-tidy (${#SOURCES[@]} files, config .clang-tidy) =="
+  if clang-tidy -p "$BUILD_DIR" --quiet "${SOURCES[@]}"; then
+    record clang-tidy PASS
+  else
+    record clang-tidy FAIL
+  fi
+else
+  echo "== clang-tidy: not installed, skipping =="
+  record clang-tidy SKIP
+fi
+
+# --- Stage 2: repo-invariant lint -----------------------------------------
+echo "== invariant lint (scripts/check_invariants.py) =="
+if python3 scripts/check_invariants.py; then
+  record invariant-lint PASS
+else
+  record invariant-lint FAIL
+fi
+
+# --- Summary ---------------------------------------------------------------
+echo
+echo "static_analysis summary:"
+status=0
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '  %-16s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+  [[ "${STAGE_RESULTS[$i]}" == FAIL ]] && status=1
+done
+exit $status

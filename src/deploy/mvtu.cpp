@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace bcop::deploy {
 
 std::int64_t folds_per_vector(std::int64_t rows, std::int64_t cols,
@@ -31,6 +33,7 @@ BinaryMvtu::BinaryMvtu(const tensor::BitMatrix* weights,
 std::int64_t BinaryMvtu::process(const std::uint64_t* in_words,
                                  std::vector<std::uint8_t>* out_bits,
                                  std::vector<std::int32_t>* raw_acc) const {
+  BCOP_CHECK(in_words != nullptr, "BinaryMvtu::process: null input vector");
   const std::int64_t R = rows(), C = cols();
   const std::int64_t nf = (R + cfg_.pe - 1) / cfg_.pe;
   const std::int64_t sf = (C + cfg_.simd - 1) / cfg_.simd;

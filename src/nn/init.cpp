@@ -2,10 +2,14 @@
 
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace bcop::nn {
 
 void glorot_uniform(tensor::Tensor& w, std::int64_t fan_in,
                     std::int64_t fan_out, util::Rng& rng) {
+  BCOP_CHECK(fan_in > 0 && fan_out > 0, "non-positive fan (%lld, %lld)",
+             static_cast<long long>(fan_in), static_cast<long long>(fan_out));
   const double a = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
   for (std::int64_t i = 0; i < w.numel(); ++i)
     w[i] = static_cast<float>(rng.uniform(-a, a));

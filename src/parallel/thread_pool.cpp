@@ -4,6 +4,8 @@
 #include <atomic>
 #include <exception>
 
+#include "util/check.hpp"
+
 namespace bcop::parallel {
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -22,6 +24,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  BCOP_CHECK(static_cast<bool>(task), "submit of empty std::function");
   if (workers_.empty()) {
     task();  // inline execution keeps single-threaded builds overhead-free
     return;
@@ -53,6 +56,7 @@ void ThreadPool::worker_loop() {
     task();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      BCOP_CHECK(in_flight_ > 0, "in_flight underflow in worker_loop");
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
     }

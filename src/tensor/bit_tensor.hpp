@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "tensor/tensor.hpp"
+#include "util/check.hpp"
 
 namespace bcop::tensor {
 
@@ -30,11 +31,21 @@ class BitMatrix {
   std::int64_t cols() const { return cols_; }
   std::int64_t words_per_row() const { return wpr_; }
 
-  const std::uint64_t* row(std::int64_t r) const { return data_.data() + r * wpr_; }
-  std::uint64_t* row(std::int64_t r) { return data_.data() + r * wpr_; }
+  const std::uint64_t* row(std::int64_t r) const {
+    BCOP_DCHECK(r >= 0 && r < rows_, "row %lld out of [0, %lld)",
+                static_cast<long long>(r), static_cast<long long>(rows_));
+    return data_.data() + r * wpr_;
+  }
+  std::uint64_t* row(std::int64_t r) {
+    BCOP_DCHECK(r >= 0 && r < rows_, "row %lld out of [0, %lld)",
+                static_cast<long long>(r), static_cast<long long>(rows_));
+    return data_.data() + r * wpr_;
+  }
 
   /// Set bit (r, c) from a sign: v >= 0 encodes +1.
   void set_from_sign(std::int64_t r, std::int64_t c, float v) {
+    BCOP_DCHECK(c >= 0 && c < cols_, "bit %lld out of [0, %lld)",
+                static_cast<long long>(c), static_cast<long long>(cols_));
     if (v >= 0.f)
       row(r)[c >> 6] |= (1ull << (c & 63));
     else
@@ -42,6 +53,8 @@ class BitMatrix {
   }
 
   bool get(std::int64_t r, std::int64_t c) const {
+    BCOP_DCHECK(c >= 0 && c < cols_, "bit %lld out of [0, %lld)",
+                static_cast<long long>(c), static_cast<long long>(cols_));
     return (row(r)[c >> 6] >> (c & 63)) & 1ull;
   }
 

@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/check.hpp"
+
 namespace bcop::tensor {
 
 /// Up to four dimensions; rank-0 means "empty". Dimensions are int64 so
@@ -33,7 +35,12 @@ class Shape {
 
   std::int64_t numel() const {
     std::int64_t n = 1;
-    for (int i = 0; i < rank_; ++i) n *= dims_[static_cast<std::size_t>(i)];
+    for (int i = 0; i < rank_; ++i) {
+      const std::int64_t d = dims_[static_cast<std::size_t>(i)];
+      BCOP_DCHECK(d == 0 || n <= INT64_MAX / d,
+                  "numel overflow at dim %d of %s", i, str().c_str());
+      n *= d;
+    }
     return rank_ == 0 ? 0 : n;
   }
 

@@ -5,12 +5,17 @@
 // value type with owning storage; views are expressed as (pointer, shape)
 // pairs at call sites that need them, which keeps lifetime reasoning
 // trivial (Core Guidelines P.8, R.1).
+//
+// Element accessors are contract-checked via BCOP_DCHECK: zero overhead in
+// production builds, full bounds/rank validation under
+// -DBCOP_BOUNDS_CHECK=ON (see docs/static-analysis.md).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "tensor/shape.hpp"
+#include "util/check.hpp"
 
 namespace bcop::tensor {
 
@@ -27,26 +32,31 @@ class Tensor {
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
-  float& operator[](std::int64_t i) { return data_[static_cast<std::size_t>(i)]; }
-  float operator[](std::int64_t i) const { return data_[static_cast<std::size_t>(i)]; }
+  float& operator[](std::int64_t i) {
+    BCOP_DCHECK(i >= 0 && i < static_cast<std::int64_t>(data_.size()),
+                "flat index %lld out of [0, %zu)", static_cast<long long>(i),
+                data_.size());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float operator[](std::int64_t i) const {
+    BCOP_DCHECK(i >= 0 && i < static_cast<std::int64_t>(data_.size()),
+                "flat index %lld out of [0, %zu)", static_cast<long long>(i),
+                data_.size());
+    return data_[static_cast<std::size_t>(i)];
+  }
 
-  /// NHWC accessor for rank-4 tensors (no bounds check, hot path).
+  /// NHWC accessor for rank-4 tensors (unchecked hot path unless
+  /// BCOP_BOUNDS_CHECK is on).
   float& at4(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c) {
-    return data_[static_cast<std::size_t>(
-        ((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c)];
+    return data_[index4(n, h, w, c)];
   }
   float at4(std::int64_t n, std::int64_t h, std::int64_t w, std::int64_t c) const {
-    return data_[static_cast<std::size_t>(
-        ((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c)];
+    return data_[index4(n, h, w, c)];
   }
 
   /// Row-major accessor for rank-2 tensors.
-  float& at2(std::int64_t r, std::int64_t c) {
-    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
-  }
-  float at2(std::int64_t r, std::int64_t c) const {
-    return data_[static_cast<std::size_t>(r * shape_[1] + c)];
-  }
+  float& at2(std::int64_t r, std::int64_t c) { return data_[index2(r, c)]; }
+  float at2(std::int64_t r, std::int64_t c) const { return data_[index2(r, c)]; }
 
   void fill(float v);
 
@@ -58,6 +68,29 @@ class Tensor {
   std::vector<float>& storage() { return data_; }
 
  private:
+  std::size_t index4(std::int64_t n, std::int64_t h, std::int64_t w,
+                     std::int64_t c) const {
+    BCOP_DCHECK(shape_.rank() == 4, "at4 on rank-%d tensor %s", shape_.rank(),
+                shape_.str().c_str());
+    BCOP_DCHECK(n >= 0 && n < shape_[0] && h >= 0 && h < shape_[1] &&
+                    w >= 0 && w < shape_[2] && c >= 0 && c < shape_[3],
+                "at4(%lld, %lld, %lld, %lld) out of bounds for %s",
+                static_cast<long long>(n), static_cast<long long>(h),
+                static_cast<long long>(w), static_cast<long long>(c),
+                shape_.str().c_str());
+    return static_cast<std::size_t>(
+        ((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c);
+  }
+  std::size_t index2(std::int64_t r, std::int64_t c) const {
+    BCOP_DCHECK(shape_.rank() == 2, "at2 on rank-%d tensor %s", shape_.rank(),
+                shape_.str().c_str());
+    BCOP_DCHECK(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1],
+                "at2(%lld, %lld) out of bounds for %s",
+                static_cast<long long>(r), static_cast<long long>(c),
+                shape_.str().c_str());
+    return static_cast<std::size_t>(r * shape_[1] + c);
+  }
+
   Shape shape_;
   std::vector<float> data_;
 };

@@ -1,0 +1,23 @@
+#include "util/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace bcop::util::detail {
+
+void check_fail(const char* file, int line, const char* expr,
+                const char* fmt, ...) {
+  std::fprintf(stderr, "%s:%d: CHECK failed: %s", file, line, expr);
+  if (fmt != nullptr) {
+    std::fprintf(stderr, ": ");
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+  }
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace bcop::util::detail

@@ -1,0 +1,46 @@
+// Runtime contract macros for hot-path and API precondition checking.
+//
+// Two tiers, mirroring the Abseil/glog CHECK family:
+//
+//   BCOP_CHECK(cond, fmt, ...)   always compiled in, every build type. Use
+//       for API boundaries and cold paths where a violated precondition
+//       must never proceed (serialization headers, folding parameters,
+//       thread-pool state machines).
+//   BCOP_DCHECK(cond, fmt, ...)  compiled only when BCOP_BOUNDS_CHECK is
+//       defined (cmake -DBCOP_BOUNDS_CHECK=ON). Use on hot paths — tensor
+//       element accessors, bit-word indexing — where a branch per access is
+//       unacceptable in production but invaluable under the sanitizer
+//       matrix. Expands to a no-op (arguments unevaluated) when off, so it
+//       is zero-overhead by construction, not by optimizer mercy.
+//
+// Failure behaviour: print "<file>:<line>: CHECK failed: <expr>: <message>"
+// to stderr and abort(). Abort rather than throw so that a violated
+// invariant cannot be swallowed by a catch(...) and so gtest death tests
+// can assert on it.
+//
+// The message is printf-style: BCOP_CHECK(i < n, "index %lld out of [0,%lld)",
+// i, n). The format arguments are only evaluated on failure.
+#pragma once
+
+#include <cstdarg>
+
+namespace bcop::util::detail {
+
+/// Prints the failure report and aborts. Never returns.
+[[noreturn]] void check_fail(const char* file, int line, const char* expr,
+                             const char* fmt = nullptr, ...)
+    __attribute__((format(printf, 4, 5)));
+
+}  // namespace bcop::util::detail
+
+#define BCOP_CHECK(cond, ...)                                           \
+  (static_cast<bool>(cond)                                              \
+       ? static_cast<void>(0)                                           \
+       : ::bcop::util::detail::check_fail(__FILE__, __LINE__,           \
+                                          #cond __VA_OPT__(, ) __VA_ARGS__))
+
+#if defined(BCOP_BOUNDS_CHECK) && BCOP_BOUNDS_CHECK
+#define BCOP_DCHECK(cond, ...) BCOP_CHECK(cond __VA_OPT__(, ) __VA_ARGS__)
+#else
+#define BCOP_DCHECK(cond, ...) static_cast<void>(0)
+#endif

@@ -29,7 +29,7 @@ void skip_ws(std::istream& in) {
 
 void Image::blend_rgb_clipped(int y, int x, float r, float g, float b, float a) {
   if (y < 0 || y >= height_ || x < 0 || x >= width_) return;
-  float* p = &data_[(static_cast<std::size_t>(y) * width_ + x) * 3];
+  float* p = &data_[idx(y, x, 0)];
   p[0] = p[0] * (1.f - a) + r * a;
   p[1] = p[1] * (1.f - a) + g * a;
   p[2] = p[2] * (1.f - a) + b * a;

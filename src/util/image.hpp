@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/check.hpp"
+
 namespace bcop::util {
 
 /// Interleaved RGB float image in [0,1].
@@ -24,16 +26,13 @@ class Image {
   int height() const { return height_; }
   int width() const { return width_; }
 
-  float& at(int y, int x, int c) {
-    return data_[(static_cast<std::size_t>(y) * width_ + x) * 3 + c];
-  }
-  float at(int y, int x, int c) const {
-    return data_[(static_cast<std::size_t>(y) * width_ + x) * 3 + c];
-  }
+  float& at(int y, int x, int c) { return data_[idx(y, x, c)]; }
+  float at(int y, int x, int c) const { return data_[idx(y, x, c)]; }
 
-  /// Set all three channels at (y, x). No bounds check (hot path).
+  /// Set all three channels at (y, x). No bounds check (hot path) unless
+  /// BCOP_BOUNDS_CHECK is on.
   void set_rgb(int y, int x, float r, float g, float b) {
-    float* p = &data_[(static_cast<std::size_t>(y) * width_ + x) * 3];
+    float* p = &data_[idx(y, x, 0)];
     p[0] = r;
     p[1] = g;
     p[2] = b;
@@ -55,6 +54,13 @@ class Image {
   void clamp01();
 
  private:
+  std::size_t idx(int y, int x, int c) const {
+    BCOP_DCHECK(y >= 0 && y < height_ && x >= 0 && x < width_ && c >= 0 && c < 3,
+                "pixel (%d, %d, %d) out of %dx%dx3", y, x, c, height_, width_);
+    return (static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+            static_cast<std::size_t>(x)) * 3 + static_cast<std::size_t>(c);
+  }
+
   int height_ = 0;
   int width_ = 0;
   std::vector<float> data_;

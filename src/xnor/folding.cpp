@@ -8,6 +8,8 @@ namespace bcop::xnor {
 
 bool bn_sign_predicate(const nn::BatchNorm& bn, std::int64_t c,
                        std::int64_t acc, double acc_scale) {
+  BCOP_DCHECK(c >= 0 && c < bn.channels(), "channel %lld out of [0, %lld)",
+              static_cast<long long>(c), static_cast<long long>(bn.channels()));
   // Mirrors BatchNorm::forward(training=false) followed by sign(y) >= 0,
   // computed in the same float precision so folding is bit-faithful.
   const float inv = 1.f / std::sqrt(bn.running_var()[c] + bn.eps());

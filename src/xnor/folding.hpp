@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "nn/batchnorm.hpp"
+#include "util/check.hpp"
 
 namespace bcop::xnor {
 
@@ -29,6 +30,8 @@ struct ThresholdSpec {
   std::int64_t channels() const { return static_cast<std::int64_t>(t.size()); }
 
   bool fire(std::int64_t acc, std::int64_t c) const {
+    BCOP_DCHECK(c >= 0 && c < channels(), "channel %lld out of [0, %lld)",
+                static_cast<long long>(c), static_cast<long long>(channels()));
     const auto ci = static_cast<std::size_t>(c);
     return flip[ci] ? acc <= t[ci] : acc >= t[ci];
   }

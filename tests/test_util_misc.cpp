@@ -7,6 +7,7 @@
 
 #include "util/args.hpp"
 #include "util/csv.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -14,6 +15,24 @@ namespace {
 using bcop::util::Args;
 using bcop::util::AsciiTable;
 using bcop::util::CsvWriter;
+using bcop::util::LogLevel;
+
+TEST(Log, LevelRoundTrips) {
+  const LogLevel before = bcop::util::log_level();
+  bcop::util::set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(bcop::util::log_level(), LogLevel::kWarn);
+  EXPECT_FALSE(LogLevel::kDebug >= bcop::util::log_level());
+  bcop::util::set_log_level(before);
+}
+
+TEST(Log, EmitBelowAndAboveThreshold) {
+  const LogLevel before = bcop::util::log_level();
+  bcop::util::set_log_level(LogLevel::kError);
+  // Discarded (below threshold) and emitted paths must both be safe.
+  bcop::util::log_info("suppressed ", 42);
+  bcop::util::log_error("emitted ", 1.5);
+  bcop::util::set_log_level(before);
+}
 
 TEST(Args, ParsesKeyValuePairs) {
   const char* argv[] = {"prog", "--epochs", "20", "--lr", "0.003"};
