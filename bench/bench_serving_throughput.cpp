@@ -1,0 +1,189 @@
+// Serving-path throughput: batched bit-domain inference vs the single-image
+// engine path, plus request-coalescing server latency percentiles.
+//
+// The paper's accelerator reaches its headline FPS (Table II) only with a
+// full pipeline -- a stream of frames. This bench shows the CPU analogue:
+// XnorNetwork::forward_batch amortizes packing and weight traffic over the
+// batch, and the serve::BatchingServer turns independent requests into such
+// batches under a bounded latency budget. Reported per prototype:
+//   - single-image FPS (XnorNetwork::forward, the pre-batching baseline)
+//   - batched FPS for batch sizes 1..32 (one XNOR GEMM per layer per batch)
+//   - server FPS with p50/p99 request latency
+//   - the analytical accelerator FPS model for context
+// A JSON artifact is written for trend tracking (default
+// bench_artifacts/serving_throughput.json).
+//
+// Weights are untrained (timing is weight-independent); run with --full for
+// larger sample counts.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/architecture.hpp"
+#include "core/predictor.hpp"
+#include "deploy/performance.hpp"
+#include "serve/batcher.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace bcop;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+tensor::Tensor random_images(std::int64_t n, util::Rng& rng) {
+  tensor::Tensor batch(tensor::Shape{n, 32, 32, 3});
+  for (std::int64_t i = 0; i < batch.numel(); ++i)
+    batch[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return batch;
+}
+
+double percentile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[idx];
+}
+
+struct BatchPoint {
+  std::int64_t batch = 0;
+  double fps = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Args args(argc, argv, {"--full"});
+    const bool full = args.get_flag("--full");
+    const std::int64_t images_per_size = full ? 256 : 64;
+    const std::int64_t server_requests = full ? 256 : 64;
+    const std::string out_path =
+        args.get("--out", "bench_artifacts/serving_throughput.json");
+
+    std::filesystem::create_directories(
+        std::filesystem::path(out_path).parent_path());
+    std::FILE* json = std::fopen(out_path.c_str(), "w");
+    if (!json) throw std::runtime_error("cannot write " + out_path);
+    std::fprintf(json, "{\n  \"full\": %s,\n  \"archs\": [", full ? "true" : "false");
+
+    std::printf("Serving-path throughput (batched bit-domain engine vs "
+                "single-image path)\n%s\n\n",
+                full ? "full sample counts" : "quick mode (pass --full for larger samples)");
+    util::AsciiTable t({"Config", "single FPS", "batch", "batched FPS",
+                        "speedup", "server FPS", "p50 ms", "p99 ms",
+                        "accel FPS (model)"});
+
+    const core::ArchitectureId archs[] = {core::ArchitectureId::kCnv,
+                                          core::ArchitectureId::kNCnv,
+                                          core::ArchitectureId::kMicroCnv};
+    bool first_arch = true;
+    for (const auto arch : archs) {
+      const core::Predictor predictor(core::build_bnn(arch, 7));
+      const xnor::XnorNetwork& net = predictor.network();
+      util::Rng rng(0xbeef);
+
+      // Baseline: one image at a time through the single-image path.
+      const tensor::Tensor warmup = random_images(1, rng);
+      net.forward(warmup);
+      net.forward_batch(warmup);
+      const std::int64_t single_iters = std::max<std::int64_t>(
+          8, images_per_size / 4);
+      const auto t0 = Clock::now();
+      for (std::int64_t i = 0; i < single_iters; ++i) net.forward(warmup);
+      const double single_fps =
+          static_cast<double>(single_iters) / seconds_since(t0);
+
+      // Batched path across batch sizes.
+      std::vector<BatchPoint> points;
+      for (const std::int64_t b : {1, 2, 4, 8, 16, 32}) {
+        const tensor::Tensor batch = random_images(b, rng);
+        const std::int64_t reps =
+            std::max<std::int64_t>(1, images_per_size / b);
+        const auto tb = Clock::now();
+        for (std::int64_t r = 0; r < reps; ++r) net.forward_batch(batch);
+        points.push_back(
+            {b, static_cast<double>(reps * b) / seconds_since(tb)});
+      }
+
+      // Coalescing server: back-to-back submissions, per-request latency.
+      serve::BatcherConfig cfg;
+      cfg.workers = 2;
+      cfg.max_batch = 16;
+      cfg.max_latency = std::chrono::microseconds(2000);
+      double server_fps = 0, p50 = 0, p99 = 0;
+      std::int64_t server_batches = 0;
+      {
+        serve::BatchingServer server(predictor, cfg);
+        std::vector<std::future<core::Predictor::Result>> futures;
+        std::vector<Clock::time_point> submitted;
+        std::vector<double> latencies_ms;
+        const auto ts = Clock::now();
+        for (std::int64_t i = 0; i < server_requests; ++i) {
+          submitted.push_back(Clock::now());
+          futures.push_back(
+              server.submit(warmup.reshaped(tensor::Shape{32, 32, 3})));
+        }
+        for (std::int64_t i = 0; i < server_requests; ++i) {
+          futures[static_cast<std::size_t>(i)].get();
+          latencies_ms.push_back(
+              seconds_since(submitted[static_cast<std::size_t>(i)]) * 1e3);
+        }
+        server_fps = static_cast<double>(server_requests) / seconds_since(ts);
+        p50 = percentile(latencies_ms, 0.50);
+        p99 = percentile(latencies_ms, 0.99);
+        server_batches = server.stats().batches;
+      }
+
+      const double accel_fps =
+          deploy::analyze_performance(core::layer_specs(arch)).fps();
+
+      std::fprintf(json, "%s\n    {\"name\": \"%s\", \"single_image_fps\": %.1f,",
+                   first_arch ? "" : ",", core::arch_name(arch),
+                   single_fps);
+      std::fprintf(json, "\n     \"batched\": [");
+      for (std::size_t i = 0; i < points.size(); ++i)
+        std::fprintf(json, "%s{\"batch\": %lld, \"fps\": %.1f}",
+                     i ? ", " : "",
+                     static_cast<long long>(points[i].batch), points[i].fps);
+      std::fprintf(json,
+                   "],\n     \"server\": {\"workers\": %u, \"max_batch\": %lld, "
+                   "\"max_latency_us\": %lld, \"fps\": %.1f, \"p50_ms\": %.3f, "
+                   "\"p99_ms\": %.3f, \"batches\": %lld},\n"
+                   "     \"accelerator_model_fps\": %.1f}",
+                   cfg.workers, static_cast<long long>(cfg.max_batch),
+                   static_cast<long long>(cfg.max_latency.count()), server_fps,
+                   p50, p99, static_cast<long long>(server_batches), accel_fps);
+      first_arch = false;
+
+      for (std::size_t i = 0; i < points.size(); ++i)
+        t.add_row({i == 0 ? core::arch_name(arch) : "",
+                   i == 0 ? util::fmt(single_fps, 1) : "",
+                   std::to_string(points[i].batch), util::fmt(points[i].fps, 1),
+                   util::fmt(points[i].fps / single_fps, 2) + "x",
+                   i == 0 ? util::fmt(server_fps, 1) : "",
+                   i == 0 ? util::fmt(p50, 2) : "",
+                   i == 0 ? util::fmt(p99, 2) : "",
+                   i == 0 ? util::fmt(accel_fps, 0) : ""});
+    }
+
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+
+    std::printf("%s", t.render().c_str());
+    std::printf("\nspeedup = batched FPS / single-image FPS (same host, same "
+                "thread budget).\nartifact: %s\n", out_path.c_str());
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_serving_throughput: %s\n", e.what());
+    return 1;
+  }
+}

@@ -10,6 +10,11 @@ Rules (see docs/static-analysis.md):
       src/ outside util/rng — all randomness must be seed-deterministic.
   R4  every src/<module>/<name>.cpp must have its companion header
       referenced by at least one file in tests/ — no untested modules.
+  R5  blocking coordination primitives (std::condition_variable,
+      std::future/std::promise and their headers) are confined to
+      src/parallel/ and src/serve/ — everything else must either stay
+      synchronous or go through ThreadPool / BatchingServer, so the
+      TSan stress suite exercises every wait/notify path in the repo.
 
 Exit status: 0 when clean, 1 with a per-violation report otherwise.
 """
@@ -28,17 +33,24 @@ THREAD_USE = re.compile(r"std::thread\b|#include\s*<thread>")
 BAD_RNG = re.compile(
     r"\b(?:s?rand)\s*\(|std::random_device|std::mt19937|std::default_random_engine"
 )
+COORD_USE = re.compile(
+    r"std::condition_variable\b|std::future\b|std::promise\b"
+    r"|#include\s*<condition_variable>|#include\s*<future>"
+)
 
 
 def src_files() -> list[Path]:
     return sorted(p for p in SRC.rglob("*") if p.suffix in (".cpp", ".hpp"))
 
 
-def grep_rule(name: str, pattern: re.Pattern[str], allowed_prefix: str,
+def grep_rule(name: str, pattern: re.Pattern[str],
+              allowed_prefixes: str | tuple[str, ...],
               violations: list[str]) -> None:
+    if isinstance(allowed_prefixes, str):
+        allowed_prefixes = (allowed_prefixes,)
     for path in src_files():
         rel = path.relative_to(ROOT).as_posix()
-        if rel.startswith(allowed_prefix):
+        if rel.startswith(allowed_prefixes):
             continue
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
             if pattern.search(line):
@@ -60,6 +72,7 @@ def main() -> int:
     grep_rule("R1", DATA_ARITH, "src/tensor/", violations)
     grep_rule("R2", THREAD_USE, "src/parallel/", violations)
     grep_rule("R3", BAD_RNG, "src/util/rng", violations)
+    grep_rule("R5", COORD_USE, ("src/parallel/", "src/serve/"), violations)
     check_test_references(violations)
     if violations:
         print(f"check_invariants: {len(violations)} violation(s)")
@@ -67,7 +80,7 @@ def main() -> int:
             print("  " + v)
         return 1
     print("check_invariants: OK "
-          f"({len(src_files())} files, 4 rules)")
+          f"({len(src_files())} files, 5 rules)")
     return 0
 
 

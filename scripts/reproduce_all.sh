@@ -5,6 +5,8 @@
 #
 # Opt-in: STATIC_ANALYSIS=1 additionally runs scripts/static_analysis.sh
 # (clang-tidy + repo-invariant lint) and reports its result in the summary.
+# Opt-in: SERVING_BENCH=1 re-runs the serving-throughput bench with --full
+# sample counts (the bench loop below always runs it once in quick mode).
 set -euo pipefail
 
 declare -a SUMMARY
@@ -44,6 +46,17 @@ for b in build/bench/*; do
   "$b"
 done
 note "benches: PASS"
+
+if [[ "${SERVING_BENCH:-0}" == "1" ]]; then
+  if build/bench/bench_serving_throughput --full \
+      --out bench_artifacts/serving_throughput.json; then
+    note "serving_bench (--full): PASS"
+  else
+    note "serving_bench (--full): FAIL"
+  fi
+else
+  note "serving_bench: quick pass only (set SERVING_BENCH=1 for --full)"
+fi
 
 echo
 echo "reproduce_all summary:"

@@ -5,6 +5,7 @@
 
 #include "facegen/dataset.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
 
 namespace bcop::core {
 
@@ -18,7 +19,25 @@ Predictor Predictor::from_file(const std::string& path) {
 
 std::vector<Predictor::Result> Predictor::classify_batch(
     const tensor::Tensor& batch) const {
-  const tensor::Tensor logits = net_.forward(batch);
+  // A mis-shaped batch would silently flow through conv/pool stages and
+  // only explode (or worse, mis-classify) at the flatten boundary, so the
+  // leading dimensions are contract-checked against the folded topology.
+  const tensor::Shape& s = batch.shape();
+  BCOP_CHECK(s.rank() == 4,
+             "classify_batch: rank-4 [N, S, S, C] batch required, got %s",
+             s.str().c_str());
+  BCOP_CHECK(s[0] >= 1, "classify_batch: empty batch %s", s.str().c_str());
+  const tensor::Shape want = net_.expected_input_shape();
+  if (want.rank() == 3) {
+    BCOP_CHECK(s[1] == want[0] && s[2] == want[1] && s[3] == want[2],
+               "classify_batch: batch %s does not match %s input "
+               "[N, %lld, %lld, %lld]",
+               s.str().c_str(), net_.name().c_str(),
+               static_cast<long long>(want[0]),
+               static_cast<long long>(want[1]),
+               static_cast<long long>(want[2]));
+  }
+  const tensor::Tensor logits = net_.forward_batch(batch);
   const tensor::Tensor probs = tensor::softmax_rows(logits);
   const auto pred = tensor::argmax_rows(logits);
   std::vector<Result> results(pred.size());

@@ -35,6 +35,9 @@ class Predictor {
   Result classify(const util::Image& image) const;
 
   /// Classify a prepared [N, S, S, 3] tensor; returns one Result per row.
+  /// Runs the bit-domain batched engine path (one XNOR-popcount GEMM per
+  /// layer for the whole batch). The batch shape is contract-checked
+  /// against the folded topology (BCOP_CHECK aborts on mismatch).
   std::vector<Result> classify_batch(const tensor::Tensor& batch) const;
 
   const nn::Sequential& model() const { return model_; }

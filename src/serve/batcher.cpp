@@ -1,0 +1,161 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace bcop::serve {
+
+using core::Predictor;
+using tensor::Shape;
+using tensor::Tensor;
+
+BatchingServer::BatchingServer(const Predictor& predictor,
+                               BatcherConfig config)
+    : predictor_(predictor), config_(config), pool_(config.workers) {
+  BCOP_CHECK(config_.max_batch >= 1, "max_batch %lld must be >= 1",
+             static_cast<long long>(config_.max_batch));
+  BCOP_CHECK(config_.queue_capacity >= 1, "queue_capacity %lld must be >= 1",
+             static_cast<long long>(config_.queue_capacity));
+  const Shape want = predictor_.network().expected_input_shape();
+  if (want.rank() == 3) image_shape_ = want;
+  for (unsigned i = 0; i < config_.workers; ++i)
+    pool_.submit([this] { worker_loop(); });
+}
+
+BatchingServer::~BatchingServer() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_work_.notify_all();
+  cv_space_.notify_all();
+  // Workers drain the queue before exiting, so every accepted request is
+  // answered even when the server is torn down mid-burst.
+  pool_.wait_idle();
+}
+
+std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
+  Shape s = image.shape();
+  if (s.rank() == 4 && s[0] == 1) {
+    image = image.reshaped(Shape{s[1], s[2], s[3]});
+    s = image.shape();
+  }
+  if (s.rank() != 3)
+    throw std::invalid_argument("BatchingServer::submit: image must be "
+                                "[S, S, C] or [1, S, S, C], got " + s.str());
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (image_shape_.rank() == 0) image_shape_ = s;
+  if (s != image_shape_)
+    throw std::invalid_argument("BatchingServer::submit: image " + s.str() +
+                                " does not match the served model input " +
+                                image_shape_.str());
+  if (stopping_)
+    throw std::runtime_error("BatchingServer::submit: server is shutting down");
+
+  if (config_.workers == 0) {
+    // Synchronous degenerate mode: no queue, classify on the caller.
+    ++stats_.requests;
+    ++stats_.batches;
+    stats_.max_batch_seen = std::max<std::int64_t>(stats_.max_batch_seen, 1);
+    lock.unlock();
+    std::promise<Predictor::Result> promise;
+    auto future = promise.get_future();
+    try {
+      const Tensor batch = image.reshaped(Shape{1, s[0], s[1], s[2]});
+      promise.set_value(predictor_.classify_batch(batch).front());
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+    return future;
+  }
+
+  cv_space_.wait(lock, [this] {
+    return stopping_ ||
+           static_cast<std::int64_t>(queue_.size()) < config_.queue_capacity;
+  });
+  if (stopping_)
+    throw std::runtime_error("BatchingServer::submit: server is shutting down");
+
+  Request request;
+  request.image = std::move(image);
+  request.enqueued = std::chrono::steady_clock::now();
+  auto future = request.promise.get_future();
+  queue_.push_back(std::move(request));
+  ++stats_.requests;
+  lock.unlock();
+  cv_work_.notify_one();
+  return future;
+}
+
+ServerStats BatchingServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void BatchingServer::worker_loop() {
+  for (;;) {
+    std::deque<Request> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;  // spurious wake or another worker took the work
+      }
+      if (!stopping_ && config_.max_latency.count() > 0 &&
+          static_cast<std::int64_t>(queue_.size()) < config_.max_batch) {
+        // Coalescing window: hold the batch open until it fills or the
+        // oldest request has spent max_latency in the queue.
+        const auto deadline = queue_.front().enqueued + config_.max_latency;
+        cv_work_.wait_until(lock, deadline, [this] {
+          return stopping_ ||
+                 static_cast<std::int64_t>(queue_.size()) >= config_.max_batch;
+        });
+      }
+      if (queue_.empty()) continue;
+      const auto take = std::min<std::int64_t>(
+          static_cast<std::int64_t>(queue_.size()), config_.max_batch);
+      for (std::int64_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    cv_space_.notify_all();
+    run_batch(std::move(batch));
+  }
+}
+
+void BatchingServer::run_batch(std::deque<Request>&& batch) {
+  const auto b = static_cast<std::int64_t>(batch.size());
+  const Shape& s = batch.front().image.shape();
+  Tensor input(Shape{b, s[0], s[1], s[2]});
+  const std::int64_t stride = s.numel();
+  for (std::int64_t i = 0; i < b; ++i)
+    std::memcpy(input.data() + i * stride,
+                batch[static_cast<std::size_t>(i)].image.data(),
+                static_cast<std::size_t>(stride) * sizeof(float));
+  {
+    // Record the batch before fulfilling any promise: a client whose
+    // future.get() returned must observe its own batch in stats().
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batches;
+    stats_.max_batch_seen = std::max(stats_.max_batch_seen, b);
+    if (b > 1) stats_.coalesced += b;
+  }
+  try {
+    const auto results = predictor_.classify_batch(input);
+    for (std::int64_t i = 0; i < b; ++i)
+      batch[static_cast<std::size_t>(i)].promise.set_value(
+          results[static_cast<std::size_t>(i)]);
+  } catch (...) {
+    for (auto& request : batch)
+      request.promise.set_exception(std::current_exception());
+  }
+}
+
+}  // namespace bcop::serve

@@ -1,0 +1,106 @@
+// Request-coalescing inference server: the software analogue of the
+// paper's streaming accelerator pipeline.
+//
+// The FINN-style FPGA design reaches its ~6400 FPS (n-CNV, Table II) by
+// keeping every stage of the pipeline busy on a stream of frames; the CPU
+// equivalent is batching -- one bit-packed XNOR-popcount GEMM per layer
+// over many images amortizes packing, dispatch and weight traffic. This
+// module turns independent single-image requests into such batches:
+//
+//   submit() --> bounded request queue --> worker pool --> classify_batch
+//
+// Workers take up to `max_batch` queued requests at once; when fewer are
+// waiting, they hold the batch open until the oldest request has waited
+// `max_latency`, trading a bounded latency increase for throughput (the
+// knob documented in docs/serving.md). The queue is bounded: submit()
+// blocks when `queue_capacity` requests are pending, providing
+// back-pressure instead of unbounded memory growth under overload.
+//
+// Concurrency is built strictly from parallel::ThreadPool (repo rule R2:
+// no raw threads outside src/parallel/): each worker is one
+// long-running task on a dedicated pool, and the batched network forward
+// itself fans out over ThreadPool::global().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+
+#include "core/predictor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "tensor/tensor.hpp"
+
+namespace bcop::serve {
+
+struct BatcherConfig {
+  /// Largest coalesced batch handed to classify_batch.
+  std::int64_t max_batch = 16;
+  /// Bounded queue depth; submit() blocks while this many requests wait.
+  std::int64_t queue_capacity = 64;
+  /// How long a worker may hold an underfull batch open waiting for more
+  /// requests, measured from the oldest member's enqueue time. 0 disables
+  /// coalescing waits (every batch ships as soon as a worker is free).
+  std::chrono::microseconds max_latency{2000};
+  /// Worker tasks. 0 = synchronous mode: submit() classifies inline and
+  /// returns a ready future (single-core hosts, tests).
+  unsigned workers = 2;
+};
+
+struct ServerStats {
+  std::int64_t requests = 0;      // total accepted
+  std::int64_t batches = 0;       // classify_batch invocations
+  std::int64_t coalesced = 0;     // requests that shared a batch (size > 1)
+  std::int64_t max_batch_seen = 0;
+};
+
+class BatchingServer {
+ public:
+  /// The predictor must outlive the server; classification is const and
+  /// safe to share across workers.
+  BatchingServer(const core::Predictor& predictor, BatcherConfig config);
+  /// Drains the queue (pending requests are still answered), then joins.
+  ~BatchingServer();
+
+  BatchingServer(const BatchingServer&) = delete;
+  BatchingServer& operator=(const BatchingServer&) = delete;
+
+  /// Enqueue one [S, S, 3] image (or [1, S, S, 3]); blocks while the queue
+  /// is full. The future resolves once a worker ships the batch containing
+  /// this request. Throws std::runtime_error after shutdown began.
+  std::future<core::Predictor::Result> submit(tensor::Tensor image);
+
+  ServerStats stats() const;
+  const BatcherConfig& config() const { return config_; }
+
+ private:
+  struct Request {
+    tensor::Tensor image;  // [S, S, 3]
+    std::promise<core::Predictor::Result> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void run_batch(std::deque<Request>&& batch);
+
+  const core::Predictor& predictor_;
+  const BatcherConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_work_;   // queue became non-empty / stopping
+  std::condition_variable cv_space_;  // queue has room again
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+  ServerStats stats_;
+  /// Locked-in [S, S, C] request shape: the folded network's expected
+  /// input when inferable, otherwise the first submitted image's shape.
+  tensor::Shape image_shape_;
+
+  // Declared last: destroyed first would deadlock, so ~BatchingServer sets
+  // stopping_ and waits for the workers before members go away.
+  parallel::ThreadPool pool_;
+};
+
+}  // namespace bcop::serve

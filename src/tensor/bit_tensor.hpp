@@ -73,6 +73,15 @@ class BitMatrix {
 /// Pack every row of a row-major float matrix [rows, cols] by sign.
 BitMatrix pack_matrix(const float* src, std::int64_t rows, std::int64_t cols);
 
+/// OR `nbits` bits (taken from bit 0 of `src`) into `dst` starting at bit
+/// `dst_off`. Requirements: the target bits of `dst` are zero (freshly
+/// constructed BitMatrix rows qualify) and the bits of `src` above `nbits`
+/// are zero (BitMatrix row padding qualifies). This is the building block
+/// for concatenating per-pixel channel bit-fields into im2row patch rows
+/// when the field width is not word-aligned.
+void append_bits(std::uint64_t* dst, std::int64_t dst_off,
+                 const std::uint64_t* src, std::int64_t nbits);
+
 /// XNOR-popcount accumulation between two packed rows of length `cols`
 /// spanning `words` words: returns popcount(XNOR) - pad, i.e. the number of
 /// matching positions among the valid bits.

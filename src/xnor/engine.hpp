@@ -74,11 +74,27 @@ class XnorNetwork {
   /// message if the layer sequence is not a supported BNN topology.
   static XnorNetwork fold(nn::Sequential& model);
 
-  /// Logits [N, classes] (values are exact integers).
+  /// Logits [N, classes] (values are exact integers). Reference path:
+  /// activations are materialized as {-1,+1} float tensors between stages.
   tensor::Tensor forward(const tensor::Tensor& input) const;
+
+  /// Batched serving path, bit-identical to forward(): after the first
+  /// stage the activations stay bit-packed (pixel-major [N*H*W, C] rows),
+  /// so pooling is a word-wise OR, im2row is bit-field concatenation, and
+  /// no float tensor is materialized until the classifier logits. Layer
+  /// work is split over parallel::ThreadPool::global() along the combined
+  /// N*Ho*Wo row dimension, so throughput scales with both batch size and
+  /// worker count.
+  tensor::Tensor forward_batch(const tensor::Tensor& input) const;
 
   /// Argmax class per sample.
   std::vector<std::int64_t> predict(const tensor::Tensor& input) const;
+
+  /// The [H, W, C] input shape this topology accepts, inferred by walking
+  /// the stage list (spatial size is solved backwards from the flatten /
+  /// first-dense boundary). Empty shape when the stage list is not an
+  /// image-in, dense-out topology.
+  tensor::Shape expected_input_shape() const;
 
   const std::vector<Stage>& stages() const { return stages_; }
   const std::string& name() const { return name_; }
@@ -97,5 +113,12 @@ class XnorNetwork {
 void apply_thresholds(const std::vector<std::int32_t>& acc,
                       std::int64_t rows, const ThresholdSpec& spec,
                       float* out);
+
+/// Same threshold bank, but packing the fired bits straight into a fresh
+/// [rows, channels] BitMatrix (bit 1 == +1) -- the batched path's way of
+/// staying in the bit domain between stages.
+void apply_thresholds_packed(const std::vector<std::int32_t>& acc,
+                             std::int64_t rows, const ThresholdSpec& spec,
+                             tensor::BitMatrix& out);
 
 }  // namespace bcop::xnor

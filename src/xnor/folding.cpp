@@ -1,5 +1,6 @@
 #include "xnor/folding.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -61,6 +62,21 @@ ThresholdSpec fold_batchnorm(const nn::BatchNorm& bn, std::int64_t acc_min,
     }
   }
   return spec;
+}
+
+PreparedThresholds::PreparedThresholds(const ThresholdSpec& spec) {
+  const std::size_t n = spec.t.size();
+  thr.resize(n);
+  inv.resize(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    // !flip: fire = acc >= t.  flip: fire = acc <= t = !(acc >= t + 1).
+    std::int64_t t = spec.t[c];
+    if (spec.flip[c]) t = t >= kAccBound ? kAccBound + 1 : t + 1;
+    t = std::max<std::int64_t>(-kAccBound,
+                               std::min<std::int64_t>(t, kAccBound + 1));
+    thr[c] = static_cast<std::int32_t>(t);
+    inv[c] = spec.flip[c] ? 1 : 0;
+  }
 }
 
 }  // namespace bcop::xnor

@@ -37,6 +37,20 @@ struct ThresholdSpec {
   }
 };
 
+/// Branch-free form of ThresholdSpec for hot loops:
+///   fire(acc, c) == (acc >= thr[c]) ^ inv[c]   for all |acc| <= kAccBound.
+/// The flip case folds into a strict negated compare (acc <= t is
+/// !(acc >= t+1)), and saturated "always"/"never" sentinels are clamped to
+/// just outside the accumulator range so the identity keeps holding. Every
+/// accumulator in this codebase is far below the bound: a binary dot is at
+/// most K and the 8-bit first conv at most K*255, with K = k*k*ci < 2^15.
+struct PreparedThresholds {
+  static constexpr std::int32_t kAccBound = 1 << 25;
+  std::vector<std::int32_t> thr;
+  std::vector<std::int32_t> inv;
+  explicit PreparedThresholds(const ThresholdSpec& spec);
+};
+
 /// Fold `bn` (running statistics) against an accumulator in
 /// [acc_min, acc_max] that maps to the BN input as x = acc * acc_scale.
 /// For binary hidden layers acc is the {-1,+1} dot product (acc_scale = 1);

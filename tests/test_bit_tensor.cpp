@@ -108,6 +108,43 @@ TEST(BinaryGemm, KMismatchThrows) {
   EXPECT_THROW(binary_gemm(a, b, c), std::invalid_argument);
 }
 
+TEST(AppendBits, ConcatenationMatchesDirectPack) {
+  // ORing packed fields of awkward widths end to end must equal packing the
+  // concatenated float vector directly -- including the zero padding bits.
+  bcop::util::Rng rng(7);
+  const std::vector<std::int64_t> widths = {3, 64, 70, 1, 33};
+  std::int64_t total = 0;
+  for (const auto w : widths) total += w;
+
+  BitMatrix dst(1, total);
+  std::vector<float> concat;
+  std::int64_t off = 0;
+  for (const auto w : widths) {
+    const auto field = random_signs(w, rng);
+    const BitMatrix src = pack_matrix(field.data(), 1, w);
+    append_bits(dst.row(0), off, src.row(0), w);
+    concat.insert(concat.end(), field.begin(), field.end());
+    off += w;
+  }
+
+  const BitMatrix want = pack_matrix(concat.data(), 1, total);
+  EXPECT_EQ(dst.storage(), want.storage());
+}
+
+TEST(AppendBits, WordAlignedOffsetsUseNoShift) {
+  bcop::util::Rng rng(8);
+  const auto a = random_signs(64, rng);
+  const auto b = random_signs(128, rng);
+  BitMatrix dst(1, 192);
+  const BitMatrix pa = pack_matrix(a.data(), 1, 64);
+  const BitMatrix pb = pack_matrix(b.data(), 1, 128);
+  append_bits(dst.row(0), 0, pa.row(0), 64);
+  append_bits(dst.row(0), 64, pb.row(0), 128);
+  std::vector<float> concat(a);
+  concat.insert(concat.end(), b.begin(), b.end());
+  EXPECT_EQ(dst.storage(), pack_matrix(concat.data(), 1, 192).storage());
+}
+
 TEST(BinaryGemm, ResultParityMatchesK) {
   // For {-1,1} vectors of length K, every dot product has K's parity.
   bcop::util::Rng rng(6);

@@ -6,8 +6,11 @@
 
 #include <cstdint>
 
+#include "core/architecture.hpp"
+#include "core/predictor.hpp"
 #include "nn/init.hpp"
 #include "parallel/thread_pool.hpp"
+#include "serve/batcher.hpp"
 #include "tensor/bit_tensor.hpp"
 #include "tensor/shape.hpp"
 #include "tensor/tensor.hpp"
@@ -65,6 +68,41 @@ TEST(CheckMacroDeathTest, GlorotRejectsNonPositiveFan) {
 TEST(CheckMacroDeathTest, ThreadPoolRejectsEmptyTask) {
   bcop::parallel::ThreadPool pool(0);
   EXPECT_DEATH(pool.submit(std::function<void()>{}), "empty std::function");
+}
+
+// classify_batch validates the batch against the folded topology up front;
+// a mis-shaped batch would otherwise flow through conv/pool stages and only
+// explode at the flatten boundary.
+TEST(CheckMacroDeathTest, ClassifyBatchRejectsWrongRank) {
+  const bcop::core::Predictor p(
+      bcop::core::build_bnn(bcop::core::ArchitectureId::kMicroCnv, 31));
+  EXPECT_DEATH(p.classify_batch(Tensor(Shape{32, 32, 3})), "rank-4");
+}
+
+TEST(CheckMacroDeathTest, ClassifyBatchRejectsEmptyBatch) {
+  const bcop::core::Predictor p(
+      bcop::core::build_bnn(bcop::core::ArchitectureId::kMicroCnv, 31));
+  EXPECT_DEATH(p.classify_batch(Tensor(Shape{0, 32, 32, 3})), "empty batch");
+}
+
+TEST(CheckMacroDeathTest, ClassifyBatchRejectsWrongImageShape) {
+  const bcop::core::Predictor p(
+      bcop::core::build_bnn(bcop::core::ArchitectureId::kMicroCnv, 31));
+  EXPECT_DEATH(p.classify_batch(Tensor(Shape{1, 16, 16, 3})),
+               "does not match");
+  EXPECT_DEATH(p.classify_batch(Tensor(Shape{2, 32, 32, 1})),
+               "does not match");
+}
+
+TEST(CheckMacroDeathTest, BatchingServerRejectsDegenerateConfig) {
+  const bcop::core::Predictor p(
+      bcop::core::build_bnn(bcop::core::ArchitectureId::kMicroCnv, 31));
+  bcop::serve::BatcherConfig bad;
+  bad.max_batch = 0;
+  EXPECT_DEATH(bcop::serve::BatchingServer(p, bad), "max_batch");
+  bad.max_batch = 4;
+  bad.queue_capacity = 0;
+  EXPECT_DEATH(bcop::serve::BatchingServer(p, bad), "queue_capacity");
 }
 
 // --- BCOP_DCHECK: bounds checks under BCOP_BOUNDS_CHECK=ON ----------------

@@ -98,6 +98,41 @@ TEST(Row2Im, IsAdjointOfIm2Row) {
   EXPECT_NEAR(lhs, rhs, 1e-2);
 }
 
+// The bit-domain patch extraction must produce exactly the packed image of
+// the float one. Channel counts cover the sub-word shifted path (1, 3, 16)
+// and the word-aligned memcpy path (64, 70-with-tail).
+TEST(BitIm2Row, MatchesFloatIm2RowForAnyChannelCount) {
+  for (const std::int64_t c : {1, 3, 16, 64, 70}) {
+    bcop::util::Rng rng(static_cast<std::uint64_t>(c) * 13);
+    Tensor in(Shape{2, 6, 5, c});
+    for (std::int64_t i = 0; i < in.numel(); ++i)
+      in[i] = rng.bernoulli(0.5) ? 1.f : -1.f;
+
+    Tensor rows;
+    im2row(in, 3, rows);
+    const BitMatrix want =
+        pack_matrix(rows.data(), rows.shape()[0], rows.shape()[1]);
+
+    const BitMatrix pixels = pack_matrix(in.data(), 2 * 6 * 5, c);
+    BitMatrix got;
+    bit_im2row(pixels, 2, 6, 5, c, 3, got);
+
+    ASSERT_EQ(got.rows(), want.rows()) << "c=" << c;
+    ASSERT_EQ(got.cols(), want.cols()) << "c=" << c;
+    EXPECT_EQ(got.storage(), want.storage()) << "c=" << c;
+  }
+}
+
+TEST(BitIm2Row, ShapeMismatchThrows) {
+  const BitMatrix pixels(10, 3);
+  BitMatrix rows;
+  // Channel count disagrees with the packed width (cols 3, claimed C=4).
+  EXPECT_THROW(bit_im2row(pixels, 1, 2, 5, 4, 3, rows), std::invalid_argument);
+  // 3x3 kernel does not fit a 2x2 input.
+  EXPECT_THROW(bit_im2row(BitMatrix(4, 3), 1, 2, 2, 3, 3, rows),
+               std::invalid_argument);
+}
+
 TEST(Row2Im, AccumulatesOverlappingPatches) {
   // All-ones patch gradients: interior pixels of a 3x3-kernel conv receive
   // k*k contributions.

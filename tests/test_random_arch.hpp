@@ -1,0 +1,84 @@
+// Random BNN topology generator shared by the folding property test
+// (test_xnor_random_arch) and the float<->xnor differential harness
+// (test_xnor_vs_float). Architectures have random channel widths, optional
+// pools, 1-3 conv groups and 1-3 FC layers -- every topology the folding
+// engine claims to support.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/batchnorm.hpp"
+#include "nn/binary_conv2d.hpp"
+#include "nn/binary_dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/maxpool.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "nn/sign_activation.hpp"
+#include "nn/softmax_xent.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace bcop::testhelpers {
+
+struct RandomArch {
+  nn::Sequential model;
+  std::int64_t input_size = 0;
+  std::int64_t input_channels = 0;
+};
+
+inline RandomArch make_random_arch(std::uint64_t seed) {
+  util::Rng rng(seed);
+  RandomArch out;
+  out.model.set_name("random-" + std::to_string(seed));
+  out.input_size = 2 * rng.uniform_int(6, 12);  // even, 12..24
+  out.input_channels = rng.uniform_int(1, 3);
+
+  std::int64_t h = out.input_size;
+  std::int64_t c = out.input_channels;
+  const auto convs = rng.uniform_int(1, 3);
+  for (std::int64_t i = 0; i < convs; ++i) {
+    if (h < 4) break;
+    const std::int64_t co = 4 * rng.uniform_int(1, 6);
+    out.model.emplace<nn::BinaryConv2d>(3, c, co, rng);
+    out.model.emplace<nn::BatchNorm>(co);
+    out.model.emplace<nn::SignActivation>();
+    h -= 2;
+    c = co;
+    if (h >= 4 && h % 2 == 0 && rng.bernoulli(0.5)) {
+      out.model.emplace<nn::MaxPool2>();
+      h /= 2;
+    }
+  }
+  out.model.emplace<nn::Flatten>();
+  std::int64_t features = h * h * c;
+  const auto denses = rng.uniform_int(1, 3);
+  for (std::int64_t i = 0; i < denses - 1; ++i) {
+    const std::int64_t next = 8 * rng.uniform_int(2, 12);
+    out.model.emplace<nn::BinaryDense>(features, next, rng);
+    out.model.emplace<nn::BatchNorm>(next);
+    out.model.emplace<nn::SignActivation>();
+    features = next;
+  }
+  out.model.emplace<nn::BinaryDense>(features, 4, rng);
+  return out;
+}
+
+/// A few optimizer steps on random data so BatchNorm running statistics
+/// (and hence the folded thresholds) are non-trivial.
+inline void briefly_train(RandomArch& arch, util::Rng& rng, int steps = 3) {
+  nn::Adam opt(arch.model, 1e-2f);
+  nn::SoftmaxCrossEntropy head;
+  for (int i = 0; i < steps; ++i) {
+    const tensor::Tensor x = random_tensor(
+        tensor::Shape{4, arch.input_size, arch.input_size,
+                      arch.input_channels},
+        rng);
+    head.forward(arch.model.forward(x, true), {0, 1, 2, 3});
+    arch.model.backward(head.backward());
+    opt.step();
+  }
+}
+
+}  // namespace bcop::testhelpers

@@ -3,6 +3,9 @@
 // this is the exactness the paper's hardware relies on (Sec. III-A).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
+
 #include "nn/batchnorm.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
@@ -13,6 +16,7 @@ namespace {
 using namespace bcop;
 using xnor::bn_sign_predicate;
 using xnor::fold_batchnorm;
+using xnor::PreparedThresholds;
 using xnor::ThresholdSpec;
 
 // Build a BatchNorm with explicit gamma/beta/running stats.
@@ -108,6 +112,64 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FoldingRandom, ::testing::Range(0, 10));
 TEST(Folding, EmptyRangeThrows) {
   const auto bn = make_bn({1.f}, {0.f}, {0.f}, {1.f});
   EXPECT_THROW(fold_batchnorm(bn, 5, 4, 1.0), std::invalid_argument);
+}
+
+TEST(PreparedThresholdsTest, MatchesFireForRandomSpecs) {
+  util::Rng rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    ThresholdSpec spec;
+    const int C = 1 + static_cast<int>(rng.uniform_int(0, 70));
+    for (int c = 0; c < C; ++c) {
+      spec.t.push_back(rng.uniform_int(-7000, 7000));
+      spec.flip.push_back(static_cast<std::uint8_t>(rng.bernoulli(0.5)));
+    }
+    const PreparedThresholds prep(spec);
+    for (std::int64_t c = 0; c < C; ++c) {
+      for (int s = 0; s < 20; ++s) {
+        const std::int64_t acc = rng.uniform_int(-6885, 6885);
+        EXPECT_EQ(spec.fire(acc, c),
+                  static_cast<bool>(
+                      (acc >= prep.thr[static_cast<std::size_t>(c)]) ^
+                      prep.inv[static_cast<std::size_t>(c)]))
+            << "t=" << spec.t[static_cast<std::size_t>(c)]
+            << " flip=" << int(spec.flip[static_cast<std::size_t>(c)])
+            << " acc=" << acc;
+      }
+      // Threshold boundary and its neighbours are the interesting accs.
+      for (std::int64_t d = -1; d <= 1; ++d) {
+        const std::int64_t acc = spec.t[static_cast<std::size_t>(c)] + d;
+        if (std::abs(acc) > PreparedThresholds::kAccBound) continue;
+        EXPECT_EQ(spec.fire(acc, c),
+                  static_cast<bool>(
+                      (acc >= prep.thr[static_cast<std::size_t>(c)]) ^
+                      prep.inv[static_cast<std::size_t>(c)]));
+      }
+    }
+  }
+}
+
+TEST(PreparedThresholdsTest, SaturatedSentinelsKeepMeaning) {
+  // fold_batchnorm encodes always-fire as INT64_MIN+1 and never-fire as
+  // INT64_MAX; the clamped form must preserve both over the whole
+  // accumulator range, and a flipped saturated threshold must not overflow.
+  ThresholdSpec spec;
+  spec.t = {std::numeric_limits<std::int64_t>::min() + 1,
+            std::numeric_limits<std::int64_t>::max(),
+            std::numeric_limits<std::int64_t>::max(),
+            std::numeric_limits<std::int64_t>::min() + 1};
+  spec.flip = {0, 0, 1, 1};
+  const PreparedThresholds prep(spec);
+  for (const std::int64_t acc :
+       {static_cast<std::int64_t>(-PreparedThresholds::kAccBound),
+        std::int64_t{-6885}, std::int64_t{0}, std::int64_t{6885},
+        static_cast<std::int64_t>(PreparedThresholds::kAccBound)}) {
+    for (std::int64_t c = 0; c < 4; ++c)
+      EXPECT_EQ(spec.fire(acc, c),
+                static_cast<bool>(
+                    (acc >= prep.thr[static_cast<std::size_t>(c)]) ^
+                    prep.inv[static_cast<std::size_t>(c)]))
+          << "c=" << c << " acc=" << acc;
+  }
 }
 
 }  // namespace

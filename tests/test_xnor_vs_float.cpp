@@ -1,0 +1,80 @@
+// Differential float<->xnor harness: for 100 randomized architectures the
+// three inference paths must agree --
+//   (a) the float nn::Sequential graph (reference semantics),
+//   (b) the single-image XNOR engine path (XnorNetwork::forward),
+//   (c) the batched bit-domain path (XnorNetwork::forward_batch).
+// Logits are compared bit-exactly ((b) and (c) fold to the same integer
+// arithmetic as (a) on bipolar inputs), and the per-image argmax -- the
+// classification the serving layer acts on -- must match for every image
+// in the batch.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "test_random_arch.hpp"
+#include "xnor/engine.hpp"
+
+namespace {
+
+using namespace bcop;
+using tensor::Shape;
+using tensor::Tensor;
+using testhelpers::RandomArch;
+using testhelpers::make_random_arch;
+
+std::int64_t argmax_row(const Tensor& logits, std::int64_t row) {
+  std::int64_t best = 0;
+  for (std::int64_t c = 1; c < logits.shape()[1]; ++c)
+    if (logits.at2(row, c) > logits.at2(row, best)) best = c;
+  return best;
+}
+
+class XnorVsFloat : public ::testing::TestWithParam<int> {};
+
+TEST_P(XnorVsFloat, AllThreePathsAgree) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  RandomArch arch = make_random_arch(seed * 9176 + 11);
+  util::Rng rng(seed + 123);
+  testhelpers::briefly_train(arch, rng);
+
+  const xnor::XnorNetwork net = xnor::XnorNetwork::fold(arch.model);
+
+  const std::int64_t kBatch = 5;
+  Tensor x(Shape{kBatch, arch.input_size, arch.input_size,
+                 arch.input_channels});
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = rng.bernoulli(0.5) ? 1.f : -1.f;
+
+  const Tensor ref = arch.model.forward(x, false);
+  const Tensor batched = net.forward_batch(x);
+  ASSERT_EQ(batched.shape(), ref.shape());
+
+  // (c) vs (a): bit-exact logits for the whole batch.
+  for (std::int64_t i = 0; i < ref.numel(); ++i)
+    ASSERT_FLOAT_EQ(batched[i], ref[i])
+        << arch.model.name() << " flat logit " << i;
+
+  const std::int64_t stride = x.numel() / kBatch;
+  for (std::int64_t n = 0; n < kBatch; ++n) {
+    // (b): run image n alone through the single-image engine path.
+    Tensor xi(Shape{1, arch.input_size, arch.input_size,
+                    arch.input_channels});
+    std::memcpy(xi.data(), x.data() + n * stride,
+                static_cast<std::size_t>(stride) * sizeof(float));
+    const Tensor single = net.forward(xi);
+    ASSERT_EQ(single.shape(), (Shape{1, ref.shape()[1]}));
+    for (std::int64_t c = 0; c < ref.shape()[1]; ++c)
+      ASSERT_FLOAT_EQ(single.at2(0, c), batched.at2(n, c))
+          << arch.model.name() << " image " << n << " logit " << c;
+
+    // Argmax (the served classification) agrees across all three paths.
+    const std::int64_t want = argmax_row(ref, n);
+    EXPECT_EQ(argmax_row(batched, n), want) << " image " << n;
+    EXPECT_EQ(argmax_row(single, 0), want) << " image " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XnorVsFloat, ::testing::Range(0, 100));
+
+}  // namespace
