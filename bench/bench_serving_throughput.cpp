@@ -8,13 +8,17 @@
 // batches under a bounded latency budget. Reported per prototype:
 //   - single-image FPS (XnorNetwork::forward, the pre-batching baseline)
 //   - batched FPS for batch sizes 1..32 (one XNOR GEMM per layer per batch)
+//   - steady-state heap allocations per forward_batch call on the explicit
+//     Workspace path (this binary links the operator-new interposer of
+//     util/allocmeter.hpp; the engine's contract is exactly 0)
 //   - server FPS with p50/p99 request latency
 //   - the analytical accelerator FPS model for context
 // A JSON artifact is written for trend tracking (default
 // bench_artifacts/serving_throughput.json).
 //
 // Weights are untrained (timing is weight-independent); run with --full for
-// larger sample counts.
+// larger sample counts. --check-allocs exits non-zero if any measured
+// steady state allocates (the WORKSPACE_BENCH=1 stage of reproduce_all.sh).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -26,9 +30,11 @@
 #include "core/predictor.hpp"
 #include "deploy/performance.hpp"
 #include "serve/batcher.hpp"
+#include "util/allocmeter.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
+#include "xnor/plan.hpp"
 
 using namespace bcop;
 using Clock = std::chrono::steady_clock;
@@ -56,18 +62,21 @@ double percentile(std::vector<double> v, double q) {
 struct BatchPoint {
   std::int64_t batch = 0;
   double fps = 0;
+  double allocs_per_call = 0;  // steady-state heap allocations, ws path
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
-    const util::Args args(argc, argv, {"--full"});
-    const bool full = args.get_flag("--full");
+    const util::Args args(argc, argv, {"full", "check-allocs"});
+    const bool full = args.get_flag("full");
+    const bool check_allocs = args.get_flag("check-allocs");
+    bool steady_state_allocated = false;
     const std::int64_t images_per_size = full ? 256 : 64;
     const std::int64_t server_requests = full ? 256 : 64;
     const std::string out_path =
-        args.get("--out", "bench_artifacts/serving_throughput.json");
+        args.get("out", "bench_artifacts/serving_throughput.json");
 
     std::filesystem::create_directories(
         std::filesystem::path(out_path).parent_path());
@@ -79,8 +88,8 @@ int main(int argc, char** argv) {
                 "single-image path)\n%s\n\n",
                 full ? "full sample counts" : "quick mode (pass --full for larger samples)");
     util::AsciiTable t({"Config", "single FPS", "batch", "batched FPS",
-                        "speedup", "server FPS", "p50 ms", "p99 ms",
-                        "accel FPS (model)"});
+                        "speedup", "allocs/call", "server FPS", "p50 ms",
+                        "p99 ms", "accel FPS (model)"});
 
     const core::ArchitectureId archs[] = {core::ArchitectureId::kCnv,
                                           core::ArchitectureId::kNCnv,
@@ -102,16 +111,29 @@ int main(int argc, char** argv) {
       const double single_fps =
           static_cast<double>(single_iters) / seconds_since(t0);
 
-      // Batched path across batch sizes.
+      // Batched path across batch sizes. FPS is timed on the convenience
+      // path (comparable across releases); the allocation count is measured
+      // on the explicit Workspace path, whose steady-state contract is 0.
       std::vector<BatchPoint> points;
+      xnor::Workspace ws;
+      tensor::Tensor out;
       for (const std::int64_t b : {1, 2, 4, 8, 16, 32}) {
         const tensor::Tensor batch = random_images(b, rng);
         const std::int64_t reps =
             std::max<std::int64_t>(1, images_per_size / b);
         const auto tb = Clock::now();
         for (std::int64_t r = 0; r < reps; ++r) net.forward_batch(batch);
-        points.push_back(
-            {b, static_cast<double>(reps * b) / seconds_since(tb)});
+        const double fps = static_cast<double>(reps * b) / seconds_since(tb);
+
+        net.forward_batch(batch, ws, out);  // warm plan + arena + out
+        constexpr std::int64_t kAllocReps = 16;
+        const std::uint64_t mark = util::alloc_count();
+        for (std::int64_t r = 0; r < kAllocReps; ++r)
+          net.forward_batch(batch, ws, out);
+        const double allocs =
+            static_cast<double>(util::alloc_count() - mark) / kAllocReps;
+        if (allocs > 0) steady_state_allocated = true;
+        points.push_back({b, fps, allocs});
       }
 
       // Coalescing server: back-to-back submissions, per-request latency.
@@ -151,9 +173,12 @@ int main(int argc, char** argv) {
                    single_fps);
       std::fprintf(json, "\n     \"batched\": [");
       for (std::size_t i = 0; i < points.size(); ++i)
-        std::fprintf(json, "%s{\"batch\": %lld, \"fps\": %.1f}",
+        std::fprintf(json,
+                     "%s{\"batch\": %lld, \"fps\": %.1f, "
+                     "\"allocs_per_call\": %.2f}",
                      i ? ", " : "",
-                     static_cast<long long>(points[i].batch), points[i].fps);
+                     static_cast<long long>(points[i].batch), points[i].fps,
+                     points[i].allocs_per_call);
       std::fprintf(json,
                    "],\n     \"server\": {\"workers\": %u, \"max_batch\": %lld, "
                    "\"max_latency_us\": %lld, \"fps\": %.1f, \"p50_ms\": %.3f, "
@@ -169,6 +194,7 @@ int main(int argc, char** argv) {
                    i == 0 ? util::fmt(single_fps, 1) : "",
                    std::to_string(points[i].batch), util::fmt(points[i].fps, 1),
                    util::fmt(points[i].fps / single_fps, 2) + "x",
+                   util::fmt(points[i].allocs_per_call, 2),
                    i == 0 ? util::fmt(server_fps, 1) : "",
                    i == 0 ? util::fmt(p50, 2) : "",
                    i == 0 ? util::fmt(p99, 2) : "",
@@ -180,7 +206,14 @@ int main(int argc, char** argv) {
 
     std::printf("%s", t.render().c_str());
     std::printf("\nspeedup = batched FPS / single-image FPS (same host, same "
-                "thread budget).\nartifact: %s\n", out_path.c_str());
+                "thread budget).\nallocs/call = steady-state heap "
+                "allocations per forward_batch on the Workspace path "
+                "(contract: 0).\nartifact: %s\n", out_path.c_str());
+    if (check_allocs && steady_state_allocated) {
+      std::fprintf(stderr, "bench_serving_throughput: --check-allocs FAILED: "
+                           "steady state performed heap allocations\n");
+      return 1;
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_serving_throughput: %s\n", e.what());

@@ -15,6 +15,11 @@ Rules (see docs/static-analysis.md):
       src/parallel/ and src/serve/ — everything else must either stay
       synchronous or go through ThreadPool / BatchingServer, so the
       TSan stress suite exercises every wait/notify path in the repo.
+  R6  the plan interpreter (src/xnor/exec.cpp) is an allocation-free
+      zone: no new/malloc, no owning-container construction or growth,
+      no Tensor/BitMatrix temporaries. The allocating prologue belongs
+      in plan.cpp / engine.cpp; tests/test_zero_alloc.cpp measures the
+      same contract dynamically with an operator-new interposer.
 
 Exit status: 0 when clean, 1 with a per-violation report otherwise.
 """
@@ -37,6 +42,18 @@ COORD_USE = re.compile(
     r"std::condition_variable\b|std::future\b|std::promise\b"
     r"|#include\s*<condition_variable>|#include\s*<future>"
 )
+# Allocation tokens forbidden in the interpreter. std::vector is allowed
+# only as a reference type (`const std::vector<T>&` parameters); declaring
+# a vector/string value, constructing a Tensor/BitMatrix, or growing any
+# container is an R6 violation.
+ALLOC_TOKENS = re.compile(
+    r"\bnew\b|\bmalloc\b|\bcalloc\b|\brealloc\b"
+    r"|make_unique|make_shared"
+    r"|std::vector\s*<[^>]*>\s*(?!&)\w|std::string\s"
+    r"|\bTensor\s*\(|\bBitMatrix\s*\("
+    r"|push_back|emplace_back|\.resize\s*\(|\.reserve\s*\("
+)
+ALLOC_FREE_FILES = ("src/xnor/exec.cpp",)
 
 
 def src_files() -> list[Path]:
@@ -57,6 +74,18 @@ def grep_rule(name: str, pattern: re.Pattern[str],
                 violations.append(f"{name}: {rel}:{lineno}: {line.strip()}")
 
 
+def check_alloc_free_zone(violations: list[str]) -> None:
+    for rel in ALLOC_FREE_FILES:
+        path = ROOT / rel
+        if not path.exists():
+            violations.append(f"R6: {rel}: allocation-free file is missing")
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//", 1)[0]  # prose may mention the tokens
+            if ALLOC_TOKENS.search(code):
+                violations.append(f"R6: {rel}:{lineno}: {line.strip()}")
+
+
 def check_test_references(violations: list[str]) -> None:
     corpus = "\n".join(p.read_text() for p in sorted(TESTS.glob("*.[ch]pp")))
     for cpp in sorted(SRC.rglob("*.cpp")):
@@ -73,6 +102,7 @@ def main() -> int:
     grep_rule("R2", THREAD_USE, "src/parallel/", violations)
     grep_rule("R3", BAD_RNG, "src/util/rng", violations)
     grep_rule("R5", COORD_USE, ("src/parallel/", "src/serve/"), violations)
+    check_alloc_free_zone(violations)
     check_test_references(violations)
     if violations:
         print(f"check_invariants: {len(violations)} violation(s)")
@@ -80,7 +110,7 @@ def main() -> int:
             print("  " + v)
         return 1
     print("check_invariants: OK "
-          f"({len(src_files())} files, 5 rules)")
+          f"({len(src_files())} files, 6 rules)")
     return 0
 
 

@@ -7,6 +7,9 @@
 # (clang-tidy + repo-invariant lint) and reports its result in the summary.
 # Opt-in: SERVING_BENCH=1 re-runs the serving-throughput bench with --full
 # sample counts (the bench loop below always runs it once in quick mode).
+# Opt-in: WORKSPACE_BENCH=1 verifies the engine's zero-allocation
+# steady-state contract: the serving bench re-runs with --check-allocs and
+# fails the stage if any measured steady state touched the heap.
 set -euo pipefail
 
 declare -a SUMMARY
@@ -56,6 +59,17 @@ if [[ "${SERVING_BENCH:-0}" == "1" ]]; then
   fi
 else
   note "serving_bench: quick pass only (set SERVING_BENCH=1 for --full)"
+fi
+
+if [[ "${WORKSPACE_BENCH:-0}" == "1" ]]; then
+  if build/bench/bench_serving_throughput --check-allocs \
+      --out bench_artifacts/serving_workspace.json; then
+    note "workspace_bench (--check-allocs): PASS (0 allocs/inference)"
+  else
+    note "workspace_bench (--check-allocs): FAIL"
+  fi
+else
+  note "workspace_bench: skipped (set WORKSPACE_BENCH=1 to verify the zero-allocation steady state)"
 fi
 
 echo

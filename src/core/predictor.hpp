@@ -40,6 +40,16 @@ class Predictor {
   /// against the folded topology (BCOP_CHECK aborts on mismatch).
   std::vector<Result> classify_batch(const tensor::Tensor& batch) const;
 
+  /// Allocation-free serving form of classify_batch: the folded network
+  /// executes its cached plan into `ws`, logits land in `logits` (only
+  /// reallocated on a shape change), and softmax/argmax are computed
+  /// in place into `results` (resized, but steady-state capacity is
+  /// reused). After a warm call with a repeated batch shape this performs
+  /// zero heap allocations -- the form the batching server workers use.
+  void classify_batch(const tensor::Tensor& batch, xnor::Workspace& ws,
+                      tensor::Tensor& logits,
+                      std::vector<Result>& results) const;
+
   const nn::Sequential& model() const { return model_; }
   nn::Sequential& mutable_model() { return model_; }
   const xnor::XnorNetwork& network() const { return net_; }
@@ -47,6 +57,9 @@ class Predictor {
  private:
   nn::Sequential model_;
   xnor::XnorNetwork net_;
+  /// net_.expected_input_shape(), computed once at construction so the
+  /// per-batch contract check stays allocation-free.
+  tensor::Shape want_;
 };
 
 }  // namespace bcop::core

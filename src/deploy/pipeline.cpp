@@ -6,6 +6,7 @@
 
 #include "deploy/mvtu.hpp"
 #include "deploy/swu.hpp"
+#include "xnor/plan.hpp"
 
 namespace bcop::deploy {
 
@@ -68,80 +69,77 @@ RunResult StreamingPipeline::run(const Tensor& image) const {
   if (image.shape().rank() != 4 || image.shape()[0] != 1)
     throw std::invalid_argument("StreamingPipeline::run: [1,S,S,C] required");
 
+  // The engine's compiled plan carries the per-stage activation geometry;
+  // consuming it here (instead of re-deriving h/w/c while executing) keeps
+  // the simulator and the interpreter reading the same frozen dataflow.
+  const xnor::ExecutionPlan& plan = net_->plan_for(image.shape());
+  const std::vector<xnor::StageShape>& shapes = plan.stage_shapes();
+
   RunResult result;
   std::size_t si = 0;  // spec cursor
+  std::size_t idx = 0; // stage cursor into the plan's shape table
 
   // Activation state between stages: binary map (one byte per element,
   // NHWC) with geometry, or logits at the very end.
   std::vector<std::uint8_t> bits;
-  std::int64_t h = image.shape()[1], w = image.shape()[2], c = image.shape()[3];
 
   for (const auto& stage : net_->stages()) {
+    const xnor::StageShape& ss = shapes[idx++];
     if (const auto* st = std::get_if<FirstConvStage>(&stage)) {
       const LayerSpec& sp = specs_[si++];
       // Stream in 8-bit pixel codes.
-      std::vector<std::int32_t> pixels(static_cast<std::size_t>(h * w * c));
-      for (std::int64_t i = 0; i < h * w * c; ++i)
+      const std::int64_t in_elems = ss.h_in * ss.w_in * ss.c_in;
+      std::vector<std::int32_t> pixels(static_cast<std::size_t>(in_elems));
+      for (std::int64_t i = 0; i < in_elems; ++i)
         pixels[static_cast<std::size_t>(i)] =
             static_cast<std::int32_t>(std::lround(image[i] * 255.f));
-      SlidingWindowUnit swu(h, w, c, st->k);
+      SlidingWindowUnit swu(ss.h_in, ss.w_in, ss.c_in, st->k);
       FixedMvtu mvtu(&st->weights, &st->thresholds, {sp.pe, sp.simd});
-      const std::int64_t oh = swu.out_h(), ow = swu.out_w();
       std::vector<std::uint8_t> out;
-      out.reserve(static_cast<std::size_t>(oh * ow * st->co));
+      out.reserve(static_cast<std::size_t>(ss.h_out * ss.w_out * ss.c_out));
       std::vector<std::int32_t> patch(static_cast<std::size_t>(swu.patch_bits()));
       std::int64_t cycles = 0;
-      for (std::int64_t oy = 0; oy < oh; ++oy)
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
+      for (std::int64_t oy = 0; oy < ss.h_out; ++oy)
+        for (std::int64_t ox = 0; ox < ss.w_out; ++ox) {
           swu.window_values(pixels, oy, ox, patch.data());
           cycles += mvtu.process(patch.data(), &out, nullptr);
         }
       result.stages.push_back({sp.name, cycles, swu.stream_cycles()});
       bits = std::move(out);
-      h = oh;
-      w = ow;
-      c = st->co;
     } else if (const auto* st2 = std::get_if<BinConvStage>(&stage)) {
       const LayerSpec& sp = specs_[si++];
-      SlidingWindowUnit swu(h, w, c, st2->k);
+      SlidingWindowUnit swu(ss.h_in, ss.w_in, ss.c_in, st2->k);
       BinaryMvtu mvtu(&st2->weights, &st2->thresholds, {sp.pe, sp.simd});
-      const std::int64_t oh = swu.out_h(), ow = swu.out_w();
       std::vector<std::uint8_t> out;
-      out.reserve(static_cast<std::size_t>(oh * ow * st2->co));
+      out.reserve(static_cast<std::size_t>(ss.h_out * ss.w_out * ss.c_out));
       std::vector<std::uint64_t> patch(static_cast<std::size_t>(swu.patch_words()));
       std::int64_t cycles = 0;
-      for (std::int64_t oy = 0; oy < oh; ++oy)
-        for (std::int64_t ox = 0; ox < ow; ++ox) {
+      for (std::int64_t oy = 0; oy < ss.h_out; ++oy)
+        for (std::int64_t ox = 0; ox < ss.w_out; ++ox) {
           swu.window_bits(bits, oy, ox, patch.data());
           cycles += mvtu.process(patch.data(), &out, nullptr);
         }
       result.stages.push_back({sp.name, cycles, swu.stream_cycles()});
       bits = std::move(out);
-      h = oh;
-      w = ow;
-      c = st2->co;
     } else if (std::get_if<PoolStage>(&stage)) {
       // Boolean OR over each 2x2 window (paper Sec. III-B).
-      const std::int64_t oh = h / 2, ow = w / 2;
-      std::vector<std::uint8_t> out(static_cast<std::size_t>(oh * ow * c));
-      for (std::int64_t y = 0; y < oh; ++y)
-        for (std::int64_t x = 0; x < ow; ++x)
+      const std::int64_t w = ss.w_in, c = ss.c_in;
+      std::vector<std::uint8_t> out(
+          static_cast<std::size_t>(ss.h_out * ss.w_out * ss.c_out));
+      for (std::int64_t y = 0; y < ss.h_out; ++y)
+        for (std::int64_t x = 0; x < ss.w_out; ++x)
           for (std::int64_t ch = 0; ch < c; ++ch) {
             const auto at = [&](std::int64_t yy, std::int64_t xx) {
               return bits[static_cast<std::size_t>((yy * w + xx) * c + ch)];
             };
-            out[static_cast<std::size_t>((y * ow + x) * c + ch)] =
+            out[static_cast<std::size_t>((y * ss.w_out + x) * c + ch)] =
                 static_cast<std::uint8_t>(at(2 * y, 2 * x) | at(2 * y, 2 * x + 1) |
                                           at(2 * y + 1, 2 * x) |
                                           at(2 * y + 1, 2 * x + 1));
           }
       bits = std::move(out);
-      h = oh;
-      w = ow;
     } else if (std::get_if<FlattenStage>(&stage)) {
-      // NHWC order is already the flattened order; geometry collapses.
-      c = h * w * c;
-      h = w = 1;
+      // NHWC order is already the flattened order; nothing moves.
     } else if (const auto* st3 = std::get_if<BinDenseStage>(&stage)) {
       const LayerSpec& sp = specs_[si++];
       // Pack the flat activation bits into words.
@@ -160,7 +158,6 @@ RunResult StreamingPipeline::run(const Tensor& image) const {
       result.stages.push_back({sp.name, cycles, 0});
       if (st3->has_threshold) {
         bits = std::move(out);
-        c = st3->out;
       } else {
         result.logits = Tensor(Shape{1, st3->out});
         for (std::int64_t i = 0; i < st3->out; ++i)

@@ -1,7 +1,6 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <exception>
 
 #include "util/check.hpp"
@@ -48,7 +47,15 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      cv_work_.wait(lock, [this] {
+        return stop_ || !queue_.empty() ||
+               (bulk_fn_ != nullptr && bulk_cursor_ < bulk_end_);
+      });
+      if (bulk_fn_ != nullptr && bulk_cursor_ < bulk_end_ && queue_.empty()) {
+        lock.unlock();
+        run_bulk_chunks();
+        continue;
+      }
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
@@ -63,6 +70,76 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::run_bulk_chunks() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (bulk_fn_ != nullptr && bulk_cursor_ < bulk_end_) {
+    const std::int64_t lo = bulk_cursor_;
+    const std::int64_t hi = std::min(bulk_end_, lo + bulk_chunk_);
+    bulk_cursor_ = hi;
+    ++bulk_pending_;
+    const ChunkFn fn = bulk_fn_;
+    void* ctx = bulk_ctx_;
+    const bool skip = bulk_failed_;
+    lock.unlock();
+    if (!skip) {
+      try {
+        fn(ctx, lo, hi);
+      } catch (...) {
+        lock.lock();
+        if (!bulk_failed_) {
+          bulk_failed_ = true;
+          bulk_error_ = std::current_exception();
+        }
+        lock.unlock();
+      }
+    }
+    lock.lock();
+    BCOP_CHECK(bulk_pending_ > 0, "bulk_pending underflow in run_bulk_chunks");
+    if (--bulk_pending_ == 0 && bulk_cursor_ >= bulk_end_)
+      cv_bulk_done_.notify_all();
+  }
+}
+
+void ThreadPool::for_chunks(std::int64_t begin, std::int64_t end, ChunkFn fn,
+                            void* ctx) {
+  BCOP_CHECK(fn != nullptr, "for_chunks with null chunk function");
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const std::int64_t parts =
+      std::min<std::int64_t>(n, static_cast<std::int64_t>(size()) + 1);
+  if (parts <= 1) {
+    fn(ctx, begin, end);
+    return;
+  }
+  // One bulk region at a time per pool; concurrent callers queue here.
+  std::lock_guard<std::mutex> region(bulk_mutex_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    bulk_fn_ = fn;
+    bulk_ctx_ = ctx;
+    bulk_cursor_ = begin;
+    bulk_end_ = end;
+    bulk_chunk_ = (n + parts - 1) / parts;
+    bulk_pending_ = 0;
+    bulk_failed_ = false;
+    bulk_error_ = nullptr;
+  }
+  cv_work_.notify_all();
+  run_bulk_chunks();  // the caller claims chunks alongside the workers
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_bulk_done_.wait(lock, [this] {
+      return bulk_pending_ == 0 && bulk_cursor_ >= bulk_end_;
+    });
+    bulk_fn_ = nullptr;
+    bulk_ctx_ = nullptr;
+    error = bulk_error_;
+    bulk_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -74,43 +151,12 @@ ThreadPool& ThreadPool::global() {
 void parallel_for_chunked(
     ThreadPool& pool, std::int64_t begin, std::int64_t end,
     const std::function<void(std::int64_t, std::int64_t)>& body) {
-  const std::int64_t n = end - begin;
-  if (n <= 0) return;
-  const std::int64_t workers = static_cast<std::int64_t>(pool.size()) + 1;
-  const std::int64_t chunks = std::min(n, workers);
-  if (chunks == 1) {
-    body(begin, end);
-    return;
-  }
-  const std::int64_t chunk = (n + chunks - 1) / chunks;
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  // The last chunk runs on the calling thread so the caller participates.
-  for (std::int64_t c = 0; c < chunks - 1; ++c) {
-    const std::int64_t lo = begin + c * chunk;
-    const std::int64_t hi = std::min(end, lo + chunk);
-    pool.submit([&, lo, hi] {
-      if (failed.load(std::memory_order_relaxed)) return;
-      try {
-        body(lo, hi);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!failed.exchange(true)) first_error = std::current_exception();
-      }
-    });
-  }
-  const std::int64_t lo = begin + (chunks - 1) * chunk;
-  if (lo < end) {
-    try {
-      body(lo, end);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(error_mutex);
-      if (!failed.exchange(true)) first_error = std::current_exception();
-    }
-  }
-  pool.wait_idle();
-  if (first_error) std::rethrow_exception(first_error);
+  using Body = const std::function<void(std::int64_t, std::int64_t)>;
+  pool.for_chunks(begin, end,
+                  [](void* ctx, std::int64_t lo, std::int64_t hi) {
+                    (*static_cast<Body*>(ctx))(lo, hi);
+                  },
+                  const_cast<void*>(static_cast<const void*>(&body)));
 }
 
 void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,

@@ -38,11 +38,28 @@ class ThreadPool {
   /// Block until every submitted task has completed.
   void wait_idle();
 
+  /// Chunk body for for_chunks: fn(ctx, chunk_begin, chunk_end).
+  using ChunkFn = void (*)(void* ctx, std::int64_t, std::int64_t);
+
+  /// Allocation-free static-schedule chunked loop over [begin, end): the
+  /// body arrives as a raw function pointer + context, and workers claim
+  /// contiguous chunks off a shared cursor, so the hot serving path posts
+  /// no std::function objects and no queue nodes (measured by the
+  /// steady-state allocation tests). The calling thread participates.
+  /// Regions serialize per pool (one loop in flight at a time); each
+  /// region still fans out over every worker, so concurrent callers lose
+  /// only interleaving, not parallelism. Exceptions from the body
+  /// propagate to the caller (first one wins). Must not be called from
+  /// inside a chunk body of the same pool.
+  void for_chunks(std::int64_t begin, std::int64_t end, ChunkFn fn,
+                  void* ctx);
+
   /// Process-wide pool sized to hardware_concurrency() - 1 workers.
   static ThreadPool& global();
 
  private:
   void worker_loop();
+  void run_bulk_chunks();
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
@@ -51,6 +68,22 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
+
+  // Bulk-region state for for_chunks. All fields are guarded by mutex_
+  // (chunks are coarse -- at most workers+1 per region -- so claiming
+  // under the lock is cheaper than the allocation-free bookkeeping an
+  // atomic cursor would need to stay epoch-safe). bulk_mutex_ serializes
+  // whole regions; it is taken before mutex_ and never the other way.
+  std::mutex bulk_mutex_;
+  ChunkFn bulk_fn_ = nullptr;
+  void* bulk_ctx_ = nullptr;
+  std::int64_t bulk_cursor_ = 0;
+  std::int64_t bulk_end_ = 0;
+  std::int64_t bulk_chunk_ = 1;
+  std::int64_t bulk_pending_ = 0;
+  bool bulk_failed_ = false;
+  std::exception_ptr bulk_error_;
+  std::condition_variable cv_bulk_done_;
 };
 
 /// Static-schedule parallel loop over [begin, end). `body(i)` is invoked

@@ -98,6 +98,7 @@ ServerStats BatchingServer::stats() const {
 }
 
 void BatchingServer::worker_loop() {
+  WorkerState state;  // lives as long as the worker: arena grows, then holds
   for (;;) {
     std::deque<Request> batch;
     {
@@ -126,17 +127,21 @@ void BatchingServer::worker_loop() {
       }
     }
     cv_space_.notify_all();
-    run_batch(std::move(batch));
+    run_batch(std::move(batch), state);
   }
 }
 
-void BatchingServer::run_batch(std::deque<Request>&& batch) {
+void BatchingServer::run_batch(std::deque<Request>&& batch,
+                               WorkerState& state) {
   const auto b = static_cast<std::int64_t>(batch.size());
   const Shape& s = batch.front().image.shape();
-  Tensor input(Shape{b, s[0], s[1], s[2]});
+  const Shape batch_shape{b, s[0], s[1], s[2]};
+  // Reuse the worker's coalescing buffer; it only reallocates when the
+  // batch size changes (steady traffic at a fixed size is allocation-free).
+  if (state.input.shape() != batch_shape) state.input = Tensor(batch_shape);
   const std::int64_t stride = s.numel();
   for (std::int64_t i = 0; i < b; ++i)
-    std::memcpy(input.data() + i * stride,
+    std::memcpy(state.input.data() + i * stride,
                 batch[static_cast<std::size_t>(i)].image.data(),
                 static_cast<std::size_t>(stride) * sizeof(float));
   {
@@ -148,10 +153,11 @@ void BatchingServer::run_batch(std::deque<Request>&& batch) {
     if (b > 1) stats_.coalesced += b;
   }
   try {
-    const auto results = predictor_.classify_batch(input);
+    predictor_.classify_batch(state.input, state.ws, state.logits,
+                              state.results);
     for (std::int64_t i = 0; i < b; ++i)
       batch[static_cast<std::size_t>(i)].promise.set_value(
-          results[static_cast<std::size_t>(i)]);
+          state.results[static_cast<std::size_t>(i)]);
   } catch (...) {
     for (auto& request : batch)
       request.promise.set_exception(std::current_exception());

@@ -32,6 +32,7 @@
 #include "core/predictor.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/tensor.hpp"
+#include "xnor/plan.hpp"
 
 namespace bcop::serve {
 
@@ -82,8 +83,19 @@ class BatchingServer {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  /// Per-worker serving state, owned by the worker for its lifetime: the
+  /// grow-only plan arena plus the coalesced input, logits and result
+  /// buffers. Once the worker has seen a batch size, shipping that size
+  /// again touches no allocator -- the whole inference is arena + reuse.
+  struct WorkerState {
+    xnor::Workspace ws;
+    tensor::Tensor input;
+    tensor::Tensor logits;
+    std::vector<core::Predictor::Result> results;
+  };
+
   void worker_loop();
-  void run_batch(std::deque<Request>&& batch);
+  void run_batch(std::deque<Request>&& batch, WorkerState& state);
 
   const core::Predictor& predictor_;
   const BatcherConfig config_;

@@ -1,0 +1,217 @@
+#include "tensor/bit_span.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "parallel/thread_pool.hpp"
+#include "tensor/bit_tensor.hpp"
+#include "tensor/im2row.hpp"
+
+namespace bcop::tensor {
+
+BitSpan span_of(BitMatrix& m) {
+  return {m.rows() > 0 ? m.row(0) : nullptr, m.rows(), m.cols(),
+          m.words_per_row()};
+}
+
+ConstBitSpan span_of(const BitMatrix& m) {
+  return {m.rows() > 0 ? m.row(0) : nullptr, m.rows(), m.cols(),
+          m.words_per_row()};
+}
+
+void pack_rows(const float* src, std::int64_t rows, std::int64_t cols,
+               BitSpan dst) {
+  BCOP_CHECK(dst.rows == rows && dst.cols == cols,
+             "pack_rows: dst [%lld, %lld] != src [%lld, %lld]",
+             static_cast<long long>(dst.rows), static_cast<long long>(dst.cols),
+             static_cast<long long>(rows), static_cast<long long>(cols));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* s = src + r * cols;
+    std::uint64_t* w = dst.row(r);
+    for (std::int64_t word = 0; word < dst.wpr; ++word) {
+      std::uint64_t bits = 0;
+      const std::int64_t base = word * 64;
+      const std::int64_t n = std::min<std::int64_t>(64, cols - base);
+      for (std::int64_t i = 0; i < n; ++i)
+        bits |= static_cast<std::uint64_t>(s[base + i] >= 0.f) << i;
+      w[word] = bits;
+    }
+  }
+}
+
+void transpose_word_major(ConstBitSpan b, std::uint64_t* bt) {
+  for (std::int64_t j = 0; j < b.rows; ++j) {
+    const std::uint64_t* bj = b.row(j);
+    for (std::int64_t w = 0; w < b.wpr; ++w) bt[w * b.rows + j] = bj[w];
+  }
+}
+
+namespace {
+
+struct GemmCtx {
+  ConstBitSpan a;
+  const std::uint64_t* bt;
+  std::int64_t n;
+  std::int32_t* c;
+};
+
+void gemm_chunk(void* raw, std::int64_t lo, std::int64_t hi) {
+  const GemmCtx& g = *static_cast<const GemmCtx*>(raw);
+  const std::int64_t N = g.n, K = g.a.cols;
+  const std::int64_t words = g.a.wpr, pad = g.a.pad();
+  // Popcount accumulators live in a fixed stack tile: the weight-row
+  // dimension is walked kTile lanes at a time, each sweep streaming every
+  // activation word once. 256 lanes keep the tile inside L1 while leaving
+  // the inner loop wide enough to vectorize (see binary_gemm for the
+  // word-major layout rationale).
+  constexpr std::int64_t kTile = 256;
+  std::int64_t pop[kTile];
+  for (std::int64_t i = lo; i < hi; ++i) {
+    const std::uint64_t* ai = g.a.row(i);
+    std::int32_t* ci = g.c + i * N;
+    for (std::int64_t j0 = 0; j0 < N; j0 += kTile) {
+      const std::int64_t jn = std::min(kTile, N - j0);
+#pragma omp simd
+      for (std::int64_t j = 0; j < jn; ++j) pop[j] = 0;
+      for (std::int64_t w = 0; w < words; ++w) {
+        const std::uint64_t av = ai[w];
+        const std::uint64_t* btw = g.bt + w * N + j0;
+#pragma omp simd
+        for (std::int64_t j = 0; j < jn; ++j)
+          pop[j] += std::popcount(~(av ^ btw[j]));
+      }
+#pragma omp simd
+      for (std::int64_t j = 0; j < jn; ++j)
+        ci[j0 + j] = static_cast<std::int32_t>(2 * (pop[j] - pad) - K);
+    }
+  }
+}
+
+}  // namespace
+
+void binary_gemm_pre(ConstBitSpan a, const std::uint64_t* bt, std::int64_t n,
+                     std::int32_t* c) {
+  GemmCtx ctx{a, bt, n, c};
+  parallel::ThreadPool::global().for_chunks(0, a.rows, &gemm_chunk, &ctx);
+}
+
+namespace {
+
+struct Im2RowCtx {
+  ConstBitSpan pixels;
+  BitSpan rows;
+  std::int64_t h, w, c, k, ho, wo;
+};
+
+void im2row_chunk(void* raw, std::int64_t lo, std::int64_t hi) {
+  const Im2RowCtx& t = *static_cast<const Im2RowCtx*>(raw);
+  const std::int64_t h = t.h, w = t.w, c = t.c, k = t.k;
+  const std::int64_t ho = t.ho, wo = t.wo;
+  const std::int64_t wpp = t.pixels.wpr;
+  const bool aligned = (c % 64) == 0;
+  for (std::int64_t r = lo; r < hi; ++r) {
+    const std::int64_t img = r / (ho * wo);
+    const std::int64_t rem = r - img * ho * wo;
+    const std::int64_t y = rem / wo, x = rem - y * wo;
+    std::uint64_t* dst = t.rows.row(r);
+    // The OR-based paths rely on zero destination bits; arena rows carry
+    // stale state, so clear the whole row first (aligned rows are fully
+    // overwritten by the memcpy below and skip this).
+    if (!aligned)
+      std::memset(dst, 0, static_cast<std::size_t>(t.rows.wpr) *
+                              sizeof(std::uint64_t));
+    for (std::int64_t ky = 0; ky < k; ++ky) {
+      // The k pixels of one kernel row are adjacent along x, so their
+      // packed fields are consecutive rows of `pixels`.
+      const std::int64_t p = ((img * h) + y + ky) * w + x;
+      if (aligned) {
+        std::memcpy(dst + (ky * k * c) / 64, t.pixels.row(p),
+                    static_cast<std::size_t>(k * wpp) * sizeof(std::uint64_t));
+      } else if (c < 64) {
+        // Single-word fields: inline the append (the call + multi-word
+        // generality of append_bits costs more than the OR itself).
+        const std::uint64_t* src = t.pixels.row(p);
+        for (std::int64_t kx = 0; kx < k; ++kx) {
+          const std::uint64_t v = src[kx * wpp];
+          const std::int64_t off = (ky * k + kx) * c;
+          const std::int64_t sh = off & 63;
+          std::uint64_t* d = dst + (off >> 6);
+          d[0] |= v << sh;
+          if (sh + c > 64) d[1] |= v >> (64 - sh);
+        }
+      } else {
+        for (std::int64_t kx = 0; kx < k; ++kx)
+          append_bits(dst, (ky * k + kx) * c, t.pixels.row(p + kx), c);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void bit_im2row(ConstBitSpan pixels, std::int64_t n, std::int64_t h,
+                std::int64_t w, std::int64_t c, std::int64_t k, BitSpan rows) {
+  if (pixels.rows != n * h * w || pixels.cols != c)
+    throw std::invalid_argument("bit_im2row: pixels not [N*H*W, C]");
+  const std::int64_t ho = conv_out_dim(h, k), wo = conv_out_dim(w, k);
+  if (ho <= 0 || wo <= 0)
+    throw std::invalid_argument("bit_im2row: kernel larger than input");
+  BCOP_CHECK(rows.rows == n * ho * wo && rows.cols == k * k * c,
+             "bit_im2row: rows span [%lld, %lld] != [%lld, %lld]",
+             static_cast<long long>(rows.rows),
+             static_cast<long long>(rows.cols),
+             static_cast<long long>(n * ho * wo),
+             static_cast<long long>(k * k * c));
+  Im2RowCtx ctx{pixels, rows, h, w, c, k, ho, wo};
+  parallel::ThreadPool::global().for_chunks(0, n * ho * wo, &im2row_chunk,
+                                            &ctx);
+}
+
+void pool2_bits(ConstBitSpan pixels, std::int64_t n, std::int64_t h,
+                std::int64_t w, BitSpan out) {
+  const std::int64_t ho = h / 2, wo = w / 2;
+  BCOP_CHECK(out.rows == n * ho * wo && out.cols == pixels.cols,
+             "pool2_bits: out span [%lld, %lld] != [%lld, %lld]",
+             static_cast<long long>(out.rows), static_cast<long long>(out.cols),
+             static_cast<long long>(n * ho * wo),
+             static_cast<long long>(pixels.cols));
+  const std::int64_t wpp = pixels.wpr;
+  for (std::int64_t nn_ = 0; nn_ < n; ++nn_)
+    for (std::int64_t yy = 0; yy < ho; ++yy)
+      for (std::int64_t xx = 0; xx < wo; ++xx) {
+        const std::int64_t base = (nn_ * h + 2 * yy) * w + 2 * xx;
+        const std::uint64_t* r0 = pixels.row(base);
+        const std::uint64_t* r1 = pixels.row(base + 1);
+        const std::uint64_t* r2 = pixels.row(base + w);
+        const std::uint64_t* r3 = pixels.row(base + w + 1);
+        std::uint64_t* dst = out.row((nn_ * ho + yy) * wo + xx);
+        for (std::int64_t i = 0; i < wpp; ++i)
+          dst[i] = (r0[i] | r1[i]) | (r2[i] | r3[i]);
+      }
+}
+
+void flatten_pixels(ConstBitSpan pixels, std::int64_t n, std::int64_t ppi,
+                    std::int64_t c, BitSpan out) {
+  BCOP_CHECK(out.rows == n && out.cols == ppi * c,
+             "flatten_pixels: out span [%lld, %lld] != [%lld, %lld]",
+             static_cast<long long>(out.rows), static_cast<long long>(out.cols),
+             static_cast<long long>(n), static_cast<long long>(ppi * c));
+  const std::int64_t wpp = pixels.wpr;
+  if (c % 64 == 0) {
+    for (std::int64_t i = 0; i < n; ++i)
+      std::memcpy(out.row(i), pixels.row(i * ppi),
+                  static_cast<std::size_t>(ppi * wpp) * sizeof(std::uint64_t));
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) {
+      std::uint64_t* dst = out.row(i);
+      std::memset(dst, 0,
+                  static_cast<std::size_t>(out.wpr) * sizeof(std::uint64_t));
+      for (std::int64_t p = 0; p < ppi; ++p)
+        append_bits(dst, p * c, pixels.row(i * ppi + p), c);
+    }
+  }
+}
+
+}  // namespace bcop::tensor

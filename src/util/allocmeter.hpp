@@ -1,0 +1,29 @@
+// Heap-allocation meter: a replaceable-global-operator-new interposer.
+//
+// Linking the bcop_allocmeter OBJECT library into a binary replaces the
+// global operator new/delete family with counting versions, so a test or
+// benchmark can assert "this region performed N heap allocations" -- the
+// measurement behind the engine's zero-allocation steady-state contract
+// (tests/test_zero_alloc.cpp, bench/bench_serving_throughput.cpp).
+//
+// Deliberately NOT part of bcop_util: replacing global new is a
+// whole-binary decision, so only binaries that opt in by linking the
+// object library get the interposer. This header alone is inert.
+#pragma once
+
+#include <cstdint>
+
+namespace bcop::util {
+
+/// Total global operator-new invocations observed in this process (all
+/// threads, relaxed ordering). Monotonic; meaningful only in binaries that
+/// link bcop_allocmeter -- elsewhere the count stays 0.
+std::uint64_t alloc_count();
+
+/// Convenience for "allocations inside this region" measurements:
+///   const auto before = alloc_mark();
+///   work();
+///   const auto n = alloc_count() - before;
+inline std::uint64_t alloc_mark() { return alloc_count(); }
+
+}  // namespace bcop::util

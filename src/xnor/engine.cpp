@@ -1,8 +1,11 @@
 #include "xnor/engine.hpp"
 
+#include <array>
 #include <cmath>
-#include <cstring>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
 
 #include "nn/batchnorm.hpp"
 #include "nn/binary_conv2d.hpp"
@@ -10,10 +13,9 @@
 #include "nn/flatten.hpp"
 #include "nn/maxpool.hpp"
 #include "nn/sign_activation.hpp"
-#include "parallel/thread_pool.hpp"
-#include "tensor/gemm.hpp"
-#include "tensor/im2row.hpp"
 #include "tensor/ops.hpp"
+#include "xnor/exec.hpp"
+#include "xnor/plan.hpp"
 
 namespace bcop::xnor {
 
@@ -39,272 +41,44 @@ BitMatrix pack_transposed(const Tensor& w) {
   return m;
 }
 
-/// First-layer integer accumulators [M, co] for quantized-pixel input;
-/// shared by the float-domain and bit-domain forward paths.
-std::vector<std::int32_t> first_conv_acc(const Tensor& x,
-                                         const FirstConvStage& st,
-                                         std::int64_t& m_out) {
-  // Recover integer pixel codes and run an exact integer GEMM in float.
-  Tensor q(x.shape());
-  for (std::int64_t j = 0; j < x.numel(); ++j)
-    q[j] = std::nearbyint(x[j] * 255.f);
-  Tensor patches;
-  tensor::im2row(q, st.k, patches);
-  const std::int64_t M = patches.shape()[0];
-  Tensor acc_f(Shape{M, st.co});
-  tensor::gemm_nn(M, st.co, patches.shape()[1], patches.data(),
-                  st.weights.data(), acc_f.data());
-  std::vector<std::int32_t> acc(static_cast<std::size_t>(M * st.co));
-  for (std::int64_t j = 0; j < acc_f.numel(); ++j)
-    acc[static_cast<std::size_t>(j)] =
-        static_cast<std::int32_t>(std::lround(acc_f[j]));
-  m_out = M;
-  return acc;
-}
-
-/// Row kernel for the fused first-conv: accumulate output pixels'
-/// `CO` channels with the accumulators held in fixed-size local arrays
-/// the compiler keeps in vector registers, then fire the folded
-/// thresholds and emit packed bits directly. All arithmetic is exact:
-/// pixel codes and +-1 weights are integers and |acc| <= K*255 << 2^24.
-///
-/// Four horizontally adjacent output pixels are computed together: they
-/// share every weight load, and their input patches are the same span
-/// shifted by `c`, so one broadcast-FMA sweep feeds four accumulator
-/// vectors. The `omp simd` hints are required -- without them GCC leaves
-/// the channel loop scalar ("complicated access pattern") and the first
-/// conv dominates the whole batched forward. Thresholds arrive in
-/// PreparedThresholds form (thr/inv) so firing is a branch-free compare
-/// the vectorizer folds into a mask; a branchy per-channel `if` here costs
-/// more than the convolution itself.
-template <int CO>
-void first_conv_rows_fixed(const float* q, const FirstConvStage& st,
-                           const std::int32_t* thr, const std::int32_t* inv,
-                           std::int64_t h, std::int64_t w, std::int64_t c,
-                           std::int64_t ho, std::int64_t wo, std::int64_t lo,
-                           std::int64_t hi, BitMatrix& out) {
-  static_assert(CO <= 64, "fixed kernel emits one 64-bit word per pixel");
-  const float* wts = st.weights.data();
-  const std::int64_t k = st.k, kc = st.k * c;
-  std::int64_t r = lo;
-  while (r < hi) {
-    const std::int64_t img = r / (ho * wo);
-    const std::int64_t rem = r - img * ho * wo;
-    const std::int64_t y = rem / wo, x = rem - y * wo;
-    const float* base = q + (((img * h) + y) * w + x) * c;
-    if (x + 4 <= wo && r + 4 <= hi) {
-      float acc[4][CO] = {};
-      for (std::int64_t ky = 0; ky < k; ++ky) {
-        // For a fixed ky the (kx, c) patch span is contiguous in both the
-        // quantized input and the [K*K*Ci, Co] weight matrix.
-        const float* p = base + ky * w * c;
-        const float* wrow = wts + ky * kc * CO;
-        for (std::int64_t i = 0; i < kc; ++i) {
-          const float* wr = wrow + i * CO;
-          const float a0 = p[i], a1 = p[i + c];
-          const float a2 = p[i + 2 * c], a3 = p[i + 3 * c];
-#pragma omp simd
-          for (int j = 0; j < CO; ++j) {
-            acc[0][j] += a0 * wr[j];
-            acc[1][j] += a1 * wr[j];
-            acc[2][j] += a2 * wr[j];
-            acc[3][j] += a3 * wr[j];
-          }
-        }
-      }
-      for (int m = 0; m < 4; ++m) {
-        std::uint64_t bits = 0;
-#pragma omp simd reduction(| : bits)
-        for (int j = 0; j < CO; ++j)
-          bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                      (static_cast<std::int32_t>(acc[m][j]) >= thr[j]) ^
-                      inv[j]))
-                  << j;
-        out.row(r + m)[0] = bits;
-      }
-      r += 4;
-    } else {
-      float acc[CO] = {};
-      for (std::int64_t ky = 0; ky < k; ++ky) {
-        const float* p = base + ky * w * c;
-        const float* wrow = wts + ky * kc * CO;
-        for (std::int64_t i = 0; i < kc; ++i) {
-          const float a = p[i];
-          const float* wr = wrow + i * CO;
-#pragma omp simd
-          for (int j = 0; j < CO; ++j) acc[j] += a * wr[j];
-        }
-      }
-      std::uint64_t bits = 0;
-#pragma omp simd reduction(| : bits)
-      for (int j = 0; j < CO; ++j)
-        bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                    (static_cast<std::int32_t>(acc[j]) >= thr[j]) ^ inv[j]))
-                << j;
-      out.row(r)[0] = bits;
-      ++r;
-    }
-  }
-}
-
-/// Generic-width variant of first_conv_rows_fixed (scratch accumulators).
-void first_conv_rows_any(const float* q, const FirstConvStage& st,
-                         const std::int32_t* thr, const std::int32_t* inv,
-                         std::int64_t h, std::int64_t w, std::int64_t c,
-                         std::int64_t ho, std::int64_t wo, std::int64_t lo,
-                         std::int64_t hi, BitMatrix& out) {
-  const float* wts = st.weights.data();
-  const std::int64_t k = st.k, co = st.co;
-  std::vector<float> acc(static_cast<std::size_t>(co));
-  for (std::int64_t r = lo; r < hi; ++r) {
-    const std::int64_t img = r / (ho * wo);
-    const std::int64_t rem = r - img * ho * wo;
-    const std::int64_t y = rem / wo, x = rem - y * wo;
-    std::fill(acc.begin(), acc.end(), 0.f);
-    for (std::int64_t ky = 0; ky < k; ++ky) {
-      const float* p = q + (((img * h) + y + ky) * w + x) * c;
-      const float* wrow = wts + ky * k * c * co;
-      float* av = acc.data();
-      for (std::int64_t i = 0; i < k * c; ++i) {
-        const float a = p[i];
-        const float* wr = wrow + i * co;
-#pragma omp simd
-        for (std::int64_t j = 0; j < co; ++j) av[j] += a * wr[j];
-      }
-    }
-    std::uint64_t* dst = out.row(r);
-    for (std::int64_t word = 0; word * 64 < co; ++word) {
-      const std::int64_t base = word * 64;
-      const std::int64_t n = std::min<std::int64_t>(64, co - base);
-      const float* ab = acc.data() + base;
-      const std::int32_t* tp = thr + base;
-      const std::int32_t* ip = inv + base;
-      std::uint64_t bits = 0;
-#pragma omp simd reduction(| : bits)
-      for (std::int64_t i = 0; i < n; ++i)
-        bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                    (static_cast<std::int32_t>(ab[i]) >= tp[i]) ^ ip[i]))
-                << i;
-      dst[word] = bits;
-    }
-  }
-}
-
-/// Fused first-conv for the batched path: quantize -> conv -> threshold ->
-/// packed bits in one sweep, with no im2row patch matrix or accumulator
-/// tensor materialized (those dominate the batched runtime otherwise).
-/// Bit-identical to first_conv_acc + apply_thresholds_packed.
-void first_conv_to_bits(const Tensor& x, const FirstConvStage& st,
-                        BitMatrix& out) {
-  const Shape& s = x.shape();
-  const std::int64_t N = s[0], H = s[1], W = s[2], C = s[3];
-  const std::int64_t Ho = tensor::conv_out_dim(H, st.k);
-  const std::int64_t Wo = tensor::conv_out_dim(W, st.k);
-  std::vector<float> q(static_cast<std::size_t>(x.numel()));
-  for (std::int64_t j = 0; j < x.numel(); ++j)
-    q[static_cast<std::size_t>(j)] = std::nearbyint(x[j] * 255.f);
-  out = BitMatrix(N * Ho * Wo, st.co);
-  const PreparedThresholds prep(st.thresholds);
-  const std::int32_t* thr = prep.thr.data();
-  const std::int32_t* inv = prep.inv.data();
-  parallel::parallel_for_chunked(
-      parallel::ThreadPool::global(), 0, N * Ho * Wo,
-      [&](std::int64_t lo, std::int64_t hi) {
-        switch (st.co) {
-          case 16:
-            first_conv_rows_fixed<16>(q.data(), st, thr, inv, H, W, C, Ho, Wo,
-                                      lo, hi, out);
-            break;
-          case 64:
-            first_conv_rows_fixed<64>(q.data(), st, thr, inv, H, W, C, Ho, Wo,
-                                      lo, hi, out);
-            break;
-          default:
-            first_conv_rows_any(q.data(), st, thr, inv, H, W, C, Ho, Wo, lo,
-                                hi, out);
-        }
-      });
-}
-
-/// 2x2 stride-2 max pool on {-1,+1} float activations.
-Tensor pool2_float(const Tensor& x) {
-  const Shape& s = x.shape();
-  const std::int64_t N = s[0], H = s[1], W = s[2], C = s[3];
-  Tensor out(Shape{N, H / 2, W / 2, C});
-  for (std::int64_t nn_ = 0; nn_ < N; ++nn_)
-    for (std::int64_t yy = 0; yy < H / 2; ++yy)
-      for (std::int64_t xx = 0; xx < W / 2; ++xx)
-        for (std::int64_t c = 0; c < C; ++c) {
-          // OR over the window: any +1 wins.
-          const float m =
-              std::max(std::max(x.at4(nn_, 2 * yy, 2 * xx, c),
-                                x.at4(nn_, 2 * yy, 2 * xx + 1, c)),
-                       std::max(x.at4(nn_, 2 * yy + 1, 2 * xx, c),
-                                x.at4(nn_, 2 * yy + 1, 2 * xx + 1, c)));
-          out.at4(nn_, yy, xx, c) = m;
-        }
-  return out;
-}
-
-/// 2x2 stride-2 max pool in the bit domain: word-wise OR of the four
-/// pixel bit-fields (padding bits stay zero because OR of zeros is zero).
-BitMatrix pool2_bits(const BitMatrix& pixels, std::int64_t n, std::int64_t h,
-                     std::int64_t w) {
-  const std::int64_t ho = h / 2, wo = w / 2;
-  BitMatrix out(n * ho * wo, pixels.cols());
-  const std::int64_t wpp = pixels.words_per_row();
-  for (std::int64_t nn_ = 0; nn_ < n; ++nn_)
-    for (std::int64_t yy = 0; yy < ho; ++yy)
-      for (std::int64_t xx = 0; xx < wo; ++xx) {
-        const std::int64_t base = (nn_ * h + 2 * yy) * w + 2 * xx;
-        const std::uint64_t* r0 = pixels.row(base);
-        const std::uint64_t* r1 = pixels.row(base + 1);
-        const std::uint64_t* r2 = pixels.row(base + w);
-        const std::uint64_t* r3 = pixels.row(base + w + 1);
-        std::uint64_t* dst = out.row((nn_ * ho + yy) * wo + xx);
-        for (std::int64_t i = 0; i < wpp; ++i)
-          dst[i] = (r0[i] | r1[i]) | (r2[i] | r3[i]);
-      }
-  return out;
-}
-
-/// Concatenate the per-pixel bit-fields of each image into one flat row
-/// [N, ppi*C] -- the bit-domain Flatten (same (h, w, c) element order as
-/// the float reshape).
-BitMatrix flatten_pixels(const BitMatrix& pixels, std::int64_t n,
-                         std::int64_t ppi, std::int64_t c) {
-  BitMatrix out(n, ppi * c);
-  const std::int64_t wpp = pixels.words_per_row();
-  if (c % 64 == 0) {
-    for (std::int64_t i = 0; i < n; ++i)
-      std::memcpy(out.row(i), pixels.row(i * ppi),
-                  static_cast<std::size_t>(ppi * wpp) * sizeof(std::uint64_t));
-  } else {
-    for (std::int64_t i = 0; i < n; ++i)
-      for (std::int64_t p = 0; p < ppi; ++p)
-        tensor::append_bits(out.row(i), p * c, pixels.row(i * ppi + p), c);
-  }
-  return out;
-}
-
-/// Expand packed bits back to a {-1,+1} float tensor (only needed when a
-/// stage list ends without a classifier, e.g. partial networks in tests).
-Tensor unpack_bits(const BitMatrix& m, const Shape& shape) {
-  Tensor out(shape);
-  const std::int64_t cols = m.cols();
-  for (std::int64_t r = 0; r < m.rows(); ++r)
-    for (std::int64_t c = 0; c < cols; ++c)
-      out[r * cols + c] = m.get(r, c) ? 1.f : -1.f;
-  return out;
-}
-
 }  // namespace
 
+/// Plans keyed by the exact input shape (rank + dims, batch included).
+/// std::map keeps node-stable references, so plan_for can hand out
+/// long-lived const references while the cache keeps growing.
+struct XnorNetwork::PlanCache {
+  using Key = std::array<std::int64_t, 5>;
+  std::mutex mutex;
+  std::map<Key, ExecutionPlan> plans;
+};
+
+XnorNetwork::XnorNetwork() : cache_(std::make_unique<PlanCache>()) {}
+XnorNetwork::~XnorNetwork() = default;
+
 XnorNetwork::XnorNetwork(std::string name, std::vector<Stage> stages)
-    : name_(std::move(name)), stages_(std::move(stages)) {
+    : name_(std::move(name)),
+      stages_(std::move(stages)),
+      cache_(std::make_unique<PlanCache>()) {
   if (stages_.empty())
     throw std::invalid_argument("XnorNetwork: empty stage list");
 }
+
+XnorNetwork::XnorNetwork(const XnorNetwork& other)
+    : name_(other.name_),
+      stages_(other.stages_),
+      cache_(std::make_unique<PlanCache>()) {}
+
+XnorNetwork& XnorNetwork::operator=(const XnorNetwork& other) {
+  if (this != &other) {
+    name_ = other.name_;
+    stages_ = other.stages_;
+    cache_ = std::make_unique<PlanCache>();
+  }
+  return *this;
+}
+
+XnorNetwork::XnorNetwork(XnorNetwork&&) noexcept = default;
+XnorNetwork& XnorNetwork::operator=(XnorNetwork&&) noexcept = default;
 
 std::string stage_kind(const Stage& s) {
   return std::visit(
@@ -317,18 +91,6 @@ std::string stage_kind(const Stage& s) {
         else return "BinDense";
       },
       s);
-}
-
-void apply_thresholds(const std::vector<std::int32_t>& acc, std::int64_t rows,
-                      const ThresholdSpec& spec, float* out) {
-  const std::int64_t C = spec.channels();
-  if (static_cast<std::int64_t>(acc.size()) != rows * C)
-    throw std::invalid_argument("apply_thresholds: size mismatch");
-  for (std::int64_t r = 0; r < rows; ++r)
-    for (std::int64_t c = 0; c < C; ++c)
-      out[r * C + c] = spec.fire(acc[static_cast<std::size_t>(r * C + c)], c)
-                           ? 1.f
-                           : -1.f;
 }
 
 XnorNetwork XnorNetwork::fold(nn::Sequential& model) {
@@ -408,202 +170,40 @@ XnorNetwork XnorNetwork::fold(nn::Sequential& model) {
   return net;
 }
 
-Tensor XnorNetwork::forward(const Tensor& input) const {
-  Tensor x = input;
-  for (const Stage& stage : stages_) {
-    if (const auto* st = std::get_if<FirstConvStage>(&stage)) {
-      std::int64_t M = 0;
-      const std::vector<std::int32_t> acc = first_conv_acc(x, *st, M);
-      const std::int64_t N = x.shape()[0];
-      const std::int64_t Ho = tensor::conv_out_dim(x.shape()[1], st->k);
-      const std::int64_t Wo = tensor::conv_out_dim(x.shape()[2], st->k);
-      Tensor out(Shape{N, Ho, Wo, st->co});
-      apply_thresholds(acc, M, st->thresholds, out.data());
-      x = std::move(out);
-    } else if (const auto* st2 = std::get_if<BinConvStage>(&stage)) {
-      Tensor patches;
-      tensor::im2row(x, st2->k, patches);
-      const std::int64_t M = patches.shape()[0];
-      const BitMatrix packed =
-          tensor::pack_matrix(patches.data(), M, patches.shape()[1]);
-      std::vector<std::int32_t> acc;
-      tensor::binary_gemm(packed, st2->weights, acc);
-      const std::int64_t N = x.shape()[0];
-      const std::int64_t Ho = tensor::conv_out_dim(x.shape()[1], st2->k);
-      const std::int64_t Wo = tensor::conv_out_dim(x.shape()[2], st2->k);
-      Tensor out(Shape{N, Ho, Wo, st2->co});
-      apply_thresholds(acc, M, st2->thresholds, out.data());
-      x = std::move(out);
-    } else if (std::get_if<PoolStage>(&stage)) {
-      x = pool2_float(x);
-    } else if (std::get_if<FlattenStage>(&stage)) {
-      x = x.reshaped(Shape{x.shape()[0], x.numel() / x.shape()[0]});
-    } else if (const auto* st3 = std::get_if<BinDenseStage>(&stage)) {
-      const std::int64_t N = x.shape()[0];
-      const BitMatrix packed = tensor::pack_matrix(x.data(), N, st3->in);
-      std::vector<std::int32_t> acc;
-      tensor::binary_gemm(packed, st3->weights, acc);
-      Tensor out(Shape{N, st3->out});
-      if (st3->has_threshold) {
-        apply_thresholds(acc, N, st3->thresholds, out.data());
-      } else {
-        for (std::int64_t j = 0; j < out.numel(); ++j)
-          out[j] = static_cast<float>(acc[static_cast<std::size_t>(j)]);
-      }
-      x = std::move(out);
-    }
-  }
-  return x;
+const ExecutionPlan& XnorNetwork::plan_for(const Shape& input) const {
+  // A moved-from network has no cache; revive it lazily (single-threaded
+  // use of moved-from objects only, like any other post-move access).
+  if (!cache_) cache_ = std::make_unique<PlanCache>();
+  PlanCache::Key key{};
+  key[0] = input.rank();
+  for (int i = 0; i < input.rank(); ++i) key[static_cast<std::size_t>(i) + 1] = input[i];
+  std::lock_guard<std::mutex> lock(cache_->mutex);
+  auto it = cache_->plans.find(key);
+  if (it == cache_->plans.end())
+    it = cache_->plans.emplace(key, ExecutionPlan::compile(*this, input)).first;
+  return it->second;
 }
 
-void apply_thresholds_packed(const std::vector<std::int32_t>& acc,
-                             std::int64_t rows, const ThresholdSpec& spec,
-                             tensor::BitMatrix& out) {
-  const std::int64_t C = spec.channels();
-  if (static_cast<std::int64_t>(acc.size()) != rows * C)
-    throw std::invalid_argument("apply_thresholds_packed: size mismatch");
-  out = BitMatrix(rows, C);
-  const std::int64_t wpr = out.words_per_row();
-  // Branch-free compare mask per 64-channel word (see PreparedThresholds);
-  // per-channel spec.fire() branches cost more than the XNOR GEMM itself.
-  const PreparedThresholds prep(spec);
-  parallel::parallel_for_chunked(
-      parallel::ThreadPool::global(), 0, rows,
-      [&](std::int64_t lo, std::int64_t hi) {
-        for (std::int64_t r = lo; r < hi; ++r) {
-          const std::int32_t* a = acc.data() + r * C;
-          std::uint64_t* w = out.row(r);
-          for (std::int64_t word = 0; word < wpr; ++word) {
-            const std::int64_t base = word * 64;
-            const std::int64_t n = std::min<std::int64_t>(64, C - base);
-            const std::int32_t* ab = a + base;
-            const std::int32_t* tp = prep.thr.data() + base;
-            const std::int32_t* ip = prep.inv.data() + base;
-            std::uint64_t bits = 0;
-#pragma omp simd reduction(| : bits)
-            for (std::int64_t i = 0; i < n; ++i)
-              bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                          (ab[i] >= tp[i]) ^ ip[i]))
-                      << i;
-            w[word] = bits;
-          }
-        }
-      });
+void XnorNetwork::forward_batch(const Tensor& input, Workspace& ws,
+                                Tensor& out) const {
+  const ExecutionPlan& plan = plan_for(input.shape());
+  ws.prepare(plan);
+  if (out.shape() != plan.output_shape()) out = Tensor(plan.output_shape());
+  detail::execute(plan, stages_, input.data(), ws, out.data());
 }
 
 Tensor XnorNetwork::forward_batch(const Tensor& input) const {
-  Tensor x = input;
-  // Bit-domain state: pixel-major packed activations plus their logical
-  // NHWC dims. `flat` marks post-flatten rank-2 semantics for the H==W==1
-  // case where the two are otherwise indistinguishable.
-  BitMatrix pixels;
-  std::int64_t bn = 0, bh = 0, bw = 0, bc = 0;
-  bool in_bits = false, flat = false;
+  // One grow-only workspace per thread serves every network and shape the
+  // thread touches; explicit Workspace threading (the overload above) is
+  // for callers that manage worker lifetimes themselves, e.g. the server.
+  static thread_local Workspace ws;
+  Tensor out;
+  forward_batch(input, ws, out);
+  return out;
+}
 
-  auto pack_float_activations = [&]() {
-    const Shape& s = x.shape();
-    if (s.rank() != 4)
-      throw std::runtime_error(
-          "forward_batch: binary conv stage needs rank-4 activations, got " +
-          s.str());
-    pixels = tensor::pack_matrix(x.data(), s[0] * s[1] * s[2], s[3]);
-    bn = s[0];
-    bh = s[1];
-    bw = s[2];
-    bc = s[3];
-    in_bits = true;
-    flat = false;
-  };
-
-  for (const Stage& stage : stages_) {
-    if (const auto* st = std::get_if<FirstConvStage>(&stage)) {
-      if (in_bits)
-        throw std::runtime_error(
-            "forward_batch: FirstConv after a binary stage is unsupported");
-      const std::int64_t N = x.shape()[0];
-      const std::int64_t Ho = tensor::conv_out_dim(x.shape()[1], st->k);
-      const std::int64_t Wo = tensor::conv_out_dim(x.shape()[2], st->k);
-      first_conv_to_bits(x, *st, pixels);
-      bn = N;
-      bh = Ho;
-      bw = Wo;
-      bc = st->co;
-      in_bits = true;
-      flat = false;
-    } else if (const auto* st2 = std::get_if<BinConvStage>(&stage)) {
-      if (!in_bits) pack_float_activations();
-      BitMatrix patch_rows;
-      tensor::bit_im2row(pixels, bn, bh, bw, bc, st2->k, patch_rows);
-      std::vector<std::int32_t> acc;
-      tensor::binary_gemm(patch_rows, st2->weights, acc);
-      const std::int64_t ho = tensor::conv_out_dim(bh, st2->k);
-      const std::int64_t wo = tensor::conv_out_dim(bw, st2->k);
-      apply_thresholds_packed(acc, bn * ho * wo, st2->thresholds, pixels);
-      bh = ho;
-      bw = wo;
-      bc = st2->co;
-      flat = false;
-    } else if (std::get_if<PoolStage>(&stage)) {
-      if (in_bits) {
-        pixels = pool2_bits(pixels, bn, bh, bw);
-        bh /= 2;
-        bw /= 2;
-      } else {
-        x = pool2_float(x);
-      }
-    } else if (std::get_if<FlattenStage>(&stage)) {
-      if (in_bits) {
-        if (bh * bw != 1)
-          pixels = flatten_pixels(pixels, bn, bh * bw, bc);
-        bc = bh * bw * bc;
-        bh = bw = 1;
-        flat = true;
-      } else {
-        x = x.reshaped(Shape{x.shape()[0], x.numel() / x.shape()[0]});
-      }
-    } else if (const auto* st3 = std::get_if<BinDenseStage>(&stage)) {
-      BitMatrix packed_local;
-      const BitMatrix* a = nullptr;
-      std::int64_t N = 0;
-      if (in_bits) {
-        if (bh * bw != 1) {
-          // Implicit flatten, as the float path's pack_matrix would do.
-          packed_local = flatten_pixels(pixels, bn, bh * bw, bc);
-          a = &packed_local;
-        } else {
-          a = &pixels;
-        }
-        N = bn;
-      } else {
-        N = x.shape()[0];
-        packed_local = tensor::pack_matrix(x.data(), N, st3->in);
-        a = &packed_local;
-      }
-      std::vector<std::int32_t> acc;
-      tensor::binary_gemm(*a, st3->weights, acc);
-      if (st3->has_threshold) {
-        apply_thresholds_packed(acc, N, st3->thresholds, pixels);
-        bn = N;
-        bh = bw = 1;
-        bc = st3->out;
-        in_bits = true;
-        flat = true;
-      } else {
-        Tensor out(Shape{N, st3->out});
-        for (std::int64_t j = 0; j < out.numel(); ++j)
-          out[j] = static_cast<float>(acc[static_cast<std::size_t>(j)]);
-        x = std::move(out);
-        in_bits = false;
-      }
-    }
-  }
-  if (in_bits) {
-    // Stage list ended without a classifier: surface the {-1,+1} state in
-    // the same shape the float-domain path would return.
-    const Shape s = flat ? Shape{bn, bc} : Shape{bn, bh, bw, bc};
-    return unpack_bits(pixels, s);
-  }
-  return x;
+Tensor XnorNetwork::forward(const Tensor& input) const {
+  return forward_batch(input);
 }
 
 Shape XnorNetwork::expected_input_shape() const {

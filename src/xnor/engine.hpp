@@ -10,13 +10,16 @@
 //     folded thresholds; the final BinDense has no threshold and its raw
 //     accumulators are the logits.
 //   - Pool: 2x2 max pool, which on {-1,+1} is the boolean OR of the paper.
-// Activations flow between stages as {-1,+1} float tensors for layout
-// convenience; every value is exactly representable so all arithmetic is
-// still integer-exact. The deploy::StreamingPipeline consumes the same
+// Execution goes through one path only: the stage list is compiled into an
+// xnor::ExecutionPlan per input shape (cached on the network) and run by
+// the allocation-free interpreter in exec.cpp against a Workspace arena --
+// forward() is forward_batch() with N = 1, so single-image and batched
+// results can never drift. The deploy::StreamingPipeline consumes the same
 // stage list and must match this engine bit-for-bit.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <variant>
 #include <vector>
@@ -64,28 +67,53 @@ using Stage =
 /// Human-readable stage kind for diagnostics and pipeline dumps.
 std::string stage_kind(const Stage& s);
 
+class ExecutionPlan;
+class Workspace;
+
 class XnorNetwork {
  public:
-  XnorNetwork() = default;
+  XnorNetwork();
+  ~XnorNetwork();
   /// Assemble directly from stages (used by the bitstream loader).
   XnorNetwork(std::string name, std::vector<Stage> stages);
+
+  // Copies get a fresh (empty) plan cache; moves keep it -- cached plans
+  // reference stages by index, so they stay valid across moves.
+  XnorNetwork(const XnorNetwork& other);
+  XnorNetwork& operator=(const XnorNetwork& other);
+  XnorNetwork(XnorNetwork&&) noexcept;
+  XnorNetwork& operator=(XnorNetwork&&) noexcept;
 
   /// Compile a trained BNN. Throws std::runtime_error with a descriptive
   /// message if the layer sequence is not a supported BNN topology.
   static XnorNetwork fold(nn::Sequential& model);
 
-  /// Logits [N, classes] (values are exact integers). Reference path:
-  /// activations are materialized as {-1,+1} float tensors between stages.
+  /// Logits [N, classes] (values are exact integers). Equivalent to
+  /// forward_batch() -- one interpreter, one plan, N may be 1.
   tensor::Tensor forward(const tensor::Tensor& input) const;
 
-  /// Batched serving path, bit-identical to forward(): after the first
-  /// stage the activations stay bit-packed (pixel-major [N*H*W, C] rows),
-  /// so pooling is a word-wise OR, im2row is bit-field concatenation, and
-  /// no float tensor is materialized until the classifier logits. Layer
-  /// work is split over parallel::ThreadPool::global() along the combined
-  /// N*Ho*Wo row dimension, so throughput scales with both batch size and
-  /// worker count.
+  /// Batched serving path: activations stay bit-packed (pixel-major
+  /// [N*H*W, C] rows) from the first stage to the classifier logits, so
+  /// pooling is a word-wise OR and im2row is bit-field concatenation.
+  /// Layer work is split over parallel::ThreadPool::global() along the
+  /// combined N*Ho*Wo row dimension. This convenience overload runs
+  /// against a thread-local Workspace; steady-state calls with a repeated
+  /// input shape allocate only the returned tensor.
   tensor::Tensor forward_batch(const tensor::Tensor& input) const;
+
+  /// Allocation-free serving form: executes the cached plan for
+  /// input.shape() into `ws` (grown on first use, reused after) and writes
+  /// the logits into `out`, which is only reallocated when its shape does
+  /// not match the plan output. After a warm call, steady state performs
+  /// zero heap allocations (measured by tests/test_zero_alloc.cpp).
+  void forward_batch(const tensor::Tensor& input, Workspace& ws,
+                     tensor::Tensor& out) const;
+
+  /// The frozen execution plan for inputs of this exact shape (batch
+  /// included). Compiled on first use, cached for the network's lifetime;
+  /// safe to call from multiple threads. The reference stays valid as long
+  /// as the network (plans are cached in node-stable storage).
+  const ExecutionPlan& plan_for(const tensor::Shape& input) const;
 
   /// Argmax class per sample.
   std::vector<std::int64_t> predict(const tensor::Tensor& input) const;
@@ -104,21 +132,11 @@ class XnorNetwork {
   std::int64_t weight_bits() const;
 
  private:
+  struct PlanCache;
+
   std::string name_;
   std::vector<Stage> stages_;
+  mutable std::unique_ptr<PlanCache> cache_;
 };
-
-/// Apply a folded threshold bank to integer accumulators laid out
-/// [rows, channels]; writes {-1,+1} into `out`.
-void apply_thresholds(const std::vector<std::int32_t>& acc,
-                      std::int64_t rows, const ThresholdSpec& spec,
-                      float* out);
-
-/// Same threshold bank, but packing the fired bits straight into a fresh
-/// [rows, channels] BitMatrix (bit 1 == +1) -- the batched path's way of
-/// staying in the bit domain between stages.
-void apply_thresholds_packed(const std::vector<std::int32_t>& acc,
-                             std::int64_t rows, const ThresholdSpec& spec,
-                             tensor::BitMatrix& out);
 
 }  // namespace bcop::xnor

@@ -1,0 +1,308 @@
+// Plan interpreter. ALLOCATION-FREE ZONE: this file must not construct
+// Tensor/BitMatrix/std::vector or call new/malloc -- every buffer is a
+// Workspace arena slice at a plan-frozen offset, scratch lives in
+// fixed-size stack tiles, and parallel fan-out uses ThreadPool::for_chunks
+// (function pointer + context). Enforced by lint rule R6 and measured by
+// tests/test_zero_alloc.cpp.
+#include "xnor/exec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+#include "parallel/thread_pool.hpp"
+#include "tensor/bit_span.hpp"
+#include "util/check.hpp"
+
+namespace bcop::xnor::detail {
+
+using parallel::ThreadPool;
+using tensor::BitSpan;
+using tensor::ConstBitSpan;
+
+namespace {
+
+// ---- Folded threshold firing: int32 accumulators -> packed bits. ----
+
+struct ThreshCtx {
+  const std::int32_t* acc;
+  const std::int32_t* thr;
+  const std::int32_t* inv;
+  BitSpan out;
+};
+
+void thresh_chunk(void* raw, std::int64_t lo, std::int64_t hi) {
+  const ThreshCtx& t = *static_cast<const ThreshCtx*>(raw);
+  const std::int64_t C = t.out.cols, wpr = t.out.wpr;
+  for (std::int64_t r = lo; r < hi; ++r) {
+    const std::int32_t* a = t.acc + r * C;
+    std::uint64_t* w = t.out.row(r);
+    // Branch-free compare mask per 64-channel word (see
+    // PreparedThresholds); per-channel fire() branches cost more than the
+    // XNOR GEMM itself.
+    for (std::int64_t word = 0; word < wpr; ++word) {
+      const std::int64_t base = word * 64;
+      const std::int64_t nb = std::min<std::int64_t>(64, C - base);
+      const std::int32_t* ab = a + base;
+      const std::int32_t* tp = t.thr + base;
+      const std::int32_t* ip = t.inv + base;
+      std::uint64_t bits = 0;
+#pragma omp simd reduction(| : bits)
+      for (std::int64_t i = 0; i < nb; ++i)
+        bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                    (ab[i] >= tp[i]) ^ ip[i]))
+                << i;
+      w[word] = bits;
+    }
+  }
+}
+
+void fire_thresholds(const std::int32_t* acc, const PreparedThresholds& prep,
+                     BitSpan out) {
+  ThreshCtx ctx{acc, prep.thr.data(), prep.inv.data(), out};
+  ThreadPool::global().for_chunks(0, out.rows, &thresh_chunk, &ctx);
+}
+
+// ---- Fused first conv: quantized pixels -> conv -> threshold -> bits. ----
+
+struct FirstConvCtx {
+  const float* q;  // quantized pixel codes, NHWC
+  const FirstConvStage* st;
+  const std::int32_t* thr;
+  const std::int32_t* inv;
+  std::int64_t h, w, c, ho, wo;
+  BitSpan out;
+};
+
+/// Row kernel for the fused first-conv: accumulate output pixels' `CO`
+/// channels with the accumulators held in fixed-size local arrays the
+/// compiler keeps in vector registers, then fire the folded thresholds and
+/// emit packed bits directly. All arithmetic is exact: pixel codes and
+/// +-1 weights are integers and |acc| <= K*255 << 2^24.
+///
+/// Four horizontally adjacent output pixels are computed together: they
+/// share every weight load, and their input patches are the same span
+/// shifted by `c`, so one broadcast-FMA sweep feeds four accumulator
+/// vectors. The `omp simd` hints are required -- without them GCC leaves
+/// the channel loop scalar ("complicated access pattern") and the first
+/// conv dominates the whole batched forward. Thresholds arrive in
+/// PreparedThresholds form (thr/inv) so firing is a branch-free compare
+/// the vectorizer folds into a mask; a branchy per-channel `if` here costs
+/// more than the convolution itself.
+template <int CO>
+void first_conv_rows_fixed(const FirstConvCtx& t, std::int64_t lo,
+                           std::int64_t hi) {
+  static_assert(CO <= 64, "fixed kernel emits one 64-bit word per pixel");
+  const float* q = t.q;
+  const std::int32_t* thr = t.thr;
+  const std::int32_t* inv = t.inv;
+  const float* wts = t.st->weights.data();
+  const std::int64_t h = t.h, w = t.w, c = t.c, ho = t.ho, wo = t.wo;
+  const std::int64_t k = t.st->k, kc = k * c;
+  std::int64_t r = lo;
+  while (r < hi) {
+    const std::int64_t img = r / (ho * wo);
+    const std::int64_t rem = r - img * ho * wo;
+    const std::int64_t y = rem / wo, x = rem - y * wo;
+    const float* base = q + (((img * h) + y) * w + x) * c;
+    if (x + 4 <= wo && r + 4 <= hi) {
+      float acc[4][CO] = {};
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        // For a fixed ky the (kx, c) patch span is contiguous in both the
+        // quantized input and the [K*K*Ci, Co] weight matrix.
+        const float* p = base + ky * w * c;
+        const float* wrow = wts + ky * kc * CO;
+        for (std::int64_t i = 0; i < kc; ++i) {
+          const float* wr = wrow + i * CO;
+          const float a0 = p[i], a1 = p[i + c];
+          const float a2 = p[i + 2 * c], a3 = p[i + 3 * c];
+#pragma omp simd
+          for (int j = 0; j < CO; ++j) {
+            acc[0][j] += a0 * wr[j];
+            acc[1][j] += a1 * wr[j];
+            acc[2][j] += a2 * wr[j];
+            acc[3][j] += a3 * wr[j];
+          }
+        }
+      }
+      for (int m = 0; m < 4; ++m) {
+        std::uint64_t bits = 0;
+#pragma omp simd reduction(| : bits)
+        for (int j = 0; j < CO; ++j)
+          bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                      (static_cast<std::int32_t>(acc[m][j]) >= thr[j]) ^
+                      inv[j]))
+                  << j;
+        t.out.row(r + m)[0] = bits;
+      }
+      r += 4;
+    } else {
+      float acc[CO] = {};
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        const float* p = base + ky * w * c;
+        const float* wrow = wts + ky * kc * CO;
+        for (std::int64_t i = 0; i < kc; ++i) {
+          const float a = p[i];
+          const float* wr = wrow + i * CO;
+#pragma omp simd
+          for (int j = 0; j < CO; ++j) acc[j] += a * wr[j];
+        }
+      }
+      std::uint64_t bits = 0;
+#pragma omp simd reduction(| : bits)
+      for (int j = 0; j < CO; ++j)
+        bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                    (static_cast<std::int32_t>(acc[j]) >= thr[j]) ^ inv[j]))
+                << j;
+      t.out.row(r)[0] = bits;
+      ++r;
+    }
+  }
+}
+
+/// Generic-width variant: channels are walked in 256-lane stack tiles
+/// (word-aligned, so each tile fires whole output words), re-reading the
+/// input patch once per tile. Weight traffic is unchanged and the
+/// accumulators stay on the stack, keeping the kernel allocation-free for
+/// any channel count.
+void first_conv_rows_any(const FirstConvCtx& t, std::int64_t lo,
+                         std::int64_t hi) {
+  const float* q = t.q;
+  const float* wts = t.st->weights.data();
+  const std::int64_t h = t.h, w = t.w, c = t.c, ho = t.ho, wo = t.wo;
+  const std::int64_t k = t.st->k, co = t.st->co, kc = k * c;
+  constexpr std::int64_t kTile = 256;
+  float acc[kTile];
+  for (std::int64_t r = lo; r < hi; ++r) {
+    const std::int64_t img = r / (ho * wo);
+    const std::int64_t rem = r - img * ho * wo;
+    const std::int64_t y = rem / wo, x = rem - y * wo;
+    std::uint64_t* dst = t.out.row(r);
+    for (std::int64_t c0 = 0; c0 < co; c0 += kTile) {
+      const std::int64_t cn = std::min(kTile, co - c0);
+#pragma omp simd
+      for (std::int64_t j = 0; j < cn; ++j) acc[j] = 0.f;
+      for (std::int64_t ky = 0; ky < k; ++ky) {
+        const float* p = q + (((img * h) + y + ky) * w + x) * c;
+        const float* wrow = wts + ky * kc * co + c0;
+        for (std::int64_t i = 0; i < kc; ++i) {
+          const float a = p[i];
+          const float* wr = wrow + i * co;
+#pragma omp simd
+          for (std::int64_t j = 0; j < cn; ++j) acc[j] += a * wr[j];
+        }
+      }
+      for (std::int64_t word = 0; word * 64 < cn; ++word) {
+        const std::int64_t base = word * 64;
+        const std::int64_t nb = std::min<std::int64_t>(64, cn - base);
+        const float* ab = acc + base;
+        const std::int32_t* tp = t.thr + c0 + base;
+        const std::int32_t* ip = t.inv + c0 + base;
+        std::uint64_t bits = 0;
+#pragma omp simd reduction(| : bits)
+        for (std::int64_t i = 0; i < nb; ++i)
+          bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                      (static_cast<std::int32_t>(ab[i]) >= tp[i]) ^ ip[i]))
+                  << i;
+        dst[(c0 >> 6) + word] = bits;
+      }
+    }
+  }
+}
+
+void first_conv_chunk(void* raw, std::int64_t lo, std::int64_t hi) {
+  const FirstConvCtx& t = *static_cast<const FirstConvCtx*>(raw);
+  switch (t.st->co) {
+    case 16:
+      first_conv_rows_fixed<16>(t, lo, hi);
+      break;
+    case 64:
+      first_conv_rows_fixed<64>(t, lo, hi);
+      break;
+    default:
+      first_conv_rows_any(t, lo, hi);
+  }
+}
+
+}  // namespace
+
+void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
+             const float* input, Workspace& ws, float* out) {
+  BCOP_CHECK(ws.capacity() >= plan.arena_bytes(),
+             "workspace holds %zu bytes but the plan needs %zu -- call "
+             "Workspace::prepare(plan) first",
+             ws.capacity(), plan.arena_bytes());
+  std::byte* base = ws.base();
+  std::uint64_t* half[2] = {
+      reinterpret_cast<std::uint64_t*>(base + plan.half_offset(0)),
+      reinterpret_cast<std::uint64_t*>(base + plan.half_offset(1))};
+  std::uint64_t* patch =
+      reinterpret_cast<std::uint64_t*>(base + plan.patch_offset());
+  std::int32_t* acc = reinterpret_cast<std::int32_t*>(base + plan.acc_offset());
+  float* fscratch = reinterpret_cast<float*>(base + plan.float_offset());
+
+  for (const PlanStep& st : plan.steps()) {
+    const ConstBitSpan src =
+        st.src_half >= 0
+            ? ConstBitSpan{half[st.src_half], st.in_rows, st.in_cols, st.in_wpr}
+            : ConstBitSpan{};
+    const BitSpan dst =
+        st.dst_half >= 0
+            ? BitSpan{half[st.dst_half], st.out_rows, st.out_cols, st.out_wpr}
+            : BitSpan{};
+    switch (st.kind) {
+      case StepKind::kFirstConv: {
+        const auto& fc =
+            std::get<FirstConvStage>(stages[static_cast<std::size_t>(st.stage)]);
+        // Recover the integer pixel codes (pixels are odd k'/255, see
+        // facegen::MaskedFaceDataset::quantize_pixel).
+        const std::int64_t numel = st.n * st.h * st.w * st.c;
+        for (std::int64_t j = 0; j < numel; ++j)
+          fscratch[j] = std::nearbyint(input[j] * 255.f);
+        const PreparedThresholds& prep = plan.prep(st.prep);
+        FirstConvCtx ctx{fscratch, &fc,   prep.thr.data(), prep.inv.data(),
+                         st.h,     st.w,  st.c,            st.ho,
+                         st.wo,    dst};
+        ThreadPool::global().for_chunks(0, st.out_rows, &first_conv_chunk,
+                                        &ctx);
+        break;
+      }
+      case StepKind::kPackInput:
+        tensor::pack_rows(input, st.out_rows, st.out_cols, dst);
+        break;
+      case StepKind::kBinConv: {
+        const BitSpan rows{patch, st.patch_rows, st.patch_cols, st.patch_wpr};
+        tensor::bit_im2row(src, st.n, st.h, st.w, st.c, st.k, rows);
+        tensor::binary_gemm_pre(rows, plan.wmat(st.wmat), st.co, acc);
+        fire_thresholds(acc, plan.prep(st.prep), dst);
+        break;
+      }
+      case StepKind::kPool:
+        tensor::pool2_bits(src, st.n, st.h, st.w, dst);
+        break;
+      case StepKind::kFlatten:
+        tensor::flatten_pixels(src, st.n, st.h * st.w, st.c, dst);
+        break;
+      case StepKind::kBinDense:
+        tensor::binary_gemm_pre(src, plan.wmat(st.wmat), st.co, acc);
+        fire_thresholds(acc, plan.prep(st.prep), dst);
+        break;
+      case StepKind::kLogits:
+        tensor::binary_gemm_pre(src, plan.wmat(st.wmat), st.co, acc);
+        for (std::int64_t j = 0; j < st.acc_len; ++j)
+          out[j] = static_cast<float>(acc[j]);
+        break;
+      case StepKind::kUnpack:
+        for (std::int64_t r = 0; r < st.in_rows; ++r) {
+          const std::uint64_t* row = src.row(r);
+          float* o = out + r * st.in_cols;
+          for (std::int64_t j = 0; j < st.in_cols; ++j)
+            o[j] = ((row[j >> 6] >> (j & 63)) & 1ull) ? 1.f : -1.f;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace bcop::xnor::detail

@@ -1,0 +1,26 @@
+// The plan interpreter: the single stage-execution loop of the engine.
+//
+// detail::execute is the only code path that runs folded stages -- both
+// XnorNetwork::forward and forward_batch land here (N=1 is just a plan
+// with batch 1), so the single-image and batched results can never drift.
+// The interpreter is allocation-free by contract: every buffer it touches
+// is a slice of the caller's Workspace arena at offsets the plan froze at
+// compile time. Lint rule R6 (scripts/check_invariants.py) rejects any
+// allocation token in exec.cpp, and tests/test_zero_alloc.cpp measures the
+// contract end to end with a global operator-new interposer.
+#pragma once
+
+#include "xnor/engine.hpp"
+#include "xnor/plan.hpp"
+
+namespace bcop::xnor::detail {
+
+/// Run `plan` over `input` (the float tensor data the plan was compiled
+/// for), writing plan.output_shape().numel() floats to `out`. `stages`
+/// must be the stage list of the network the plan was compiled from, and
+/// `ws` must already be prepared for the plan (ws.prepare(plan) -- the
+/// allocating prologue stays with the caller by design).
+void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
+             const float* input, Workspace& ws, float* out);
+
+}  // namespace bcop::xnor::detail

@@ -1,0 +1,331 @@
+#include "xnor/plan.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "tensor/bit_span.hpp"
+#include "tensor/im2row.hpp"
+#include "xnor/engine.hpp"
+
+namespace bcop::xnor {
+
+using tensor::Shape;
+using tensor::words_for_bits;
+
+namespace {
+
+std::size_t align64(std::size_t x) { return (x + 63) & ~std::size_t{63}; }
+
+std::size_t bits_bytes(std::int64_t rows, std::int64_t cols) {
+  return static_cast<std::size_t>(rows * words_for_bits(cols)) *
+         sizeof(std::uint64_t);
+}
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::runtime_error("ExecutionPlan::compile: " + msg);
+}
+
+}  // namespace
+
+ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
+                                     const Shape& input) {
+  ExecutionPlan plan;
+  plan.input_ = input;
+  const std::vector<Stage>& stages = net.stages();
+  if (stages.empty()) fail("empty stage list");
+  if (input.rank() < 2 || input[0] < 1)
+    fail("input must be batched ([N, ...] with N >= 1), got " + input.str());
+
+  std::size_t half_bytes[2] = {0, 0};
+  std::size_t patch_bytes = 0, acc_bytes = 0, float_bytes = 0;
+  const std::int64_t n = input[0];
+  std::int64_t h = 0, w = 0, c = 0;
+  bool flat = false;      // post-flatten rank-2 semantics
+  bool terminal = false;  // a Logits step has been emitted
+  int cur = 0;            // ping-pong half holding the live activations
+
+  auto add_prep = [&](const ThresholdSpec& spec) {
+    plan.preps_.emplace_back(spec);
+    return static_cast<std::int64_t>(plan.preps_.size()) - 1;
+  };
+  auto add_wmat = [&](const tensor::BitMatrix& wm) {
+    std::vector<std::uint64_t> bt(
+        static_cast<std::size_t>(wm.rows() * wm.words_per_row()));
+    tensor::transpose_word_major(tensor::span_of(wm), bt.data());
+    plan.wmats_.push_back(std::move(bt));
+    return static_cast<std::int64_t>(plan.wmats_.size()) - 1;
+  };
+  auto emit = [&](PlanStep st) {
+    if (st.dst_half >= 0)
+      half_bytes[st.dst_half] = std::max(
+          half_bytes[st.dst_half], bits_bytes(st.out_rows, st.out_cols));
+    if (st.acc_len > 0)
+      acc_bytes = std::max(
+          acc_bytes, static_cast<std::size_t>(st.acc_len) * sizeof(std::int32_t));
+    plan.steps_.push_back(st);
+  };
+  // Bit-domain Flatten: one flat row per image. Emitted for the explicit
+  // FlattenStage and implicitly before a dense layer fed by pixel rows
+  // (the float path's pack_matrix reshape).
+  auto emit_flatten = [&]() {
+    PlanStep st;
+    st.kind = StepKind::kFlatten;
+    st.n = n;
+    st.h = h;
+    st.w = w;
+    st.c = c;
+    st.in_rows = n * h * w;
+    st.in_cols = c;
+    st.in_wpr = words_for_bits(c);
+    st.out_rows = n;
+    st.out_cols = h * w * c;
+    st.out_wpr = words_for_bits(st.out_cols);
+    st.src_half = cur;
+    st.dst_half = 1 - cur;
+    emit(st);
+    cur = 1 - cur;
+    c = h * w * c;
+    h = w = 1;
+    flat = true;
+  };
+
+  // --- Entry: bring the caller's float tensor into the bit domain. ---
+  std::size_t i0 = 0;
+  if (const auto* fc = std::get_if<FirstConvStage>(&stages[0])) {
+    if (input.rank() != 4)
+      fail("FirstConv entry needs [N, H, W, C] input, got " + input.str());
+    if (input[3] != fc->ci)
+      fail("input has " + std::to_string(input[3]) + " channels, FirstConv expects " +
+           std::to_string(fc->ci));
+    h = input[1];
+    w = input[2];
+    c = input[3];
+    const std::int64_t ho = tensor::conv_out_dim(h, fc->k);
+    const std::int64_t wo = tensor::conv_out_dim(w, fc->k);
+    if (ho <= 0 || wo <= 0) fail("FirstConv kernel larger than input");
+    PlanStep st;
+    st.kind = StepKind::kFirstConv;
+    st.stage = 0;
+    st.prep = add_prep(fc->thresholds);
+    st.k = fc->k;
+    st.n = n;
+    st.h = h;
+    st.w = w;
+    st.c = c;
+    st.ho = ho;
+    st.wo = wo;
+    st.co = fc->co;
+    st.out_rows = n * ho * wo;
+    st.out_cols = fc->co;
+    st.out_wpr = words_for_bits(fc->co);
+    st.dst_half = 0;
+    float_bytes = static_cast<std::size_t>(input.numel()) * sizeof(float);
+    emit(st);
+    plan.stage_shapes_.push_back({h, w, c, ho, wo, fc->co});
+    h = ho;
+    w = wo;
+    c = fc->co;
+    i0 = 1;
+  } else {
+    PlanStep st;
+    st.kind = StepKind::kPackInput;
+    if (std::get_if<BinConvStage>(&stages[0])) {
+      if (input.rank() != 4)
+        fail("conv entry needs [N, H, W, C] input, got " + input.str());
+      h = input[1];
+      w = input[2];
+      c = input[3];
+      st.out_rows = n * h * w;
+      st.out_cols = c;
+    } else if (std::get_if<BinDenseStage>(&stages[0])) {
+      h = w = 1;
+      c = input.numel() / n;
+      flat = true;
+      st.out_rows = n;
+      st.out_cols = c;
+    } else {
+      fail("leading " + stage_kind(stages[0]) +
+           " stage is unsupported -- stage lists must start with a conv or "
+           "dense layer");
+    }
+    st.n = n;
+    st.h = h;
+    st.w = w;
+    st.c = c;
+    st.out_wpr = words_for_bits(st.out_cols);
+    st.dst_half = 0;
+    emit(st);
+  }
+
+  // --- Bit-domain body. ---
+  for (std::size_t i = i0; i < stages.size(); ++i) {
+    const Stage& stage = stages[i];
+    if (terminal)
+      fail("stage " + std::to_string(i) + " (" + stage_kind(stage) +
+           ") after the classifier layer");
+    StageShape ss{h, w, c, h, w, c};
+    if (std::get_if<FirstConvStage>(&stage)) {
+      fail("FirstConv after a binary stage is unsupported");
+    } else if (const auto* cv = std::get_if<BinConvStage>(&stage)) {
+      if (flat) fail("conv after flatten is unsupported");
+      if (c != cv->ci)
+        fail("conv stage " + std::to_string(i) + " expects " +
+             std::to_string(cv->ci) + " input channels, got " +
+             std::to_string(c));
+      const std::int64_t ho = tensor::conv_out_dim(h, cv->k);
+      const std::int64_t wo = tensor::conv_out_dim(w, cv->k);
+      if (ho <= 0 || wo <= 0) fail("conv kernel larger than input");
+      PlanStep st;
+      st.kind = StepKind::kBinConv;
+      st.stage = static_cast<std::int64_t>(i);
+      st.prep = add_prep(cv->thresholds);
+      st.wmat = add_wmat(cv->weights);
+      st.k = cv->k;
+      st.n = n;
+      st.h = h;
+      st.w = w;
+      st.c = c;
+      st.ho = ho;
+      st.wo = wo;
+      st.co = cv->co;
+      st.in_rows = n * h * w;
+      st.in_cols = c;
+      st.in_wpr = words_for_bits(c);
+      st.patch_rows = n * ho * wo;
+      st.patch_cols = cv->k * cv->k * c;
+      st.patch_wpr = words_for_bits(st.patch_cols);
+      st.out_rows = n * ho * wo;
+      st.out_cols = cv->co;
+      st.out_wpr = words_for_bits(cv->co);
+      st.acc_len = st.out_rows * cv->co;
+      st.src_half = cur;
+      st.dst_half = 1 - cur;
+      patch_bytes = std::max(patch_bytes,
+                             bits_bytes(st.patch_rows, st.patch_cols));
+      emit(st);
+      cur = 1 - cur;
+      h = ho;
+      w = wo;
+      c = cv->co;
+    } else if (std::get_if<PoolStage>(&stage)) {
+      if (flat) fail("pool after flatten is unsupported");
+      PlanStep st;
+      st.kind = StepKind::kPool;
+      st.n = n;
+      st.h = h;
+      st.w = w;
+      st.c = c;
+      st.ho = h / 2;
+      st.wo = w / 2;
+      st.co = c;
+      st.in_rows = n * h * w;
+      st.in_cols = c;
+      st.in_wpr = words_for_bits(c);
+      st.out_rows = n * st.ho * st.wo;
+      st.out_cols = c;
+      st.out_wpr = words_for_bits(c);
+      st.src_half = cur;
+      st.dst_half = 1 - cur;
+      emit(st);
+      cur = 1 - cur;
+      h /= 2;
+      w /= 2;
+    } else if (std::get_if<FlattenStage>(&stage)) {
+      if (h * w != 1) {
+        emit_flatten();
+      } else {
+        // Pixel rows [N*1*1, C] are already flat rows [N, C]: metadata only.
+        c = h * w * c;
+        h = w = 1;
+        flat = true;
+      }
+    } else if (const auto* d = std::get_if<BinDenseStage>(&stage)) {
+      if (h * w != 1) emit_flatten();
+      if (c != d->in)
+        fail("dense stage " + std::to_string(i) + " expects " +
+             std::to_string(d->in) + " input features, got " +
+             std::to_string(c));
+      PlanStep st;
+      st.kind = d->has_threshold ? StepKind::kBinDense : StepKind::kLogits;
+      st.stage = static_cast<std::int64_t>(i);
+      st.wmat = add_wmat(d->weights);
+      st.n = n;
+      st.h = st.w = 1;
+      st.c = c;
+      st.co = d->out;
+      st.in_rows = n;
+      st.in_cols = d->in;
+      st.in_wpr = words_for_bits(d->in);
+      st.acc_len = n * d->out;
+      st.src_half = cur;
+      if (d->has_threshold) {
+        st.prep = add_prep(d->thresholds);
+        st.out_rows = n;
+        st.out_cols = d->out;
+        st.out_wpr = words_for_bits(d->out);
+        st.dst_half = 1 - cur;
+        emit(st);
+        cur = 1 - cur;
+      } else {
+        emit(st);  // dst_half = -1: logits land in the caller's output
+        plan.output_ = Shape{n, d->out};
+        terminal = true;
+      }
+      h = w = 1;
+      c = d->out;
+      flat = true;
+    }
+    ss.h_out = h;
+    ss.w_out = w;
+    ss.c_out = c;
+    plan.stage_shapes_.push_back(ss);
+  }
+
+  if (!terminal) {
+    // Partial network (no classifier): surface the {-1,+1} state as floats
+    // in the shape the stage list implies.
+    PlanStep st;
+    st.kind = StepKind::kUnpack;
+    st.n = n;
+    st.h = h;
+    st.w = w;
+    st.c = c;
+    st.in_rows = flat ? n : n * h * w;
+    st.in_cols = flat ? c : c;
+    st.in_wpr = words_for_bits(c);
+    st.src_half = cur;
+    emit(st);
+    plan.output_ = flat ? Shape{n, c} : Shape{n, h, w, c};
+  }
+
+  // --- Freeze the arena layout: [half A | half B | patch | acc | floats],
+  // each region 64-byte aligned so rows start on cache lines. ---
+  std::size_t off = 0;
+  plan.off_half_[0] = off;
+  off += align64(half_bytes[0]);
+  plan.off_half_[1] = off;
+  off += align64(half_bytes[1]);
+  plan.off_patch_ = off;
+  off += align64(patch_bytes);
+  plan.off_acc_ = off;
+  off += align64(acc_bytes);
+  plan.off_floats_ = off;
+  off += align64(float_bytes);
+  plan.arena_bytes_ = off;
+  return plan;
+}
+
+void Workspace::prepare(const ExecutionPlan& plan) {
+  const std::size_t need = plan.arena_bytes();
+  if (need <= capacity_) return;
+  constexpr std::size_t kAlign = 64;
+  raw_ = std::make_unique<std::byte[]>(need + kAlign - 1);
+  void* p = raw_.get();
+  std::size_t space = need + kAlign - 1;
+  base_ = static_cast<std::byte*>(std::align(kAlign, need, p, space));
+  capacity_ = need;
+}
+
+}  // namespace bcop::xnor

@@ -1,0 +1,143 @@
+// Compile/execute split for the XNOR inference engine (FINN-style).
+//
+// FINN gets its throughput by compiling the topology into a fixed dataflow
+// with statically sized inter-stage buffers; ExecutionPlan is the CPU
+// analogue. compile() walks the folded stage list once per (input shape)
+// and freezes everything the hot loop would otherwise recompute or
+// reallocate: per-step output geometry, packed-row layouts, accumulator
+// lengths, branch-free threshold banks (PreparedThresholds), word-major
+// pre-transposed weight matrices, and byte offsets into a single ping-pong
+// arena. Workspace owns that arena -- aligned, grow-only, reusable across
+// calls and across plans -- so steady-state inference performs zero heap
+// allocations (tests/test_zero_alloc.cpp measures this; lint rule R6 keeps
+// allocation out of the interpreter in src/xnor/exec.cpp).
+//
+// Lifetime: a plan borrows the network it was compiled from (weight
+// matrices of FirstConv stages are read through stage indices), so the
+// XnorNetwork must outlive the plan. XnorNetwork::plan_for() ties the two
+// together by caching plans inside the network.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "xnor/folding.hpp"
+
+namespace bcop::xnor {
+
+class XnorNetwork;
+
+/// What one interpreter step does. Steps are not 1:1 with stages: the
+/// float/bit entry is explicit (FirstConv or PackInput), implicit flattens
+/// before dense layers become real Flatten steps, and partial networks end
+/// with an Unpack step.
+enum class StepKind : std::uint8_t {
+  kFirstConv,  // quantize + conv + threshold -> packed bits (entry only)
+  kPackInput,  // pack float activations by sign (entry only)
+  kBinConv,    // bit im2row -> XNOR GEMM -> thresholds
+  kPool,       // 2x2 boolean-OR pool
+  kFlatten,    // pixel bit-fields -> one flat row per image
+  kBinDense,   // XNOR GEMM -> thresholds
+  kLogits,     // XNOR GEMM -> float logits (terminal)
+  kUnpack,     // packed bits -> {-1,+1} floats (terminal, partial nets)
+};
+
+/// One interpreter step with its frozen geometry. `src_half`/`dst_half`
+/// name the ping-pong arena halves (-1 = the caller's float input/output);
+/// the byte offsets of the halves and scratch regions live on the plan.
+struct PlanStep {
+  StepKind kind;
+  std::int64_t stage = -1;  // index into XnorNetwork::stages(), -1 if none
+  std::int64_t prep = -1;   // index into plan-owned PreparedThresholds
+  std::int64_t wmat = -1;   // index into plan-owned pre-transposed weights
+  std::int64_t k = 0;       // conv kernel size
+  std::int64_t n = 0, h = 0, w = 0, c = 0;  // input pixel geometry
+  std::int64_t ho = 0, wo = 0, co = 0;      // output pixel geometry
+  // Packed-row spans (rows x cols bits, wpr words per row):
+  std::int64_t in_rows = 0, in_cols = 0, in_wpr = 0;
+  std::int64_t out_rows = 0, out_cols = 0, out_wpr = 0;
+  std::int64_t patch_rows = 0, patch_cols = 0, patch_wpr = 0;
+  std::int64_t acc_len = 0;  // int32 accumulator length (GEMM steps)
+  int src_half = -1, dst_half = -1;
+};
+
+/// Per-*stage* shape metadata (aligned with XnorNetwork::stages()), for
+/// consumers that walk the stage list -- deploy::StreamingPipeline reads
+/// these instead of re-deriving activation geometry while executing.
+struct StageShape {
+  std::int64_t h_in = 0, w_in = 0, c_in = 0;
+  std::int64_t h_out = 0, w_out = 0, c_out = 0;
+};
+
+class Workspace;
+
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;
+
+  /// Freeze the dataflow of `net` for inputs of shape `input` (batch is
+  /// input[0]). Throws std::runtime_error with a descriptive message for
+  /// stage lists the interpreter does not support (e.g. float-domain
+  /// Pool/Flatten before the first binary stage, or stages after the
+  /// classifier). `net` must outlive the returned plan.
+  static ExecutionPlan compile(const XnorNetwork& net,
+                               const tensor::Shape& input);
+
+  const tensor::Shape& input_shape() const { return input_; }
+  const tensor::Shape& output_shape() const { return output_; }
+  std::int64_t batch() const { return input_.rank() ? input_[0] : 0; }
+
+  const std::vector<PlanStep>& steps() const { return steps_; }
+  const std::vector<StageShape>& stage_shapes() const { return stage_shapes_; }
+  const PreparedThresholds& prep(std::int64_t i) const {
+    return preps_[static_cast<std::size_t>(i)];
+  }
+  const std::uint64_t* wmat(std::int64_t i) const {
+    return wmats_[static_cast<std::size_t>(i)].data();
+  }
+
+  /// Total arena bytes a Workspace must provide, and the byte offsets of
+  /// the two ping-pong halves, the im2row patch region, the int32
+  /// accumulator region and the float scratch region within it.
+  std::size_t arena_bytes() const { return arena_bytes_; }
+  std::size_t half_offset(int half) const {
+    return off_half_[static_cast<std::size_t>(half)];
+  }
+  std::size_t patch_offset() const { return off_patch_; }
+  std::size_t acc_offset() const { return off_acc_; }
+  std::size_t float_offset() const { return off_floats_; }
+
+ private:
+  tensor::Shape input_, output_;
+  std::vector<PlanStep> steps_;
+  std::vector<PreparedThresholds> preps_;
+  std::vector<std::vector<std::uint64_t>> wmats_;
+  std::vector<StageShape> stage_shapes_;
+  std::size_t arena_bytes_ = 0;
+  std::size_t off_half_[2] = {0, 0};
+  std::size_t off_patch_ = 0, off_acc_ = 0, off_floats_ = 0;
+};
+
+/// Grow-only arena backing plan execution. One workspace serves any number
+/// of plans sequentially (prepare() grows capacity to the high-water mark
+/// and never shrinks); give each concurrently-executing thread its own.
+/// The base pointer is 64-byte aligned so arena rows sit on cache lines.
+class Workspace {
+ public:
+  /// Ensure capacity for `plan`. Allocates only when the plan needs more
+  /// than any previous one did -- the steady-state path is a no-op.
+  void prepare(const ExecutionPlan& plan);
+
+  std::byte* base() { return base_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::unique_ptr<std::byte[]> raw_;
+  std::byte* base_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace bcop::xnor

@@ -1,0 +1,162 @@
+// ExecutionPlan / Workspace unit tests: the compile() geometry, the plan
+// cache, arena sizing/alignment, the detail::execute entry point, and the
+// partial-network (Unpack) path.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "core/architecture.hpp"
+#include "tensor/tensor.hpp"
+#include "util/rng.hpp"
+#include "xnor/engine.hpp"
+#include "xnor/exec.hpp"
+#include "xnor/plan.hpp"
+
+namespace {
+
+using namespace bcop;
+using tensor::Shape;
+using tensor::Tensor;
+using xnor::ExecutionPlan;
+using xnor::StepKind;
+using xnor::Workspace;
+using xnor::XnorNetwork;
+
+Tensor random_images(std::int64_t n, std::uint64_t seed) {
+  Tensor x(Shape{n, 32, 32, 3});
+  util::Rng rng(seed);
+  for (std::int64_t i = 0; i < x.numel(); ++i)
+    x[i] = static_cast<float>(rng.uniform());
+  return x;
+}
+
+TEST(ExecutionPlanTest, CompilesPrototypeGeometry) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 7);
+  const XnorNetwork net = XnorNetwork::fold(model);
+  const Shape input{3, 32, 32, 3};
+  const ExecutionPlan plan = ExecutionPlan::compile(net, input);
+
+  EXPECT_EQ(plan.input_shape(), input);
+  EXPECT_EQ(plan.output_shape(), (Shape{3, 4}));
+  EXPECT_EQ(plan.batch(), 3);
+  EXPECT_EQ(plan.stage_shapes().size(), net.stages().size());
+  ASSERT_FALSE(plan.steps().empty());
+  EXPECT_EQ(plan.steps().front().kind, StepKind::kFirstConv);
+  EXPECT_EQ(plan.steps().back().kind, StepKind::kLogits);
+  EXPECT_EQ(plan.steps().back().dst_half, -1);  // logits go to the caller
+  EXPECT_GT(plan.arena_bytes(), 0u);
+
+  // Per-stage shapes must chain: each stage's input is the previous
+  // stage's output.
+  const auto& shapes = plan.stage_shapes();
+  for (std::size_t i = 1; i < shapes.size(); ++i) {
+    EXPECT_EQ(shapes[i].h_in, shapes[i - 1].h_out) << "stage " << i;
+    EXPECT_EQ(shapes[i].w_in, shapes[i - 1].w_out) << "stage " << i;
+    EXPECT_EQ(shapes[i].c_in, shapes[i - 1].c_out) << "stage " << i;
+  }
+}
+
+TEST(ExecutionPlanTest, RejectsMismatchedInput) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 7);
+  const XnorNetwork net = XnorNetwork::fold(model);
+  // Wrong rank and wrong channel count both carry descriptive messages.
+  EXPECT_THROW(ExecutionPlan::compile(net, Shape{4, 9}), std::runtime_error);
+  EXPECT_THROW(ExecutionPlan::compile(net, Shape{1, 32, 32, 5}),
+               std::runtime_error);
+  EXPECT_THROW(ExecutionPlan::compile(net, Shape{0, 32, 32, 3}),
+               std::runtime_error);
+}
+
+TEST(ExecutionPlanTest, PlanCacheReturnsStableReferences) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 11);
+  const XnorNetwork net = XnorNetwork::fold(model);
+  const ExecutionPlan& a = net.plan_for(Shape{2, 32, 32, 3});
+  const ExecutionPlan& b = net.plan_for(Shape{4, 32, 32, 3});
+  const ExecutionPlan& a2 = net.plan_for(Shape{2, 32, 32, 3});
+  EXPECT_EQ(&a, &a2);  // same shape -> same cached plan
+  EXPECT_NE(&a, &b);   // batch is part of the key
+  EXPECT_EQ(a.batch(), 2);
+  EXPECT_EQ(b.batch(), 4);
+  // The first reference must survive later cache growth (node stability).
+  EXPECT_EQ(a.output_shape(), (Shape{2, 4}));
+}
+
+TEST(ExecutionPlanTest, WorkspaceGrowsMonotonically) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kNCnv, 3);
+  const XnorNetwork net = XnorNetwork::fold(model);
+  const ExecutionPlan& small = net.plan_for(Shape{1, 32, 32, 3});
+  const ExecutionPlan& big = net.plan_for(Shape{8, 32, 32, 3});
+  ASSERT_GT(big.arena_bytes(), small.arena_bytes());
+
+  Workspace ws;
+  EXPECT_EQ(ws.capacity(), 0u);
+  ws.prepare(small);
+  const std::size_t after_small = ws.capacity();
+  EXPECT_GE(after_small, small.arena_bytes());
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ws.base()) % 64, 0u);
+
+  ws.prepare(big);
+  EXPECT_GE(ws.capacity(), big.arena_bytes());
+  const std::byte* base_big = ws.base();
+  ws.prepare(small);  // shrinking request: no-op, capacity holds
+  EXPECT_GE(ws.capacity(), big.arena_bytes());
+  EXPECT_EQ(ws.base(), base_big);
+}
+
+TEST(ExecutionPlanTest, DetailExecuteMatchesForwardBatch) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kCnv, 19);
+  const XnorNetwork net = XnorNetwork::fold(model);
+  const Tensor x = random_images(2, 42);
+
+  const Tensor expected = net.forward_batch(x);
+
+  const ExecutionPlan& plan = net.plan_for(x.shape());
+  Workspace ws;
+  ws.prepare(plan);
+  Tensor out(plan.output_shape());
+  xnor::detail::execute(plan, net.stages(), x.data(), ws, out.data());
+
+  ASSERT_EQ(out.shape(), expected.shape());
+  for (std::int64_t i = 0; i < out.numel(); ++i)
+    ASSERT_EQ(out[i], expected[i]) << "logit " << i;
+}
+
+TEST(ExecutionPlanTest, PartialNetworkUnpacksBits) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 5);
+  const XnorNetwork full = XnorNetwork::fold(model);
+  // First conv stage only: the plan must end in an Unpack step and surface
+  // the bit state as {-1,+1} floats in NHWC geometry.
+  std::vector<xnor::Stage> head(full.stages().begin(),
+                                full.stages().begin() + 1);
+  const XnorNetwork partial("head", std::move(head));
+
+  const Tensor x = random_images(2, 99);
+  const ExecutionPlan& plan = partial.plan_for(x.shape());
+  EXPECT_EQ(plan.steps().back().kind, StepKind::kUnpack);
+  EXPECT_EQ(plan.output_shape(), (Shape{2, 30, 30, 16}));
+
+  const Tensor y = partial.forward_batch(x);
+  ASSERT_EQ(y.shape(), plan.output_shape());
+  for (std::int64_t i = 0; i < y.numel(); ++i)
+    ASSERT_TRUE(y[i] == 1.f || y[i] == -1.f) << "element " << i;
+}
+
+TEST(ExecutionPlanTest, CopiedNetworkKeepsWorking) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 23);
+  const XnorNetwork net = XnorNetwork::fold(model);
+  const Tensor x = random_images(2, 7);
+  const Tensor expected = net.forward_batch(x);  // also warms net's cache
+
+  XnorNetwork copy = net;                  // fresh (empty) plan cache
+  const Tensor from_copy = copy.forward_batch(x);  // warms the copy's cache
+  const XnorNetwork moved = std::move(copy);       // move keeps the cache
+  const Tensor from_moved = moved.forward_batch(x);
+  for (std::int64_t i = 0; i < expected.numel(); ++i) {
+    ASSERT_EQ(from_copy[i], expected[i]);
+    ASSERT_EQ(from_moved[i], expected[i]);
+  }
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 
 #include "test_random_arch.hpp"
 #include "xnor/engine.hpp"
+#include "xnor/plan.hpp"
 
 namespace {
 
@@ -76,5 +77,34 @@ TEST_P(XnorVsFloat, AllThreePathsAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, XnorVsFloat, ::testing::Range(0, 100));
+
+// The allocation-free serving form must agree bit-for-bit with the
+// convenience path while one Workspace and one output tensor are reused
+// across networks and batch sizes (the arena is grow-only and the plan
+// carries all geometry, so nothing may leak state between calls).
+TEST(XnorVsFloatWorkspace, SharedWorkspaceReuseStaysBitExact) {
+  xnor::Workspace ws;  // deliberately shared across everything below
+  Tensor out;
+  for (int seed = 0; seed < 8; ++seed) {
+    RandomArch arch = make_random_arch(static_cast<std::uint64_t>(seed) * 977 + 5);
+    util::Rng rng(static_cast<std::uint64_t>(seed) + 321);
+    testhelpers::briefly_train(arch, rng);
+    const xnor::XnorNetwork net = xnor::XnorNetwork::fold(arch.model);
+
+    for (const std::int64_t batch : {std::int64_t{1}, std::int64_t{6}}) {
+      Tensor x(Shape{batch, arch.input_size, arch.input_size,
+                     arch.input_channels});
+      for (std::int64_t i = 0; i < x.numel(); ++i)
+        x[i] = rng.bernoulli(0.5) ? 1.f : -1.f;
+
+      const Tensor ref = arch.model.forward(x, false);
+      net.forward_batch(x, ws, out);
+      ASSERT_EQ(out.shape(), ref.shape());
+      for (std::int64_t i = 0; i < ref.numel(); ++i)
+        ASSERT_FLOAT_EQ(out[i], ref[i])
+            << arch.model.name() << " batch " << batch << " flat logit " << i;
+    }
+  }
+}
 
 }  // namespace
