@@ -19,6 +19,13 @@
 // Weights are untrained (timing is weight-independent); run with --full for
 // larger sample counts. --check-allocs exits non-zero if any measured
 // steady state allocates (the WORKSPACE_BENCH=1 stage of reproduce_all.sh).
+//
+// The obs registry is reset per prototype and snapshotted after the server
+// phase, so the artifact carries the full per-stage telemetry (interpreter
+// step/sub-phase histograms keyed by plan shape, server queue/batch/latency
+// metrics) under a "metrics" key, and a per-stage breakdown table is
+// printed. --metrics <path> additionally writes the final snapshot in
+// Prometheus text format (the METRICS_BENCH=1 stage of reproduce_all.sh).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -29,6 +36,9 @@
 #include "core/architecture.hpp"
 #include "core/predictor.hpp"
 #include "deploy/performance.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/stage_profiler.hpp"
 #include "serve/batcher.hpp"
 #include "util/allocmeter.hpp"
 #include "util/args.hpp"
@@ -65,6 +75,31 @@ struct BatchPoint {
   double allocs_per_call = 0;  // steady-state heap allocations, ws path
 };
 
+/// Per-stage interpreter breakdown from the arch's metric snapshot: every
+/// bcop_exec_* histogram, with time shares computed against the summed
+/// whole-replay (`_execute_ns`) series so step rows and the finer
+/// im2row/gemm/thresholds sub-phase rows are both readable.
+void print_stage_breakdown(const bcop::obs::MetricsSnapshot& snap) {
+  double execute_total_ns = 0;
+  for (const auto& h : snap.histograms)
+    if (h.name.find("bcop_exec_") == 0 &&
+        h.name.find("_execute_ns") != std::string::npos)
+      execute_total_ns += static_cast<double>(h.sum);
+  util::AsciiTable t({"stage metric", "count", "p50 us", "p99 us",
+                      "total ms", "share"});
+  for (const auto& h : snap.histograms) {
+    if (h.name.find("bcop_exec_") != 0 || h.count == 0) continue;
+    const double share = execute_total_ns > 0
+                             ? static_cast<double>(h.sum) / execute_total_ns
+                             : 0;
+    t.add_row({h.name, std::to_string(h.count), util::fmt(h.p50 * 1e-3, 1),
+               util::fmt(h.p99 * 1e-3, 1),
+               util::fmt(static_cast<double>(h.sum) * 1e-6, 2),
+               util::fmt(share * 100.0, 1) + "%"});
+  }
+  std::printf("%s", t.render().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -72,6 +107,7 @@ int main(int argc, char** argv) {
     const util::Args args(argc, argv, {"full", "check-allocs"});
     const bool full = args.get_flag("full");
     const bool check_allocs = args.get_flag("check-allocs");
+    const std::string metrics_path = args.get("metrics", "");
     bool steady_state_allocated = false;
     const std::int64_t images_per_size = full ? 256 : 64;
     const std::int64_t server_requests = full ? 256 : 64;
@@ -94,8 +130,14 @@ int main(int argc, char** argv) {
     const core::ArchitectureId archs[] = {core::ArchitectureId::kCnv,
                                           core::ArchitectureId::kNCnv,
                                           core::ArchitectureId::kMicroCnv};
+    obs::StageProfiler::global().set_enabled(true);
+    std::vector<std::pair<std::string, obs::MetricsSnapshot>> snapshots;
     bool first_arch = true;
     for (const auto arch : archs) {
+      // Plan-shape metric keys collide across prototypes (all serve
+      // 32x32x3), so the registry is zeroed per arch and snapshotted at
+      // the end of the arch's phase.
+      obs::Registry::global().reset_values();
       const core::Predictor predictor(core::build_bnn(arch, 7));
       const xnor::XnorNetwork& net = predictor.network();
       util::Rng rng(0xbeef);
@@ -167,6 +209,8 @@ int main(int argc, char** argv) {
 
       const double accel_fps =
           deploy::analyze_performance(core::layer_specs(arch)).fps();
+      snapshots.emplace_back(core::arch_name(arch),
+                             obs::Registry::global().snapshot());
 
       std::fprintf(json, "%s\n    {\"name\": \"%s\", \"single_image_fps\": %.1f,",
                    first_arch ? "" : ",", core::arch_name(arch),
@@ -183,10 +227,12 @@ int main(int argc, char** argv) {
                    "],\n     \"server\": {\"workers\": %u, \"max_batch\": %lld, "
                    "\"max_latency_us\": %lld, \"fps\": %.1f, \"p50_ms\": %.3f, "
                    "\"p99_ms\": %.3f, \"batches\": %lld},\n"
-                   "     \"accelerator_model_fps\": %.1f}",
+                   "     \"accelerator_model_fps\": %.1f,\n"
+                   "     \"metrics\": %s}",
                    cfg.workers, static_cast<long long>(cfg.max_batch),
                    static_cast<long long>(cfg.max_latency.count()), server_fps,
-                   p50, p99, static_cast<long long>(server_batches), accel_fps);
+                   p50, p99, static_cast<long long>(server_batches), accel_fps,
+                   obs::export_json(snapshots.back().second).c_str());
       first_arch = false;
 
       for (std::size_t i = 0; i < points.size(); ++i)
@@ -209,6 +255,23 @@ int main(int argc, char** argv) {
                 "thread budget).\nallocs/call = steady-state heap "
                 "allocations per forward_batch on the Workspace path "
                 "(contract: 0).\nartifact: %s\n", out_path.c_str());
+
+    for (const auto& [name, snap] : snapshots) {
+      std::printf("\nper-stage interpreter breakdown: %s\n", name.c_str());
+      print_stage_breakdown(snap);
+    }
+    if (!metrics_path.empty()) {
+      const auto parent = std::filesystem::path(metrics_path).parent_path();
+      if (!parent.empty()) std::filesystem::create_directories(parent);
+      std::FILE* prom = std::fopen(metrics_path.c_str(), "w");
+      if (!prom) throw std::runtime_error("cannot write " + metrics_path);
+      const std::string text =
+          bcop::obs::export_prometheus(snapshots.back().second);
+      std::fwrite(text.data(), 1, text.size(), prom);
+      std::fclose(prom);
+      std::printf("\nPrometheus snapshot (%s, last prototype): %s\n",
+                  snapshots.back().first.c_str(), metrics_path.c_str());
+    }
     if (check_allocs && steady_state_allocated) {
       std::fprintf(stderr, "bench_serving_throughput: --check-allocs FAILED: "
                            "steady state performed heap allocations\n");

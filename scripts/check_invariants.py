@@ -20,6 +20,11 @@ Rules (see docs/static-analysis.md):
       no Tensor/BitMatrix temporaries. The allocating prologue belongs
       in plan.cpp / engine.cpp; tests/test_zero_alloc.cpp measures the
       same contract dynamically with an operator-new interposer.
+  R7  observability primitives are defined only in src/obs/ (no other
+      module may open `namespace bcop::obs`), and the recording header
+      src/obs/metrics.hpp must stay lock-free and allocation-free: no
+      mutexes/locks and none of the R6 allocation tokens, so recording
+      can ride R6 zones and the zero-alloc serving path.
 
 Exit status: 0 when clean, 1 with a per-violation report otherwise.
 """
@@ -55,6 +60,21 @@ ALLOC_TOKENS = re.compile(
 )
 ALLOC_FREE_FILES = ("src/xnor/exec.cpp",)
 
+# R7a: opening the obs namespace (defining obs primitives) outside
+# src/obs/. Matches definitions (`namespace bcop::obs {` or a nested
+# `namespace obs {`), not mere usage like `obs::Counter&`. Single-line
+# forward declarations (`namespace bcop::obs { struct X; }`) stay legal:
+# they introduce a name, not an implementation.
+OBS_NAMESPACE = re.compile(r"namespace\s+(?:bcop::)?obs\s*\{")
+OBS_FORWARD_DECL = re.compile(
+    r"namespace\s+(?:bcop::)?obs\s*\{\s*(?:struct|class)\s+\w+\s*;\s*\}")
+# R7b: locking tokens forbidden in the hot-path recording header.
+LOCK_TOKENS = re.compile(
+    r"std::mutex|std::shared_mutex|lock_guard|unique_lock|scoped_lock"
+    r"|#include\s*<mutex>|#include\s*<shared_mutex>"
+)
+OBS_HOT_HEADER = "src/obs/metrics.hpp"
+
 
 def src_files() -> list[Path]:
     return sorted(p for p in SRC.rglob("*") if p.suffix in (".cpp", ".hpp"))
@@ -86,6 +106,25 @@ def check_alloc_free_zone(violations: list[str]) -> None:
                 violations.append(f"R6: {rel}:{lineno}: {line.strip()}")
 
 
+def check_obs_confinement(violations: list[str]) -> None:
+    for path in src_files():
+        rel = path.relative_to(ROOT).as_posix()
+        if rel.startswith("src/obs/"):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//", 1)[0]
+            if OBS_NAMESPACE.search(code) and not OBS_FORWARD_DECL.search(code):
+                violations.append(f"R7: {rel}:{lineno}: {line.strip()}")
+    hot = ROOT / OBS_HOT_HEADER
+    if not hot.exists():
+        violations.append(f"R7: {OBS_HOT_HEADER}: recording header is missing")
+        return
+    for lineno, line in enumerate(hot.read_text().splitlines(), 1):
+        code = line.split("//", 1)[0]  # prose may mention the tokens
+        if LOCK_TOKENS.search(code) or ALLOC_TOKENS.search(code):
+            violations.append(f"R7: {OBS_HOT_HEADER}:{lineno}: {line.strip()}")
+
+
 def check_test_references(violations: list[str]) -> None:
     corpus = "\n".join(p.read_text() for p in sorted(TESTS.glob("*.[ch]pp")))
     for cpp in sorted(SRC.rglob("*.cpp")):
@@ -103,6 +142,7 @@ def main() -> int:
     grep_rule("R3", BAD_RNG, "src/util/rng", violations)
     grep_rule("R5", COORD_USE, ("src/parallel/", "src/serve/"), violations)
     check_alloc_free_zone(violations)
+    check_obs_confinement(violations)
     check_test_references(violations)
     if violations:
         print(f"check_invariants: {len(violations)} violation(s)")
@@ -110,7 +150,7 @@ def main() -> int:
             print("  " + v)
         return 1
     print("check_invariants: OK "
-          f"({len(src_files())} files, 6 rules)")
+          f"({len(src_files())} files, 7 rules)")
     return 0
 
 

@@ -1,16 +1,39 @@
 #!/usr/bin/env bash
 # Full reproduction pipeline: build, test, train the four models, run every
 # table/figure bench. Run from the repository root. Training dominates the
-# runtime; pass QUICK=1 to use reduced training schedules.
-#
-# Opt-in: STATIC_ANALYSIS=1 additionally runs scripts/static_analysis.sh
-# (clang-tidy + repo-invariant lint) and reports its result in the summary.
-# Opt-in: SERVING_BENCH=1 re-runs the serving-throughput bench with --full
-# sample counts (the bench loop below always runs it once in quick mode).
-# Opt-in: WORKSPACE_BENCH=1 verifies the engine's zero-allocation
-# steady-state contract: the serving bench re-runs with --check-allocs and
-# fails the stage if any measured steady state touched the heap.
+# runtime. Stages are toggled with environment variables (see --help).
 set -euo pipefail
+
+usage() {
+  cat <<'EOF'
+usage: scripts/reproduce_all.sh
+
+Reproduces the paper artifacts end to end: configure + build, full ctest,
+train the four models (CNV / n-CNV / u-CNV binarized + FP32 baseline),
+then run every bench binary in build/bench/. Run from the repo root.
+
+Stages are controlled by environment variables (all default off/full):
+  QUICK=1            reduced training schedules (minutes instead of hours)
+  STATIC_ANALYSIS=1  also run scripts/static_analysis.sh (clang-tidy +
+                     the R1-R7 repo-invariant lint) and report the result
+  SERVING_BENCH=1    re-run bench_serving_throughput with --full sample
+                     counts (the bench loop always runs it once quickly)
+  WORKSPACE_BENCH=1  verify the zero-allocation steady state: the serving
+                     bench re-runs with --check-allocs and the stage fails
+                     if any measured steady state touched the heap
+  METRICS_BENCH=1    exercise the observability exporters: the serving
+                     bench re-runs with --metrics and the stage fails if
+                     the Prometheus snapshot comes out empty (see
+                     docs/observability.md)
+
+Exit status is non-zero when any enabled stage fails; a per-stage summary
+prints at the end either way.
+EOF
+}
+if [[ "${1:-}" == "-h" || "${1:-}" == "--help" ]]; then
+  usage
+  exit 0
+fi
 
 declare -a SUMMARY
 note() { SUMMARY+=("$1"); }
@@ -70,6 +93,19 @@ if [[ "${WORKSPACE_BENCH:-0}" == "1" ]]; then
   fi
 else
   note "workspace_bench: skipped (set WORKSPACE_BENCH=1 to verify the zero-allocation steady state)"
+fi
+
+if [[ "${METRICS_BENCH:-0}" == "1" ]]; then
+  if build/bench/bench_serving_throughput \
+      --out bench_artifacts/serving_metrics.json \
+      --metrics bench_artifacts/metrics.prom \
+      && [[ -s bench_artifacts/metrics.prom ]]; then
+    note "metrics_bench (--metrics): PASS ($(wc -l < bench_artifacts/metrics.prom) Prometheus lines)"
+  else
+    note "metrics_bench (--metrics): FAIL"
+  fi
+else
+  note "metrics_bench: skipped (set METRICS_BENCH=1 to exercise the observability exporters)"
 fi
 
 echo

@@ -1,0 +1,82 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace bcop::obs {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+/// Quantiles print with one decimal: they are bucket midpoints (x.0 or
+/// x.5), so one digit is exact and keeps golden tests stable.
+void append_json_histogram(std::string& out,
+                           const MetricsSnapshot::HistogramValue& h) {
+  appendf(out,
+          "    \"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+          ", \"p50\": %.1f, \"p90\": %.1f, \"p99\": %.1f, \"buckets\": [",
+          h.name.c_str(), h.count, h.sum, h.p50, h.p90, h.p99);
+  for (std::size_t i = 0; i < h.cumulative.size(); ++i)
+    appendf(out, "%s{\"le\": %" PRIu64 ", \"count\": %" PRIu64 "}",
+            i ? ", " : "", h.cumulative[i].first, h.cumulative[i].second);
+  out += "]}";
+}
+
+}  // namespace
+
+std::string export_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i)
+    appendf(out, "%s\n    \"%s\": %" PRIu64, i ? "," : "",
+            snapshot.counters[i].name.c_str(), snapshot.counters[i].value);
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i)
+    appendf(out, "%s\n    \"%s\": %" PRId64, i ? "," : "",
+            snapshot.gauges[i].name.c_str(), snapshot.gauges[i].value);
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    out += i ? ",\n" : "\n";
+    append_json_histogram(out, snapshot.histograms[i]);
+  }
+  out += snapshot.histograms.empty() ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+std::string export_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    appendf(out, "# TYPE %s counter\n", c.name.c_str());
+    appendf(out, "%s %" PRIu64 "\n", c.name.c_str(), c.value);
+  }
+  for (const auto& g : snapshot.gauges) {
+    appendf(out, "# TYPE %s gauge\n", g.name.c_str());
+    appendf(out, "%s %" PRId64 "\n", g.name.c_str(), g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    appendf(out, "# TYPE %s histogram\n", h.name.c_str());
+    for (const auto& [le, cum] : h.cumulative)
+      appendf(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+              h.name.c_str(), le, cum);
+    appendf(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", h.name.c_str(),
+            h.count);
+    appendf(out, "%s_sum %" PRIu64 "\n", h.name.c_str(), h.sum);
+    appendf(out, "%s_count %" PRIu64 "\n", h.name.c_str(), h.count);
+  }
+  return out;
+}
+
+}  // namespace bcop::obs

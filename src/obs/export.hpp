@@ -1,0 +1,28 @@
+// Snapshot exporters: one JSON document and one Prometheus text page.
+//
+// Both are pure functions of a MetricsSnapshot (obs/registry.hpp), so a
+// server can take one snapshot and serve both formats, and tests can pin
+// exact golden output from hand-built snapshots. Formats are documented
+// with real generated samples in docs/observability.md.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace bcop::obs {
+
+/// One JSON object: {"counters": {..}, "gauges": {..}, "histograms":
+/// {name: {count, sum, p50, p90, p99, buckets: [{le, count}, ...]}}}.
+/// Buckets are cumulative (count = samples <= le), matching the
+/// Prometheus layout, so the two exports describe identical data.
+std::string export_json(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition format (version 0.0.4): `# TYPE` headers,
+/// `_bucket{le="..."}` cumulative buckets with a final `+Inf`, `_sum` and
+/// `_count` series per histogram. Values keep the metric's base unit --
+/// this repo records durations in integer nanoseconds (`*_ns` names)
+/// rather than converting to seconds.
+std::string export_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace bcop::obs

@@ -1,0 +1,47 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bcop::obs {
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) total += bucket_count(i);
+  return total;
+}
+
+double LatencyHistogram::quantile(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  // One coherent pass: ranks are computed from the same bucket reads that
+  // are walked, so a concurrent writer can shift the answer by at most the
+  // samples it added, never corrupt it.
+  std::uint64_t counts[kBuckets];
+  std::uint64_t total = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    counts[i] = bucket_count(i);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  // Nearest rank: the ceil(q*total)-th sample, 1-based (min 1).
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += counts[i];
+    if (cum >= rank) {
+      if (i < kSub) return static_cast<double>(i);  // exact unit bucket
+      return 0.5 * (static_cast<double>(bucket_lower(i)) +
+                    static_cast<double>(bucket_upper(i)));
+    }
+  }
+  return static_cast<double>(bucket_lower(kBuckets - 1));  // unreachable
+}
+
+void LatencyHistogram::reset() noexcept {
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace bcop::obs

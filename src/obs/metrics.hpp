@@ -1,0 +1,144 @@
+// Hot-path metric primitives: the only code that runs on recording paths.
+//
+// Everything in this header is wait-free and allocation-free by contract
+// (lint rule R7): a Counter or Gauge is one relaxed atomic, a
+// LatencyHistogram is a fixed array of relaxed atomic bucket counts, and
+// record() never takes a lock, never branches on anything but its own
+// arguments, and never touches the heap. That is what lets the plan
+// interpreter (src/xnor/exec.cpp, an allocation-free zone under rule R6)
+// and the zero-allocation serving path record telemetry without breaking
+// their steady-state contracts (tests/test_zero_alloc.cpp measures this
+// with the profiler enabled).
+//
+// Identity lives elsewhere: primitives have no name member (names are
+// std::string keys owned by obs::Registry), so this header needs no
+// string, no map and no mutex. Aggregation -- quantiles, snapshots,
+// exporters -- is the cold path and lives in registry.hpp / export.hpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+
+namespace bcop::obs {
+
+/// Monotonic nanosecond timestamp for latency measurements. One
+/// steady_clock read; safe in allocation-free zones.
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonically increasing event count. Writers from any thread;
+/// value() is a relaxed read (exact once writers quiesce).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, in-flight work). set() and
+/// add() compose from any thread.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket log-scale histogram for non-negative integer samples
+/// (nanoseconds by convention; batch sizes and other counts work the same
+/// way). Bucket layout: values 0..3 get exact unit buckets, then every
+/// power-of-two octave is split into 4 sub-buckets, so bucket width is
+/// always <= 1/4 of the value -- a p50/p90/p99 read from bucket midpoints
+/// is within ~12% of the exact sample quantile (tested against a
+/// sorted-sample oracle in tests/test_obs.cpp). 160 buckets cover
+/// [0, 2^41) ns, i.e. sub-nanosecond to ~36 minutes; larger samples clamp
+/// into the last bucket.
+///
+/// record() is two relaxed fetch_adds plus a bit_width; concurrent
+/// snapshots see each bucket monotonically, so count() (the sum of one
+/// pass over the buckets) is always a value the histogram actually passed
+/// through.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 2;           // 4 sub-buckets per octave
+  static constexpr int kSub = 1 << kSubBits;   // values below are exact
+  static constexpr int kBuckets = 160;
+
+  static int bucket_index(std::uint64_t v) noexcept {
+    if (v < static_cast<std::uint64_t>(kSub)) return static_cast<int>(v);
+    const int octave = 63 - std::countl_zero(v);  // >= kSubBits
+    const int sub =
+        static_cast<int>((v >> (octave - kSubBits)) & (kSub - 1));
+    const int index = ((octave - 1) << kSubBits) + sub;
+    return index < kBuckets ? index : kBuckets - 1;
+  }
+
+  /// Inclusive lower bound of bucket `i`.
+  static std::uint64_t bucket_lower(int i) noexcept {
+    if (i < kSub) return static_cast<std::uint64_t>(i);
+    const int octave = (i >> kSubBits) + 1;
+    const int sub = i & (kSub - 1);
+    return static_cast<std::uint64_t>(kSub + sub) << (octave - kSubBits);
+  }
+
+  /// Exclusive upper bound of bucket `i` (UINT64_MAX for the last).
+  static std::uint64_t bucket_upper(int i) noexcept {
+    return i + 1 < kBuckets ? bucket_lower(i + 1) : ~std::uint64_t{0};
+  }
+
+  void record(std::uint64_t v) noexcept {
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t bucket_count(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Total samples: one pass over the buckets (not a separate atomic, so
+  /// it can never disagree with the bucket counts it was read from).
+  std::uint64_t count() const noexcept;
+
+  /// Sum of all recorded values (clamping does not apply to the sum).
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+  /// Nearest-rank quantile estimate, q in [0, 1]: the midpoint of the
+  /// bucket holding the q-th sample. 0 when empty.
+  double quantile(double q) const noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> sum_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+}  // namespace bcop::obs

@@ -1,0 +1,96 @@
+#include "obs/registry.hpp"
+
+#include "util/check.hpp"
+
+namespace bcop::obs {
+
+namespace {
+
+bool name_ok(const std::string& name) {
+  if (name.empty()) return false;
+  auto alpha = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!alpha(name.front())) return false;
+  for (const char c : name)
+    if (!alpha(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  BCOP_CHECK(name_ok(name), "metric name '%s' must match [a-zA-Z_][a-zA-Z0-9_]*",
+             name.c_str());
+  std::lock_guard<std::mutex> lock(mutex_);
+  BCOP_CHECK(!gauges_.count(name) && !histograms_.count(name),
+             "metric '%s' already registered as a different kind",
+             name.c_str());
+  return counters_[name];
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  BCOP_CHECK(name_ok(name), "metric name '%s' must match [a-zA-Z_][a-zA-Z0-9_]*",
+             name.c_str());
+  std::lock_guard<std::mutex> lock(mutex_);
+  BCOP_CHECK(!counters_.count(name) && !histograms_.count(name),
+             "metric '%s' already registered as a different kind",
+             name.c_str());
+  return gauges_[name];
+}
+
+LatencyHistogram& Registry::histogram(const std::string& name) {
+  BCOP_CHECK(name_ok(name), "metric name '%s' must match [a-zA-Z_][a-zA-Z0-9_]*",
+             name.c_str());
+  std::lock_guard<std::mutex> lock(mutex_);
+  BCOP_CHECK(!counters_.count(name) && !gauges_.count(name),
+             "metric '%s' already registered as a different kind",
+             name.c_str());
+  return histograms_[name];
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.push_back({name, c.value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.push_back({name, g.value()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramValue hv;
+    hv.name = name;
+    hv.sum = h.sum();
+    // One bucket pass feeds count and the cumulative list, so the two can
+    // never disagree even while writers are running.
+    std::uint64_t cum = 0;
+    for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+      const std::uint64_t n = h.bucket_count(i);
+      if (n == 0) continue;
+      cum += n;
+      hv.cumulative.emplace_back(LatencyHistogram::bucket_upper(i), cum);
+    }
+    hv.count = cum;
+    hv.p50 = h.quantile(0.50);
+    hv.p90 = h.quantile(0.90);
+    hv.p99 = h.quantile(0.99);
+    snap.histograms.push_back(std::move(hv));
+  }
+  return snap;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, g] : gauges_) g.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace bcop::obs

@@ -1,0 +1,77 @@
+// Process-wide metric registry: name -> primitive, plus snapshots.
+//
+// Registration is the cold path: counter()/gauge()/histogram() take a
+// mutex, validate the name and create the metric on first use; call sites
+// cache the returned reference (metrics live for the process lifetime --
+// std::map nodes are reference-stable), so recording afterwards is pure
+// lock-free primitive work (obs/metrics.hpp). The allocating registration
+// therefore belongs with other allocating prologues: plan compilation,
+// server construction, static init -- never inside a steady-state loop.
+//
+// Naming scheme (docs/observability.md): `bcop_<module>_<what>[_<unit>]`,
+// Prometheus charset `[a-zA-Z_][a-zA-Z0-9_]*`. Counters end in `_total`,
+// duration histograms in `_ns`. snapshot() materializes every registered
+// metric into plain data for the exporters in obs/export.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace bcop::obs {
+
+/// Point-in-time copy of every registered metric, ordered by name (the
+/// maps are ordered, so exporter output is deterministic given values).
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  /// Histogram with Prometheus-style cumulative buckets: one entry per
+  /// non-empty bucket, `(upper_bound, samples <= upper_bound)`.
+  struct HistogramValue {
+    std::string name;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    double p50 = 0, p90 = 0, p99 = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> cumulative;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every module records into.
+  static Registry& global();
+
+  /// Find-or-create; the reference stays valid for the process lifetime.
+  /// Aborts (BCOP_CHECK) on names outside `[a-zA-Z_][a-zA-Z0-9_]*` or on
+  /// registering the same name as two different metric kinds.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every registered value (names stay registered, references stay
+  /// valid). For per-phase measurements in benches and tests.
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, LatencyHistogram> histograms_;
+};
+
+}  // namespace bcop::obs

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
 #include "util/check.hpp"
 
 namespace bcop::serve {
@@ -12,6 +14,42 @@ namespace bcop::serve {
 using core::Predictor;
 using tensor::Shape;
 using tensor::Tensor;
+
+namespace {
+
+std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+/// Server telemetry (naming scheme in docs/observability.md). Registered
+/// once on first server construction; recording afterwards is lock-free,
+/// so the per-request cost is a handful of relaxed atomics.
+struct ServeMetrics {
+  obs::Counter& submitted;
+  obs::Counter& rejected;
+  obs::Counter& batches;
+  obs::Gauge& queue_depth;
+  obs::LatencyHistogram& batch_size;
+  obs::LatencyHistogram& coalesce_wait_ns;
+  obs::LatencyHistogram& e2e_latency_ns;
+
+  static ServeMetrics& get() {
+    static ServeMetrics m{
+        obs::Registry::global().counter("bcop_serve_submitted_total"),
+        obs::Registry::global().counter("bcop_serve_rejected_total"),
+        obs::Registry::global().counter("bcop_serve_batches_total"),
+        obs::Registry::global().gauge("bcop_serve_queue_depth"),
+        obs::Registry::global().histogram("bcop_serve_batch_size"),
+        obs::Registry::global().histogram("bcop_serve_coalesce_wait_ns"),
+        obs::Registry::global().histogram("bcop_serve_e2e_latency_ns")};
+    return m;
+  }
+};
+
+}  // namespace
 
 BatchingServer::BatchingServer(const Predictor& predictor,
                                BatcherConfig config)
@@ -44,18 +82,24 @@ std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
     image = image.reshaped(Shape{s[1], s[2], s[3]});
     s = image.shape();
   }
-  if (s.rank() != 3)
+  if (s.rank() != 3) {
+    ServeMetrics::get().rejected.add(1);
     throw std::invalid_argument("BatchingServer::submit: image must be "
                                 "[S, S, C] or [1, S, S, C], got " + s.str());
+  }
 
   std::unique_lock<std::mutex> lock(mutex_);
   if (image_shape_.rank() == 0) image_shape_ = s;
-  if (s != image_shape_)
+  if (s != image_shape_) {
+    ServeMetrics::get().rejected.add(1);
     throw std::invalid_argument("BatchingServer::submit: image " + s.str() +
                                 " does not match the served model input " +
                                 image_shape_.str());
-  if (stopping_)
+  }
+  if (stopping_) {
+    ServeMetrics::get().rejected.add(1);
     throw std::runtime_error("BatchingServer::submit: server is shutting down");
+  }
 
   if (config_.workers == 0) {
     // Synchronous degenerate mode: no queue, classify on the caller.
@@ -63,6 +107,12 @@ std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
     ++stats_.batches;
     stats_.max_batch_seen = std::max<std::int64_t>(stats_.max_batch_seen, 1);
     lock.unlock();
+    ServeMetrics& metrics = ServeMetrics::get();
+    metrics.submitted.add(1);
+    metrics.batches.add(1);
+    metrics.batch_size.record(1);
+    metrics.coalesce_wait_ns.record(0);
+    const auto t0 = std::chrono::steady_clock::now();
     std::promise<Predictor::Result> promise;
     auto future = promise.get_future();
     try {
@@ -71,6 +121,7 @@ std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
     } catch (...) {
       promise.set_exception(std::current_exception());
     }
+    metrics.e2e_latency_ns.record(ns_since(t0));
     return future;
   }
 
@@ -78,8 +129,10 @@ std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
     return stopping_ ||
            static_cast<std::int64_t>(queue_.size()) < config_.queue_capacity;
   });
-  if (stopping_)
+  if (stopping_) {
+    ServeMetrics::get().rejected.add(1);
     throw std::runtime_error("BatchingServer::submit: server is shutting down");
+  }
 
   Request request;
   request.image = std::move(image);
@@ -88,6 +141,9 @@ std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
   queue_.push_back(std::move(request));
   ++stats_.requests;
   lock.unlock();
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.submitted.add(1);
+  metrics.queue_depth.add(1);
   cv_work_.notify_one();
   return future;
 }
@@ -125,6 +181,7 @@ void BatchingServer::worker_loop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      ServeMetrics::get().queue_depth.add(-take);
     }
     cv_space_.notify_all();
     run_batch(std::move(batch), state);
@@ -134,6 +191,12 @@ void BatchingServer::worker_loop() {
 void BatchingServer::run_batch(std::deque<Request>&& batch,
                                WorkerState& state) {
   const auto b = static_cast<std::int64_t>(batch.size());
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.batches.add(1);
+  metrics.batch_size.record(static_cast<std::uint64_t>(b));
+  // How long the oldest member waited for the batch to ship: the cost of
+  // the coalescing window, bounded by config_.max_latency plus scheduling.
+  metrics.coalesce_wait_ns.record(ns_since(batch.front().enqueued));
   const Shape& s = batch.front().image.shape();
   const Shape batch_shape{b, s[0], s[1], s[2]};
   // Reuse the worker's coalescing buffer; it only reallocates when the
@@ -155,9 +218,11 @@ void BatchingServer::run_batch(std::deque<Request>&& batch,
   try {
     predictor_.classify_batch(state.input, state.ws, state.logits,
                               state.results);
-    for (std::int64_t i = 0; i < b; ++i)
-      batch[static_cast<std::size_t>(i)].promise.set_value(
-          state.results[static_cast<std::size_t>(i)]);
+    for (std::int64_t i = 0; i < b; ++i) {
+      Request& request = batch[static_cast<std::size_t>(i)];
+      request.promise.set_value(state.results[static_cast<std::size_t>(i)]);
+      metrics.e2e_latency_ns.record(ns_since(request.enqueued));
+    }
   } catch (...) {
     for (auto& request : batch)
       request.promise.set_exception(std::current_exception());

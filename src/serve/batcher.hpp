@@ -20,6 +20,13 @@
 // no raw threads outside src/parallel/): each worker is one
 // long-running task on a dedicated pool, and the batched network forward
 // itself fans out over ThreadPool::global().
+//
+// The server exports telemetry into the process-wide obs::Registry
+// (docs/observability.md): bcop_serve_{submitted,rejected,batches}_total
+// counters, a bcop_serve_queue_depth gauge, and batch_size /
+// coalesce_wait_ns / e2e_latency_ns histograms. Recording is lock-free
+// and rides the existing request path; stats() remains the in-process
+// aggregate view.
 #pragma once
 
 #include <chrono>

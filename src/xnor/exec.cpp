@@ -15,6 +15,14 @@
 #include "tensor/bit_span.hpp"
 #include "util/check.hpp"
 
+#if BCOP_OBS
+// Telemetry is allowed in this file because recording is atomics-only:
+// obs::LatencyHistogram::record and obs::now_ns never lock or allocate
+// (rule R7 lints the record-path header for exactly that).
+#include "obs/metrics.hpp"
+#include "obs/stage_profiler.hpp"
+#endif
+
 namespace bcop::xnor::detail {
 
 using parallel::ThreadPool;
@@ -242,6 +250,16 @@ void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
   std::int32_t* acc = reinterpret_cast<std::int32_t*>(base + plan.acc_offset());
   float* fscratch = reinterpret_cast<float*>(base + plan.float_offset());
 
+#if BCOP_OBS
+  // One flag read per replay; when recording, each step adds two clock
+  // reads and one relaxed fetch_add -- measured at < 1% of the replay
+  // (docs/observability.md), far below the coarse step kernels it brackets.
+  const obs::StageSlots* slots = plan.obs_slots();
+  const bool profile = slots != nullptr && obs::StageProfiler::global().enabled();
+  const std::uint64_t t_exec = profile ? obs::now_ns() : 0;
+  if (profile) slots->replays->add(1);
+#endif
+
   for (const PlanStep& st : plan.steps()) {
     const ConstBitSpan src =
         st.src_half >= 0
@@ -251,6 +269,9 @@ void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
         st.dst_half >= 0
             ? BitSpan{half[st.dst_half], st.out_rows, st.out_cols, st.out_wpr}
             : BitSpan{};
+#if BCOP_OBS
+    const std::uint64_t t_step = profile ? obs::now_ns() : 0;
+#endif
     switch (st.kind) {
       case StepKind::kFirstConv: {
         const auto& fc =
@@ -273,9 +294,26 @@ void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
         break;
       case StepKind::kBinConv: {
         const BitSpan rows{patch, st.patch_rows, st.patch_cols, st.patch_wpr};
+#if BCOP_OBS
+        // Sub-phase split of the conv step: where does a binary conv
+        // spend its time -- patch gather, XNOR GEMM, or threshold firing.
+        const std::uint64_t ta = profile ? obs::now_ns() : 0;
+        tensor::bit_im2row(src, st.n, st.h, st.w, st.c, st.k, rows);
+        const std::uint64_t tb = profile ? obs::now_ns() : 0;
+        tensor::binary_gemm_pre(rows, plan.wmat(st.wmat), st.co, acc);
+        const std::uint64_t tc = profile ? obs::now_ns() : 0;
+        fire_thresholds(acc, plan.prep(st.prep), dst);
+        if (profile) {
+          const std::uint64_t td = obs::now_ns();
+          slots->slot_ns[kObsSlotIm2row]->record(tb - ta);
+          slots->slot_ns[kObsSlotGemm]->record(tc - tb);
+          slots->slot_ns[kObsSlotThresholds]->record(td - tc);
+        }
+#else
         tensor::bit_im2row(src, st.n, st.h, st.w, st.c, st.k, rows);
         tensor::binary_gemm_pre(rows, plan.wmat(st.wmat), st.co, acc);
         fire_thresholds(acc, plan.prep(st.prep), dst);
+#endif
         break;
       }
       case StepKind::kPool:
@@ -302,7 +340,16 @@ void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
         }
         break;
     }
+#if BCOP_OBS
+    if (profile)
+      slots->slot_ns[static_cast<int>(st.kind)]->record(obs::now_ns() -
+                                                        t_step);
+#endif
   }
+#if BCOP_OBS
+  if (profile)
+    slots->slot_ns[kObsSlotExecute]->record(obs::now_ns() - t_exec);
+#endif
 }
 
 }  // namespace bcop::xnor::detail

@@ -23,4 +23,18 @@ namespace bcop::xnor::detail {
 void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
              const float* input, Workspace& ws, float* out);
 
+// Telemetry slot order shared by the registration site (plan.cpp) and the
+// recording site (exec.cpp): slots 0..7 are the StepKind values in enum
+// order, then the kBinConv sub-phases, then the whole-replay latency.
+// Metric names become `bcop_exec_<plan-key>_<slot>_ns`.
+inline constexpr const char* const kObsSlotNames[] = {
+    "first_conv", "pack_input", "binary_conv", "pool",
+    "flatten",    "binary_dense", "logits",    "unpack",
+    "im2row",     "binary_gemm",  "thresholds", "execute"};
+inline constexpr int kObsSlotCount = 12;
+inline constexpr int kObsSlotIm2row = 8;
+inline constexpr int kObsSlotGemm = 9;
+inline constexpr int kObsSlotThresholds = 10;
+inline constexpr int kObsSlotExecute = 11;
+
 }  // namespace bcop::xnor::detail

@@ -8,6 +8,11 @@
 #include "tensor/bit_span.hpp"
 #include "tensor/im2row.hpp"
 #include "xnor/engine.hpp"
+#include "xnor/exec.hpp"
+
+#if BCOP_OBS
+#include "obs/stage_profiler.hpp"
+#endif
 
 namespace bcop::xnor {
 
@@ -314,6 +319,20 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
   plan.off_floats_ = off;
   off += align64(float_bytes);
   plan.arena_bytes_ = off;
+
+#if BCOP_OBS
+  // Resolve the telemetry slots for this plan shape once, here on the
+  // allocating compile path, so the interpreter only dereferences.
+  {
+    std::string key = "b" + std::to_string(n) + "_in";
+    for (int d = 1; d < input.rank(); ++d) {
+      if (d > 1) key += "x";
+      key += std::to_string(input[d]);
+    }
+    plan.obs_slots_ = obs::StageProfiler::global().slots_for(
+        key, detail::kObsSlotNames, detail::kObsSlotCount);
+  }
+#endif
   return plan;
 }
 

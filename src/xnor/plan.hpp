@@ -26,6 +26,9 @@
 #include "tensor/shape.hpp"
 #include "xnor/folding.hpp"
 
+// Per-plan telemetry block, resolved at compile() (obs/stage_profiler.hpp).
+namespace bcop::obs { struct StageSlots; }
+
 namespace bcop::xnor {
 
 class XnorNetwork;
@@ -110,6 +113,11 @@ class ExecutionPlan {
   std::size_t acc_offset() const { return off_acc_; }
   std::size_t float_offset() const { return off_floats_; }
 
+  /// Telemetry slots resolved at compile time, keyed by this plan's input
+  /// shape (see obs::StageProfiler). Null when the build disables the
+  /// hooks (-DBCOP_OBS=OFF); the interpreter records nothing then.
+  const obs::StageSlots* obs_slots() const { return obs_slots_; }
+
  private:
   tensor::Shape input_, output_;
   std::vector<PlanStep> steps_;
@@ -119,6 +127,7 @@ class ExecutionPlan {
   std::size_t arena_bytes_ = 0;
   std::size_t off_half_[2] = {0, 0};
   std::size_t off_patch_ = 0, off_acc_ = 0, off_floats_ = 0;
+  const obs::StageSlots* obs_slots_ = nullptr;
 };
 
 /// Grow-only arena backing plan execution. One workspace serves any number

@@ -1,0 +1,314 @@
+// Observability-layer unit tests: primitive semantics, histogram bucket
+// geometry, quantile accuracy against a sorted-sample oracle, registry
+// identity/validation, exporter golden output from a hand-built snapshot,
+// and the end-to-end wiring of the StageProfiler (plan interpreter) and
+// the BatchingServer's metrics. Concurrency hammering lives in
+// tests/test_obs_stress.cpp for the TSan configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/architecture.hpp"
+#include "core/predictor.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+#include "obs/stage_profiler.hpp"
+#include "serve/batcher.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bcop;
+using obs::LatencyHistogram;
+
+TEST(ObsCounter, AddAndReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAddGoesNegative) {
+  obs::Gauge g;
+  g.set(5);
+  g.add(-8);
+  EXPECT_EQ(g.value(), -3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+// Every bucket's lower bound must map back to that bucket, and bounds must
+// tile the value axis: upper(i) == lower(i+1), strictly increasing.
+TEST(ObsHistogram, BucketBoundsRoundTripAndTile) {
+  for (int i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    const std::uint64_t lo = LatencyHistogram::bucket_lower(i);
+    EXPECT_EQ(LatencyHistogram::bucket_index(lo), i) << "bucket " << i;
+    if (i + 1 < LatencyHistogram::kBuckets) {
+      EXPECT_EQ(LatencyHistogram::bucket_upper(i),
+                LatencyHistogram::bucket_lower(i + 1));
+      // The value just below the boundary still belongs to bucket i.
+      EXPECT_EQ(
+          LatencyHistogram::bucket_index(LatencyHistogram::bucket_upper(i) - 1),
+          i);
+    }
+  }
+  // Small values are exact; beyond the table everything clamps into the
+  // last bucket instead of indexing out of bounds.
+  for (std::uint64_t v = 0; v < 4; ++v)
+    EXPECT_EQ(LatencyHistogram::bucket_index(v), static_cast<int>(v));
+  EXPECT_EQ(LatencyHistogram::bucket_index(~std::uint64_t{0}),
+            LatencyHistogram::kBuckets - 1);
+}
+
+// Bucket width <= 1/4 of the lower bound: the resolution guarantee the
+// ~12% quantile error bound in the header comment is derived from.
+TEST(ObsHistogram, BucketRelativeWidthBounded) {
+  for (int i = LatencyHistogram::kSub; i + 1 < LatencyHistogram::kBuckets;
+       ++i) {
+    const double lo = static_cast<double>(LatencyHistogram::bucket_lower(i));
+    const double hi = static_cast<double>(LatencyHistogram::bucket_upper(i));
+    EXPECT_LE(hi - lo, lo / 4.0 + 1e-9) << "bucket " << i;
+  }
+}
+
+TEST(ObsHistogram, CountSumAndExactSmallValueQuantiles) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty histogram reads as 0
+  for (int i = 0; i < 10; ++i) h.record(2);
+  h.record(3);
+  EXPECT_EQ(h.count(), 11u);
+  EXPECT_EQ(h.sum(), 23u);
+  // Values below kSub live in exact unit buckets: quantiles are exact.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+}
+
+// Quantiles vs a sorted-sample oracle over log-uniform samples spanning
+// the realistic latency range (~100ns..100ms). Bucket width is <= 1/4 of
+// the value, so the midpoint estimate stays within a ~1.26x factor.
+TEST(ObsHistogram, QuantilesTrackSortedOracle) {
+  util::Rng rng(0xc0ffee);
+  LatencyHistogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    const double log_v = rng.uniform(std::log(100.0), std::log(1e8));
+    const auto v = static_cast<std::uint64_t>(std::exp(log_v));
+    samples.push_back(v);
+    h.record(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.50, 0.90, 0.99}) {
+    const auto rank = static_cast<std::size_t>(std::ceil(
+        q * static_cast<double>(samples.size())));
+    const double exact =
+        static_cast<double>(samples[std::min(rank, samples.size()) - 1]);
+    const double est = h.quantile(q);
+    EXPECT_GT(est, exact / 1.26) << "q=" << q;
+    EXPECT_LT(est, exact * 1.26) << "q=" << q;
+  }
+}
+
+TEST(ObsRegistry, FindOrCreateReturnsSameInstance) {
+  auto& r = obs::Registry::global();
+  obs::Counter& a = r.counter("bcop_test_identity_total");
+  a.add(7);
+  obs::Counter& b = r.counter("bcop_test_identity_total");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 7u);
+  obs::LatencyHistogram& h1 = r.histogram("bcop_test_identity_ns");
+  obs::LatencyHistogram& h2 = r.histogram("bcop_test_identity_ns");
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(ObsRegistry, SnapshotCarriesValuesAndCumulativeBuckets) {
+  auto& r = obs::Registry::global();
+  r.counter("bcop_test_snap_total").add(3);
+  r.gauge("bcop_test_snap_depth").set(-2);
+  auto& h = r.histogram("bcop_test_snap_ns");
+  h.reset();
+  h.record(1);
+  h.record(1);
+  h.record(1000);
+  const obs::MetricsSnapshot snap = r.snapshot();
+
+  const auto counter = std::find_if(
+      snap.counters.begin(), snap.counters.end(),
+      [](const auto& c) { return c.name == "bcop_test_snap_total"; });
+  ASSERT_NE(counter, snap.counters.end());
+  EXPECT_EQ(counter->value, 3u);
+
+  const auto gauge = std::find_if(
+      snap.gauges.begin(), snap.gauges.end(),
+      [](const auto& g) { return g.name == "bcop_test_snap_depth"; });
+  ASSERT_NE(gauge, snap.gauges.end());
+  EXPECT_EQ(gauge->value, -2);
+
+  const auto hist = std::find_if(
+      snap.histograms.begin(), snap.histograms.end(),
+      [](const auto& hv) { return hv.name == "bcop_test_snap_ns"; });
+  ASSERT_NE(hist, snap.histograms.end());
+  EXPECT_EQ(hist->count, 3u);
+  EXPECT_EQ(hist->sum, 1002u);
+  ASSERT_EQ(hist->cumulative.size(), 2u);  // one entry per non-empty bucket
+  EXPECT_EQ(hist->cumulative.front().second, 2u);   // two samples <= first
+  EXPECT_EQ(hist->cumulative.back().second, 3u);    // all samples <= last
+  EXPECT_LE(hist->cumulative.front().first, hist->cumulative.back().first);
+}
+
+TEST(ObsRegistry, ResetValuesKeepsRegistrationAndReferences) {
+  auto& r = obs::Registry::global();
+  obs::Counter& c = r.counter("bcop_test_reset_total");
+  c.add(5);
+  r.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(&r.counter("bcop_test_reset_total"), &c);
+  c.add(1);
+  EXPECT_EQ(c.value(), 1u);
+}
+
+// Exporters are pure functions of the snapshot, so a hand-built snapshot
+// pins the exact output byte-for-byte (the samples in
+// docs/observability.md come from the same code path).
+obs::MetricsSnapshot golden_snapshot() {
+  obs::MetricsSnapshot s;
+  s.counters.push_back({"bcop_demo_requests_total", 42});
+  s.gauges.push_back({"bcop_demo_queue_depth", -1});
+  obs::MetricsSnapshot::HistogramValue h;
+  h.name = "bcop_demo_latency_ns";
+  h.count = 3;
+  h.sum = 1800;
+  h.p50 = 512.0;
+  h.p90 = 896.0;
+  h.p99 = 896.0;
+  h.cumulative = {{512, 1}, {896, 3}};
+  s.histograms.push_back(h);
+  return s;
+}
+
+TEST(ObsExport, JsonGolden) {
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n    \"bcop_demo_requests_total\": 42\n  },\n"
+      "  \"gauges\": {\n    \"bcop_demo_queue_depth\": -1\n  },\n"
+      "  \"histograms\": {\n"
+      "    \"bcop_demo_latency_ns\": {\"count\": 3, \"sum\": 1800, "
+      "\"p50\": 512.0, \"p90\": 896.0, \"p99\": 896.0, \"buckets\": "
+      "[{\"le\": 512, \"count\": 1}, {\"le\": 896, \"count\": 3}]}\n"
+      "  }\n"
+      "}\n";
+  EXPECT_EQ(obs::export_json(golden_snapshot()), expected);
+}
+
+TEST(ObsExport, PrometheusGolden) {
+  const std::string expected =
+      "# TYPE bcop_demo_requests_total counter\n"
+      "bcop_demo_requests_total 42\n"
+      "# TYPE bcop_demo_queue_depth gauge\n"
+      "bcop_demo_queue_depth -1\n"
+      "# TYPE bcop_demo_latency_ns histogram\n"
+      "bcop_demo_latency_ns_bucket{le=\"512\"} 1\n"
+      "bcop_demo_latency_ns_bucket{le=\"896\"} 3\n"
+      "bcop_demo_latency_ns_bucket{le=\"+Inf\"} 3\n"
+      "bcop_demo_latency_ns_sum 1800\n"
+      "bcop_demo_latency_ns_count 3\n";
+  EXPECT_EQ(obs::export_prometheus(golden_snapshot()), expected);
+}
+
+TEST(ObsExport, EmptySnapshot) {
+  const obs::MetricsSnapshot empty;
+  EXPECT_EQ(obs::export_prometheus(empty), "");
+  EXPECT_EQ(obs::export_json(empty),
+            "{\n  \"counters\": {},\n  \"gauges\": {},\n"
+            "  \"histograms\": {}\n}\n");
+}
+
+// Compiling a plan registers per-stage series keyed by the plan shape, and
+// replaying it fills them -- the interpreter-side wiring of the profiler.
+TEST(ObsStageProfiler, ForwardBatchRecordsPerStageSeries) {
+  obs::StageProfiler::global().set_enabled(true);
+  const core::Predictor p(
+      core::build_bnn(core::ArchitectureId::kMicroCnv, 5));
+  util::Rng rng(99);
+  tensor::Tensor batch(tensor::Shape{1, 32, 32, 3});
+  for (std::int64_t i = 0; i < batch.numel(); ++i)
+    batch[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  auto& reg = obs::Registry::global();
+  obs::Counter& replays = reg.counter("bcop_exec_b1_in32x32x3_replays_total");
+  obs::LatencyHistogram& first_conv =
+      reg.histogram("bcop_exec_b1_in32x32x3_first_conv_ns");
+  obs::LatencyHistogram& execute =
+      reg.histogram("bcop_exec_b1_in32x32x3_execute_ns");
+  const std::uint64_t replays0 = replays.value();
+  const std::uint64_t conv0 = first_conv.count();
+
+  p.network().forward_batch(batch);
+
+  EXPECT_EQ(replays.value(), replays0 + 1);
+  EXPECT_EQ(first_conv.count(), conv0 + 1);
+  EXPECT_GE(execute.sum(), first_conv.sum());  // whole replay >= one step
+}
+
+TEST(ObsStageProfiler, DisableStopsRecording) {
+  const core::Predictor p(
+      core::build_bnn(core::ArchitectureId::kMicroCnv, 6));
+  tensor::Tensor batch(tensor::Shape{1, 32, 32, 3});
+  auto& replays = obs::Registry::global().counter(
+      "bcop_exec_b1_in32x32x3_replays_total");
+
+  obs::StageProfiler::global().set_enabled(false);
+  const std::uint64_t before = replays.value();
+  p.network().forward_batch(batch);
+  EXPECT_EQ(replays.value(), before);
+
+  obs::StageProfiler::global().set_enabled(true);
+  p.network().forward_batch(batch);
+  EXPECT_EQ(replays.value(), before + 1);
+}
+
+// Synchronous server mode (workers=0) makes the serve-side metrics
+// deterministic: every submit is one batch of one.
+TEST(ObsServe, SynchronousServerCounts) {
+  auto& reg = obs::Registry::global();
+  obs::Counter& submitted = reg.counter("bcop_serve_submitted_total");
+  obs::Counter& batches = reg.counter("bcop_serve_batches_total");
+  obs::Counter& rejected = reg.counter("bcop_serve_rejected_total");
+  obs::LatencyHistogram& batch_size = reg.histogram("bcop_serve_batch_size");
+  obs::LatencyHistogram& e2e = reg.histogram("bcop_serve_e2e_latency_ns");
+  const std::uint64_t submitted0 = submitted.value();
+  const std::uint64_t batches0 = batches.value();
+  const std::uint64_t rejected0 = rejected.value();
+  const std::uint64_t sizes0 = batch_size.count();
+  const std::uint64_t e2e0 = e2e.count();
+
+  const core::Predictor p(
+      core::build_bnn(core::ArchitectureId::kMicroCnv, 7));
+  serve::BatcherConfig cfg;
+  cfg.workers = 0;
+  serve::BatchingServer server(p, cfg);
+  for (int i = 0; i < 5; ++i)
+    server.submit(tensor::Tensor(tensor::Shape{32, 32, 3})).get();
+  EXPECT_THROW(server.submit(tensor::Tensor(tensor::Shape{16, 16, 3})),
+               std::invalid_argument);
+
+  EXPECT_EQ(submitted.value(), submitted0 + 5);
+  EXPECT_EQ(batches.value(), batches0 + 5);
+  EXPECT_EQ(rejected.value(), rejected0 + 1);
+  EXPECT_EQ(batch_size.count(), sizes0 + 5);
+  EXPECT_EQ(e2e.count(), e2e0 + 5);
+  EXPECT_EQ(reg.gauge("bcop_serve_queue_depth").value(), 0);
+}
+
+}  // namespace

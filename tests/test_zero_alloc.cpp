@@ -7,6 +7,11 @@
 // the plan is cached, the arena is grown, the output tensor is reused, so
 // nothing in the interpreter path may touch the allocator (lint rule R6
 // enforces the same property statically on src/xnor/exec.cpp).
+//
+// The stage profiler is explicitly ENABLED here: per-stage telemetry
+// recording (obs/metrics.hpp, rule R7) must ride the interpreter without
+// costing a single allocation, so the contract is measured in the
+// worst-case (instrumented) configuration.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -15,6 +20,7 @@
 
 #include "core/architecture.hpp"
 #include "core/predictor.hpp"
+#include "obs/stage_profiler.hpp"
 #include "tensor/tensor.hpp"
 #include "util/allocmeter.hpp"
 #include "util/rng.hpp"
@@ -49,6 +55,7 @@ TEST(ZeroAlloc, InterposerIsLive) {
 class ZeroAllocPrototype : public ::testing::TestWithParam<ArchitectureId> {};
 
 TEST_P(ZeroAllocPrototype, ForwardBatchSteadyStateIsAllocationFree) {
+  obs::StageProfiler::global().set_enabled(true);
   nn::Sequential model = core::build_bnn(GetParam(), 29);
   const xnor::XnorNetwork net = xnor::XnorNetwork::fold(model);
 
@@ -72,6 +79,7 @@ TEST_P(ZeroAllocPrototype, ForwardBatchSteadyStateIsAllocationFree) {
 }
 
 TEST_P(ZeroAllocPrototype, PredictorClassifyBatchSteadyStateIsAllocationFree) {
+  obs::StageProfiler::global().set_enabled(true);
   const core::Predictor predictor(core::build_bnn(GetParam(), 31));
 
   const Tensor x = random_images(4, 77);
