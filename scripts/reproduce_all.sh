@@ -14,8 +14,14 @@ then run every bench binary in build/bench/. Run from the repo root.
 
 Stages are controlled by environment variables (all default off/full):
   QUICK=1            reduced training schedules (minutes instead of hours)
-  STATIC_ANALYSIS=1  also run scripts/static_analysis.sh (clang-tidy +
-                     the R1-R7 repo-invariant lint) and report the result
+  STATIC_ANALYSIS=1  also run scripts/static_analysis.sh: clang-tidy, the
+                     R1-R9 repo-invariant lint plus its fixture self-test,
+                     and the binary-level hot-path audit (nm/objdump over
+                     the interpreter and metric-recording objects); the
+                     concurrency contracts themselves compile-check under
+                     Clang with -DBCOP_THREAD_SAFETY=ON
+  STATIC_ANALYSIS_STRICT=1  same, but tool-missing stages (e.g. no
+                     clang-tidy) count as failures instead of skips
   SERVING_BENCH=1    re-run bench_serving_throughput with --full sample
                      counts (the bench loop always runs it once quickly)
   WORKSPACE_BENCH=1  verify the zero-allocation steady state: the serving
@@ -43,11 +49,13 @@ cmake --build build
 ctest --test-dir build --output-on-failure
 note "build+ctest: PASS"
 
-if [[ "${STATIC_ANALYSIS:-0}" == "1" ]]; then
-  if scripts/static_analysis.sh build; then
-    note "static_analysis: PASS"
+if [[ "${STATIC_ANALYSIS:-0}" == "1" || "${STATIC_ANALYSIS_STRICT:-0}" == "1" ]]; then
+  STRICT_FLAG=()
+  [[ "${STATIC_ANALYSIS_STRICT:-0}" == "1" ]] && STRICT_FLAG=(--strict)
+  if scripts/static_analysis.sh "${STRICT_FLAG[@]}" build; then
+    note "static_analysis${STRICT_FLAG:+ (--strict)}: PASS"
   else
-    note "static_analysis: FAIL"
+    note "static_analysis${STRICT_FLAG:+ (--strict)}: FAIL"
   fi
 else
   note "static_analysis: skipped (set STATIC_ANALYSIS=1 to enable)"

@@ -27,7 +27,7 @@ Registry& Registry::global() {
 Counter& Registry::counter(const std::string& name) {
   BCOP_CHECK(name_ok(name), "metric name '%s' must match [a-zA-Z_][a-zA-Z0-9_]*",
              name.c_str());
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   BCOP_CHECK(!gauges_.count(name) && !histograms_.count(name),
              "metric '%s' already registered as a different kind",
              name.c_str());
@@ -37,7 +37,7 @@ Counter& Registry::counter(const std::string& name) {
 Gauge& Registry::gauge(const std::string& name) {
   BCOP_CHECK(name_ok(name), "metric name '%s' must match [a-zA-Z_][a-zA-Z0-9_]*",
              name.c_str());
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   BCOP_CHECK(!counters_.count(name) && !histograms_.count(name),
              "metric '%s' already registered as a different kind",
              name.c_str());
@@ -47,7 +47,7 @@ Gauge& Registry::gauge(const std::string& name) {
 LatencyHistogram& Registry::histogram(const std::string& name) {
   BCOP_CHECK(name_ok(name), "metric name '%s' must match [a-zA-Z_][a-zA-Z0-9_]*",
              name.c_str());
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   BCOP_CHECK(!counters_.count(name) && !gauges_.count(name),
              "metric '%s' already registered as a different kind",
              name.c_str());
@@ -55,7 +55,7 @@ LatencyHistogram& Registry::histogram(const std::string& name) {
 }
 
 MetricsSnapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_)
@@ -87,7 +87,7 @@ MetricsSnapshot Registry::snapshot() const {
 }
 
 void Registry::reset_values() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (auto& [name, c] : counters_) c.reset();
   for (auto& [name, g] : gauges_) g.reset();
   for (auto& [name, h] : histograms_) h.reset();

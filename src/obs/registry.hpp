@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bcop::obs {
 
@@ -57,21 +58,27 @@ class Registry {
   /// Find-or-create; the reference stays valid for the process lifetime.
   /// Aborts (BCOP_CHECK) on names outside `[a-zA-Z_][a-zA-Z0-9_]*` or on
   /// registering the same name as two different metric kinds.
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  LatencyHistogram& histogram(const std::string& name);
+  ///
+  /// The returned references deliberately escape mutex_: std::map nodes
+  /// are reference-stable, metrics are never erased, and the primitives
+  /// themselves are atomics-only (obs/metrics.hpp), so post-registration
+  /// recording needs no lock. The GUARDED_BY below therefore protects the
+  /// map *structure* (find/insert/iterate), not the pointees.
+  Counter& counter(const std::string& name) BCOP_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name) BCOP_EXCLUDES(mutex_);
+  LatencyHistogram& histogram(const std::string& name) BCOP_EXCLUDES(mutex_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const BCOP_EXCLUDES(mutex_);
 
   /// Zero every registered value (names stay registered, references stay
   /// valid). For per-phase measurements in benches and tests.
-  void reset_values();
+  void reset_values() BCOP_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Counter> counters_;
-  std::map<std::string, Gauge> gauges_;
-  std::map<std::string, LatencyHistogram> histograms_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, Counter> counters_ BCOP_GUARDED_BY(mutex_);
+  std::map<std::string, Gauge> gauges_ BCOP_GUARDED_BY(mutex_);
+  std::map<std::string, LatencyHistogram> histograms_ BCOP_GUARDED_BY(mutex_);
 };
 
 }  // namespace bcop::obs

@@ -16,7 +16,7 @@ const StageSlots* StageProfiler::slots_for(const std::string& key,
   BCOP_CHECK(slots > 0 && slots <= StageSlots::kMaxSlots,
              "slots_for('%s'): %d slots outside [1, %d]", key.c_str(), slots,
              StageSlots::kMaxSlots);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = slots_.find(key);
   if (it != slots_.end()) {
     BCOP_CHECK(it->second.slots == slots,

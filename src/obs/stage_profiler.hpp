@@ -27,6 +27,7 @@
 #include <string>
 
 #include "obs/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace bcop::obs {
 
@@ -44,7 +45,11 @@ class StageProfiler {
  public:
   static StageProfiler& global();
 
-  /// Hot-path gate: one relaxed load. Defaults to enabled.
+  /// Hot-path gate: one relaxed load. Defaults to enabled. Deliberately
+  /// not mutex-guarded -- the flag is a relaxed std::atomic because the
+  /// interpreter reads it once per replay and tearing-free staleness is
+  /// acceptable (a toggle may take one replay to be observed; no other
+  /// state is published through it).
   bool enabled() const noexcept {
     return enabled_.load(std::memory_order_relaxed);
   }
@@ -59,12 +64,16 @@ class StageProfiler {
   /// The returned pointer is stable for the process lifetime. Re-requests
   /// with the same key must pass the same slot count.
   const StageSlots* slots_for(const std::string& key,
-                              const char* const* slot_names, int slots);
+                              const char* const* slot_names, int slots)
+      BCOP_EXCLUDES(mutex_);
 
  private:
   std::atomic<bool> enabled_{true};
-  std::mutex mutex_;
-  std::map<std::string, StageSlots> slots_;
+  util::Mutex mutex_;
+  // Guards the map structure only: returned StageSlots blocks are
+  // node-stable, fully initialized before the pointer escapes the lock,
+  // and immutable afterwards (their pointees are lock-free primitives).
+  std::map<std::string, StageSlots> slots_ BCOP_GUARDED_BY(mutex_);
 };
 
 }  // namespace bcop::obs

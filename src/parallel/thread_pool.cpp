@@ -1,11 +1,13 @@
 #include "parallel/thread_pool.hpp"
 
 #include <algorithm>
-#include <exception>
 
 #include "util/check.hpp"
 
 namespace bcop::parallel {
+
+using util::MutexLock;
+using util::UniqueLock;
 
 ThreadPool::ThreadPool(unsigned threads) {
   workers_.reserve(threads);
@@ -15,7 +17,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_work_.notify_all();
@@ -29,7 +31,7 @@ void ThreadPool::submit(std::function<void()> task) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     queue_.push(std::move(task));
     ++in_flight_;
   }
@@ -38,19 +40,16 @@ void ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::wait_idle() {
   if (workers_.empty()) return;
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+  UniqueLock lock(mutex_);
+  while (in_flight_ != 0) cv_idle_.wait(lock.native());
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [this] {
-        return stop_ || !queue_.empty() ||
-               (bulk_fn_ != nullptr && bulk_cursor_ < bulk_end_);
-      });
+      UniqueLock lock(mutex_);
+      while (!has_work()) cv_work_.wait(lock.native());
       if (bulk_fn_ != nullptr && bulk_cursor_ < bulk_end_ && queue_.empty()) {
         lock.unlock();
         run_bulk_chunks();
@@ -62,7 +61,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       BCOP_CHECK(in_flight_ > 0, "in_flight underflow in worker_loop");
       --in_flight_;
       if (in_flight_ == 0) cv_idle_.notify_all();
@@ -71,7 +70,7 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_bulk_chunks() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   while (bulk_fn_ != nullptr && bulk_cursor_ < bulk_end_) {
     const std::int64_t lo = bulk_cursor_;
     const std::int64_t hi = std::min(bulk_end_, lo + bulk_chunk_);
@@ -112,9 +111,9 @@ void ThreadPool::for_chunks(std::int64_t begin, std::int64_t end, ChunkFn fn,
     return;
   }
   // One bulk region at a time per pool; concurrent callers queue here.
-  std::lock_guard<std::mutex> region(bulk_mutex_);
+  MutexLock region(bulk_mutex_);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     bulk_fn_ = fn;
     bulk_ctx_ = ctx;
     bulk_cursor_ = begin;
@@ -128,10 +127,9 @@ void ThreadPool::for_chunks(std::int64_t begin, std::int64_t end, ChunkFn fn,
   run_bulk_chunks();  // the caller claims chunks alongside the workers
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_bulk_done_.wait(lock, [this] {
-      return bulk_pending_ == 0 && bulk_cursor_ >= bulk_end_;
-    });
+    UniqueLock lock(mutex_);
+    while (!(bulk_pending_ == 0 && bulk_cursor_ >= bulk_end_))
+      cv_bulk_done_.wait(lock.native());
     bulk_fn_ = nullptr;
     bulk_ctx_ = nullptr;
     error = bulk_error_;

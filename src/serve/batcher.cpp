@@ -14,6 +14,8 @@ namespace bcop::serve {
 using core::Predictor;
 using tensor::Shape;
 using tensor::Tensor;
+using util::MutexLock;
+using util::UniqueLock;
 
 namespace {
 
@@ -66,7 +68,7 @@ BatchingServer::BatchingServer(const Predictor& predictor,
 
 BatchingServer::~BatchingServer() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_work_.notify_all();
@@ -88,7 +90,7 @@ std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
                                 "[S, S, C] or [1, S, S, C], got " + s.str());
   }
 
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   if (image_shape_.rank() == 0) image_shape_ = s;
   if (s != image_shape_) {
     ServeMetrics::get().rejected.add(1);
@@ -125,10 +127,12 @@ std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
     return future;
   }
 
-  cv_space_.wait(lock, [this] {
-    return stopping_ ||
-           static_cast<std::int64_t>(queue_.size()) < config_.queue_capacity;
-  });
+  // Back-pressure wait, written as an explicit loop over guarded state so
+  // the thread-safety analysis sees every access (predicate lambdas are
+  // opaque to it; see util/thread_annotations.hpp).
+  while (!stopping_ &&
+         static_cast<std::int64_t>(queue_.size()) >= config_.queue_capacity)
+    cv_space_.wait(lock.native());
   if (stopping_) {
     ServeMetrics::get().rejected.add(1);
     throw std::runtime_error("BatchingServer::submit: server is shutting down");
@@ -140,16 +144,21 @@ std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
   auto future = request.promise.get_future();
   queue_.push_back(std::move(request));
   ++stats_.requests;
-  lock.unlock();
   ServeMetrics& metrics = ServeMetrics::get();
-  metrics.submitted.add(1);
+  // Gauge moves with the queue mutation it mirrors, inside the critical
+  // section (recording is lock-free, so this costs one relaxed fetch_add
+  // under the lock): a snapshot can no longer observe a pushed request
+  // with an un-bumped depth, or the transiently negative depth the old
+  // unlock-then-add ordering allowed when a worker drained first.
   metrics.queue_depth.add(1);
+  lock.unlock();
+  metrics.submitted.add(1);
   cv_work_.notify_one();
   return future;
 }
 
 ServerStats BatchingServer::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -158,8 +167,8 @@ void BatchingServer::worker_loop() {
   for (;;) {
     std::deque<Request> batch;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!stopping_ && queue_.empty()) cv_work_.wait(lock.native());
       if (queue_.empty()) {
         if (stopping_) return;
         continue;  // spurious wake or another worker took the work
@@ -169,10 +178,12 @@ void BatchingServer::worker_loop() {
         // Coalescing window: hold the batch open until it fills or the
         // oldest request has spent max_latency in the queue.
         const auto deadline = queue_.front().enqueued + config_.max_latency;
-        cv_work_.wait_until(lock, deadline, [this] {
-          return stopping_ ||
-                 static_cast<std::int64_t>(queue_.size()) >= config_.max_batch;
-        });
+        while (!stopping_ &&
+               static_cast<std::int64_t>(queue_.size()) < config_.max_batch) {
+          if (cv_work_.wait_until(lock.native(), deadline) ==
+              std::cv_status::timeout)
+            break;
+        }
       }
       if (queue_.empty()) continue;
       const auto take = std::min<std::int64_t>(
@@ -210,7 +221,7 @@ void BatchingServer::run_batch(std::deque<Request>&& batch,
   {
     // Record the batch before fulfilling any promise: a client whose
     // future.get() returned must observe its own batch in stats().
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.batches;
     stats_.max_batch_seen = std::max(stats_.max_batch_seen, b);
     if (b > 1) stats_.coalesced += b;

@@ -39,6 +39,7 @@
 #include "core/predictor.hpp"
 #include "parallel/thread_pool.hpp"
 #include "tensor/tensor.hpp"
+#include "util/thread_annotations.hpp"
 #include "xnor/plan.hpp"
 
 namespace bcop::serve {
@@ -78,9 +79,10 @@ class BatchingServer {
   /// Enqueue one [S, S, 3] image (or [1, S, S, 3]); blocks while the queue
   /// is full. The future resolves once a worker ships the batch containing
   /// this request. Throws std::runtime_error after shutdown began.
-  std::future<core::Predictor::Result> submit(tensor::Tensor image);
+  std::future<core::Predictor::Result> submit(tensor::Tensor image)
+      BCOP_EXCLUDES(mutex_);
 
-  ServerStats stats() const;
+  ServerStats stats() const BCOP_EXCLUDES(mutex_);
   const BatcherConfig& config() const { return config_; }
 
  private:
@@ -101,21 +103,22 @@ class BatchingServer {
     std::vector<core::Predictor::Result> results;
   };
 
-  void worker_loop();
-  void run_batch(std::deque<Request>&& batch, WorkerState& state);
+  void worker_loop() BCOP_EXCLUDES(mutex_);
+  void run_batch(std::deque<Request>&& batch, WorkerState& state)
+      BCOP_EXCLUDES(mutex_);
 
   const core::Predictor& predictor_;
   const BatcherConfig config_;
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   std::condition_variable cv_work_;   // queue became non-empty / stopping
   std::condition_variable cv_space_;  // queue has room again
-  std::deque<Request> queue_;
-  bool stopping_ = false;
-  ServerStats stats_;
+  std::deque<Request> queue_ BCOP_GUARDED_BY(mutex_);
+  bool stopping_ BCOP_GUARDED_BY(mutex_) = false;
+  ServerStats stats_ BCOP_GUARDED_BY(mutex_);
   /// Locked-in [S, S, C] request shape: the folded network's expected
   /// input when inferable, otherwise the first submitted image's shape.
-  tensor::Shape image_shape_;
+  tensor::Shape image_shape_ BCOP_GUARDED_BY(mutex_);
 
   // Declared last: destroyed first would deadlock, so ~BatchingServer sets
   // stopping_ and waits for the workers before members go away.

@@ -3,13 +3,16 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace bcop::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+// Serializes whole log lines onto stderr (the guarded "state" is the
+// stream interleaving, not a member).
+Mutex g_mutex;  // bcop-lint: allow(R8): guards stderr line atomicity, not data members
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -30,7 +33,7 @@ void log_message(LogLevel level, const std::string& msg) {
   static const auto t0 = clock::now();
   const double secs =
       std::chrono::duration<double>(clock::now() - t0).count();
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%9.3f] %s %s\n", secs, level_name(level), msg.c_str());
 }
 

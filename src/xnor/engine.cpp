@@ -14,6 +14,8 @@
 #include "nn/maxpool.hpp"
 #include "nn/sign_activation.hpp"
 #include "tensor/ops.hpp"
+#include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 #include "xnor/exec.hpp"
 #include "xnor/plan.hpp"
 
@@ -48,8 +50,8 @@ BitMatrix pack_transposed(const Tensor& w) {
 /// long-lived const references while the cache keeps growing.
 struct XnorNetwork::PlanCache {
   using Key = std::array<std::int64_t, 5>;
-  std::mutex mutex;
-  std::map<Key, ExecutionPlan> plans;
+  util::Mutex mutex;
+  std::map<Key, ExecutionPlan> plans BCOP_GUARDED_BY(mutex);
 };
 
 XnorNetwork::XnorNetwork() : cache_(std::make_unique<PlanCache>()) {}
@@ -171,13 +173,18 @@ XnorNetwork XnorNetwork::fold(nn::Sequential& model) {
 }
 
 const ExecutionPlan& XnorNetwork::plan_for(const Shape& input) const {
-  // A moved-from network has no cache; revive it lazily (single-threaded
-  // use of moved-from objects only, like any other post-move access).
-  if (!cache_) cache_ = std::make_unique<PlanCache>();
+  // A moved-from network has no cache -- and no stages either, so it
+  // could never serve. The old lazy `if (!cache_) cache_ = ...` revival
+  // was an unlocked check-then-act on a shared mutable member (two
+  // threads racing plan_for on a moved-from net double-constructed the
+  // cache); surfaced by the thread-safety annotation sweep, replaced by a
+  // hard contract: reassign a moved-from network before serving from it.
+  BCOP_CHECK(cache_ != nullptr,
+             "plan_for on a moved-from XnorNetwork -- reassign it first");
   PlanCache::Key key{};
   key[0] = input.rank();
   for (int i = 0; i < input.rank(); ++i) key[static_cast<std::size_t>(i) + 1] = input[i];
-  std::lock_guard<std::mutex> lock(cache_->mutex);
+  util::MutexLock lock(cache_->mutex);
   auto it = cache_->plans.find(key);
   if (it == cache_->plans.end())
     it = cache_->plans.emplace(key, ExecutionPlan::compile(*this, input)).first;

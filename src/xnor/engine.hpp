@@ -78,7 +78,10 @@ class XnorNetwork {
   XnorNetwork(std::string name, std::vector<Stage> stages);
 
   // Copies get a fresh (empty) plan cache; moves keep it -- cached plans
-  // reference stages by index, so they stay valid across moves.
+  // reference stages by index, so they stay valid across moves. A
+  // moved-from network must be reassigned before serving again: plan_for
+  // aborts (BCOP_CHECK) on a null cache instead of lazily reviving it,
+  // which was an unlocked check-then-act race.
   XnorNetwork(const XnorNetwork& other);
   XnorNetwork& operator=(const XnorNetwork& other);
   XnorNetwork(XnorNetwork&&) noexcept;
@@ -136,7 +139,10 @@ class XnorNetwork {
 
   std::string name_;
   std::vector<Stage> stages_;
-  mutable std::unique_ptr<PlanCache> cache_;
+  // Not `mutable` anymore: const methods mutate the *pointee* (which has
+  // its own mutex discipline), never the pointer. The only writes to the
+  // pointer itself are construction and assignment.
+  std::unique_ptr<PlanCache> cache_;
 };
 
 }  // namespace bcop::xnor

@@ -274,8 +274,16 @@ void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
 #endif
     switch (st.kind) {
       case StepKind::kFirstConv: {
-        const auto& fc =
-            std::get<FirstConvStage>(stages[static_cast<std::size_t>(st.stage)]);
+        // get_if, not get: the throwing std::get drags
+        // __cxa_throw/__cxa_allocate_exception/operator delete references
+        // into this TU (visible to scripts/audit_hot_path.py), and a kind
+        // mismatch here is a plan-compiler bug, not a recoverable error.
+        const auto* fcp =
+            std::get_if<FirstConvStage>(&stages[static_cast<std::size_t>(st.stage)]);
+        BCOP_CHECK(fcp != nullptr,
+                   "plan step %lld: stage is not a FirstConvStage",
+                   static_cast<long long>(st.stage));
+        const auto& fc = *fcp;
         // Recover the integer pixel codes (pixels are odd k'/255, see
         // facegen::MaskedFaceDataset::quantize_pixel).
         const std::int64_t numel = st.n * st.h * st.w * st.c;

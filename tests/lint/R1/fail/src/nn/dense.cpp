@@ -1,0 +1,4 @@
+// Fixture: seeded violation -- raw stride math outside src/tensor/.
+float dense_at(const float* data_, int r, int c, int cols_) {
+  return data_[r * cols_ + c];
+}

@@ -1,0 +1,2 @@
+// Fixture: plain (non-arithmetic) data_ indexing is legal anywhere.
+float dense_first(const float* data_) { return data_[0]; }

@@ -1,0 +1,4 @@
+// Fixture: index arithmetic on data_ is legal inside src/tensor/.
+float view_at(const float* data_, int r, int c, int cols_) {
+  return data_[r * cols_ + c];
+}

@@ -1,0 +1,3 @@
+// Fixture: seeded violation -- std::thread outside src/parallel/.
+#include <thread>
+void spawn_worker() { std::thread t([] {}); t.join(); }

@@ -1,0 +1,3 @@
+// Fixture: <thread> is legal inside src/parallel/.
+#include <thread>
+unsigned pool_width() { return std::thread::hardware_concurrency(); }

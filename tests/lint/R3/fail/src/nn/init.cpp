@@ -1,0 +1,3 @@
+// Fixture: seeded violation -- ad-hoc RNG outside src/util/rng.
+#include <random>
+unsigned init_seed() { std::mt19937 gen(7); return gen(); }

@@ -1,0 +1,3 @@
+// Fixture: std RNG machinery is legal inside src/util/rng*.
+#include <random>
+unsigned rng_draw() { std::mt19937 gen(42); return gen(); }

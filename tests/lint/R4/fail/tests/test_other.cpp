@@ -1,0 +1,3 @@
+// Fixture: seeded violation -- no test file references the conv header,
+// so src/foo/conv.cpp counts as an untested module.
+int unrelated = 0;

@@ -1,0 +1,1 @@
+int conv_stub() { return 1; }

@@ -1,0 +1,1 @@
+#include "foo/conv.hpp"

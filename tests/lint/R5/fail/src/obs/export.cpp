@@ -1,0 +1,3 @@
+// Fixture: seeded violation -- <future> outside parallel/ and serve/.
+#include <future>
+int exported() { return std::future<int>{}.valid() ? 1 : 0; }

@@ -1,0 +1,3 @@
+// Fixture: condition variables are legal inside src/serve/.
+#include <condition_variable>
+std::condition_variable& batch_cv() { static std::condition_variable cv; return cv; }

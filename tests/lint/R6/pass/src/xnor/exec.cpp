@@ -1,0 +1,4 @@
+// Fixture: an interpreter body with no allocation tokens.
+void replay(float* dst, const float* src, int n) {
+  for (int i = 0; i < n; ++i) dst[i] = src[i] * 2.0f;
+}

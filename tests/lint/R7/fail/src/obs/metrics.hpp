@@ -1,0 +1,4 @@
+// Fixture: seeded violation -- the recording header takes a lock.
+#pragma once
+#include <mutex>
+struct Counter { long v = 0; std::mutex m; };

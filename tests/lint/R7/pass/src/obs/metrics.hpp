@@ -1,0 +1,4 @@
+// Fixture: a recording header that is atomics-only.
+#pragma once
+#include <atomic>
+struct Counter { std::atomic<long> v{0}; void add(long d) { v.fetch_add(d); } };

@@ -1,0 +1,9 @@
+// Fixture: seeded violation -- a util::Mutex that guards nothing, split
+// across two lines to prove wrapped declarations are still seen.
+#pragma once
+#include "util/thread_annotations.hpp"
+class Registry {
+  util::Mutex
+      mutex_;
+  int entries_ = 0;
+};

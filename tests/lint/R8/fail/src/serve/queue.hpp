@@ -1,0 +1,7 @@
+// Fixture: seeded violation -- raw std::mutex member.
+#pragma once
+#include <mutex>
+class Queue {
+  std::mutex mutex_;
+  int depth_ = 0;
+};

@@ -1,0 +1,7 @@
+// Fixture: an annotated mutex guarding a member.
+#pragma once
+#include "util/thread_annotations.hpp"
+class Queue {
+  util::Mutex mutex_;
+  int depth_ BCOP_GUARDED_BY(mutex_) = 0;
+};

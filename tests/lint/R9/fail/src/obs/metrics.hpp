@@ -1,0 +1,3 @@
+// Fixture: seeded violation -- type-erasure machinery in the hot header.
+#pragma once
+#include <functional>

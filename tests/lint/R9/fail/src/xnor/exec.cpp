@@ -1,0 +1,3 @@
+// Fixture: seeded violation -- the interpreter pulls in <mutex>.
+#include <mutex>
+void replay(float*, const float*, int) {}

@@ -1,0 +1,5 @@
+// Fixture: the interpreter TU with clean direct includes.
+#include <cstring>
+void replay(float* dst, const float* src, int n) {
+  std::memcpy(dst, src, static_cast<unsigned long>(n) * sizeof(float));
+}

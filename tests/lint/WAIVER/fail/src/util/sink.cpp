@@ -1,0 +1,5 @@
+// Fixture: a reasonless waiver must itself be reported.
+#include "util/thread_annotations.hpp"
+namespace bcop::util {
+Mutex g_sink_mutex;  // bcop-lint: allow(R8)
+}

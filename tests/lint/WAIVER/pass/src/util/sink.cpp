@@ -1,0 +1,5 @@
+// Fixture: a reasoned waiver must suppress the R8 finding.
+#include "util/thread_annotations.hpp"
+namespace bcop::util {
+Mutex g_sink_mutex;  // bcop-lint: allow(R8): serializes an external stream, guards no members
+}
