@@ -4,13 +4,17 @@
 // and whole-network inference.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "core/architecture.hpp"
 #include "deploy/pipeline.hpp"
 #include "facegen/dataset.hpp"
 #include "facegen/renderer.hpp"
+#include "tensor/bit_span.hpp"
 #include "tensor/bit_tensor.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2row.hpp"
+#include "tensor/kernels/dispatch.hpp"
 #include "util/rng.hpp"
 #include "xnor/engine.hpp"
 
@@ -129,6 +133,86 @@ void BM_FloatForwardNCnv(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FloatForwardNCnv);
+
+// ---- Per-tier kernel rows: one row per compiled+executable dispatch ----
+// tier, same geometry, so the report shows scalar vs avx2 vs avx512 side
+// by side (docs/benchmarks.md). Each bench drives the tier's chunk
+// function directly, single-chunk, to isolate kernel throughput from the
+// pool fan-out.
+
+namespace kn = tensor::kernels;
+
+void kernel_gemm_tier(benchmark::State& state, kn::KernelLevel lvl) {
+  // conv1.2 of CNV as a GEMM: [784, 576] x [576, 64].
+  const std::int64_t M = 784, N = 64, K = 576;
+  const auto a = random_signs(M * K, 3);
+  const auto b = random_signs(N * K, 4);
+  const BitMatrix pa = tensor::pack_matrix(a.data(), M, K);
+  const BitMatrix pb = tensor::pack_matrix(b.data(), N, K);
+  std::vector<std::uint64_t> bt(
+      static_cast<std::size_t>(pb.rows() * pb.words_per_row()));
+  tensor::transpose_word_major(tensor::span_of(pb), bt.data());
+  std::vector<std::int32_t> c(static_cast<std::size_t>(M * N));
+  const kn::KernelTable& table = kn::table_for(lvl);
+  for (auto _ : state) {
+    kn::GemmCtx ctx{tensor::span_of(pa), bt.data(), N, c.data()};
+    table.gemm(&ctx, 0, M);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * M * N * K);
+}
+
+void kernel_thresh_tier(benchmark::State& state, kn::KernelLevel lvl) {
+  const std::int64_t rows = 784, C = 256;
+  util::Rng rng(15);
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(rows * C));
+  std::vector<std::int32_t> thr(static_cast<std::size_t>(C));
+  std::vector<std::int32_t> inv(static_cast<std::size_t>(C));
+  for (auto& v : acc)
+    v = static_cast<std::int32_t>(rng.uniform_int(-64, 64));
+  for (auto& v : thr) v = static_cast<std::int32_t>(rng.uniform_int(-8, 8));
+  for (auto& v : inv) v = rng.bernoulli(0.5) ? 1 : 0;
+  BitMatrix out(rows, C);
+  const kn::KernelTable& table = kn::table_for(lvl);
+  for (auto _ : state) {
+    kn::ThreshCtx ctx{acc.data(), thr.data(), inv.data(),
+                      tensor::span_of(out)};
+    table.thresh(&ctx, 0, rows);
+    benchmark::DoNotOptimize(out.storage().data());
+  }
+  state.SetItemsProcessed(state.iterations() * rows * C);
+}
+
+void kernel_im2row_tier(benchmark::State& state, kn::KernelLevel lvl) {
+  const std::int64_t n = 1, h = 32, w = 32, c = 64, k = 3;
+  const std::int64_t ho = h - k + 1, wo = w - k + 1;
+  const auto src = random_signs(n * h * w * c, 16);
+  const BitMatrix pixels = tensor::pack_matrix(src.data(), n * h * w, c);
+  BitMatrix rows(n * ho * wo, k * k * c);
+  const kn::KernelTable& table = kn::table_for(lvl);
+  for (auto _ : state) {
+    kn::Im2RowCtx ctx{tensor::span_of(pixels), tensor::span_of(rows),
+                      h,  w,  c, k, ho, wo};
+    table.im2row(&ctx, 0, n * ho * wo);
+    benchmark::DoNotOptimize(rows.storage().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * ho * wo * k * k * c);
+}
+
+const bool kKernelTierRowsRegistered = [] {
+  for (int i = 0; i < kn::kKernelLevelCount; ++i) {
+    const auto lvl = static_cast<kn::KernelLevel>(i);
+    if (!kn::level_available(lvl)) continue;
+    const std::string tier = kn::kernel_level_name(lvl);
+    benchmark::RegisterBenchmark(("BM_KernelGemmConv12/" + tier).c_str(),
+                                 kernel_gemm_tier, lvl);
+    benchmark::RegisterBenchmark(("BM_KernelThreshold/" + tier).c_str(),
+                                 kernel_thresh_tier, lvl);
+    benchmark::RegisterBenchmark(("BM_KernelIm2Row32x32/" + tier).c_str(),
+                                 kernel_im2row_tier, lvl);
+  }
+  return true;
+}();
 
 void BM_PipelineRunNCnv(benchmark::State& state) {
   nn::Sequential model = core::build_bnn(core::ArchitectureId::kNCnv, 13);

@@ -40,6 +40,7 @@
 #include "obs/registry.hpp"
 #include "obs/stage_profiler.hpp"
 #include "serve/batcher.hpp"
+#include "tensor/kernels/dispatch.hpp"
 #include "util/allocmeter.hpp"
 #include "util/args.hpp"
 #include "util/rng.hpp"
@@ -116,12 +117,20 @@ int main(int argc, char** argv) {
 
     std::filesystem::create_directories(
         std::filesystem::path(out_path).parent_path());
+    // The tier every plan in this run freezes: override/env/CPUID-resolved
+    // once here, recorded in the artifact so FPS trend lines are
+    // attributable to the kernel tier that produced them.
+    const char* kernel_level = tensor::kernels::kernel_level_name(
+        tensor::kernels::active_level());
+
     std::FILE* json = std::fopen(out_path.c_str(), "w");
     if (!json) throw std::runtime_error("cannot write " + out_path);
-    std::fprintf(json, "{\n  \"full\": %s,\n  \"archs\": [", full ? "true" : "false");
+    std::fprintf(json, "{\n  \"full\": %s,\n  \"kernel_level\": \"%s\",\n  \"archs\": [",
+                 full ? "true" : "false", kernel_level);
 
     std::printf("Serving-path throughput (batched bit-domain engine vs "
-                "single-image path)\n%s\n\n",
+                "single-image path)\nkernel dispatch tier: %s\n%s\n\n",
+                kernel_level,
                 full ? "full sample counts" : "quick mode (pass --full for larger samples)");
     util::AsciiTable t({"Config", "single FPS", "batch", "batched FPS",
                         "speedup", "allocs/call", "server FPS", "p50 ms",

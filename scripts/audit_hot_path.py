@@ -20,6 +20,11 @@ Audited translation units (the plan-replay path):
                       one replay through this TU.
   src/obs/metrics.cpp the metric recording primitives the interpreter and
                       the serving path record into.
+  src/tensor/bit_span.cpp        span-kernel entry points the engine's
+                                 non-plan callers go through.
+  src/tensor/kernels/*.cpp       the kernel dispatch tiers (scalar, AVX2,
+                                 AVX-512) plus the CPUID dispatcher whose
+                                 function pointers plans freeze.
 
 Forbidden symbol classes (referenced == undefined or defined-and-called;
 we audit all undefined references):
@@ -57,6 +62,11 @@ ROOT = Path(__file__).resolve().parent.parent
 AUDITED_TUS = [
     ("src/xnor/exec.cpp", "plan interpreter (steady-state replay path)"),
     ("src/obs/metrics.cpp", "metric recording primitives"),
+    ("src/tensor/bit_span.cpp", "span-kernel entry points"),
+    ("src/tensor/kernels/scalar.cpp", "scalar kernel tier (reference)"),
+    ("src/tensor/kernels/avx2.cpp", "AVX2 kernel tier"),
+    ("src/tensor/kernels/avx512.cpp", "AVX-512 kernel tier"),
+    ("src/tensor/kernels/dispatch.cpp", "kernel-tier CPUID dispatcher"),
 ]
 
 FORBIDDEN = {
@@ -92,6 +102,8 @@ ALLOWED = re.compile(
     r"|^bcop::"                                    # repo kernels + ThreadPool entry
     r"|^_GLOBAL_OFFSET_TABLE_$"
     r"|^(?:nearbyint|nearbyintf|llround|lround)$"  # libm, no side effects
+    r"|^getenv$|^strcmp$"     # kernel dispatcher: BCOP_KERNEL_LEVEL, read once
+    r"|^__popcountdi2$"       # libgcc popcount fallback (pure, no state)
     r"|^std::"                                     # inspected via FORBIDDEN first
     r"|^typeinfo |^vtable |^VTT "
     r"|^__cxa_(?:begin_catch|end_catch|call_unexpected)$"  # landing pads w/o throw
@@ -213,9 +225,29 @@ int probe_hot(int x) {
 """
 
 
+CLEAN_PROBE = """
+// Everything a clean hot-path TU legitimately references: bulk memory
+// moves, the dispatcher's one-shot env read, and atomics (lock-free,
+// no pthread symbols). Must audit clean, or the allowlist has drifted.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+std::atomic<int> probe_level{-1};
+int probe_dispatch(char* dst, const char* src, unsigned long n) {
+  std::memcpy(dst, src, n);
+  const char* e = std::getenv("BCOP_KERNEL_LEVEL");
+  if (e != nullptr && std::strcmp(e, "scalar") == 0)
+    probe_level.store(0, std::memory_order_relaxed);
+  return probe_level.load(std::memory_order_relaxed);
+}
+"""
+
+
 def self_test() -> int:
     """Compile a deliberately-broken hot-path probe and require the audit
-    to flag every forbidden class -- proof the detector detects."""
+    to flag every forbidden class -- proof the detector detects -- then a
+    clean probe using only allowlisted references and require silence --
+    proof the allowlist still admits legitimate hot-path code."""
     tool = find_tool()
     cxx = shutil.which("c++") or shutil.which("g++") or shutil.which("clang++")
     if tool is None or cxx is None:
@@ -229,14 +261,26 @@ def self_test() -> int:
                         "-o", str(obj)], check=True)
         hits = classify(undefined_symbols(obj, tool))
         found = {cls for cls, _ in hits}
+
+        clean_src = Path(tmp) / "clean_probe.cpp"
+        clean_obj = Path(tmp) / "clean_probe.o"
+        clean_src.write_text(CLEAN_PROBE)
+        subprocess.run([cxx, "-std=c++20", "-O2", "-c", str(clean_src),
+                        "-o", str(clean_obj)], check=True)
+        clean_hits = classify(undefined_symbols(clean_obj, tool))
     want = {"alloc", "lock", "throw"}
     missed = want - found
     if missed:
         print(f"audit_hot_path --self-test: FAIL -- probe classes not "
               f"detected: {sorted(missed)} (found {sorted(found)})")
         return 1
-    print(f"audit_hot_path --self-test: OK -- probe flagged for "
-          f"{sorted(found)}")
+    if clean_hits:
+        print("audit_hot_path --self-test: FAIL -- clean probe flagged:")
+        for cls, sym in sorted(clean_hits):
+            print(f"    [{cls:8s}] {sym}")
+        return 1
+    print(f"audit_hot_path --self-test: OK -- broken probe flagged for "
+          f"{sorted(found)}, clean probe silent")
     return 0
 
 

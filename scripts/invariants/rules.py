@@ -39,7 +39,17 @@ ALLOC_TOKENS = re.compile(
     r"|\bTensor\s*\(|\bBitMatrix\s*\("
     r"|push_back|emplace_back|\.resize\s*\(|\.reserve\s*\("
 )
-ALLOC_FREE_FILES = ("src/xnor/exec.cpp",)
+# The interpreter, the span-kernel entry points it replays, and every
+# kernel dispatch tier -- all audited at the object level too by
+# scripts/audit_hot_path.py.
+ALLOC_FREE_FILES = (
+    "src/xnor/exec.cpp",
+    "src/tensor/bit_span.cpp",
+    "src/tensor/kernels/scalar.cpp",
+    "src/tensor/kernels/avx2.cpp",
+    "src/tensor/kernels/avx512.cpp",
+    "src/tensor/kernels/dispatch.cpp",
+)
 
 # R7a: opening the obs namespace (defining obs primitives) outside
 # src/obs/. Matches definitions (`namespace bcop::obs {` or a nested
@@ -182,5 +192,14 @@ RULES: list[Rule] = [
         {
             "src/xnor/exec.cpp": ("mutex", "iostream", "functional"),
             "src/obs/metrics.hpp": ("mutex", "iostream", "functional"),
+            "src/tensor/bit_span.cpp": ("mutex", "iostream", "functional"),
+            "src/tensor/kernels/scalar.cpp":
+                ("mutex", "iostream", "functional"),
+            "src/tensor/kernels/avx2.cpp":
+                ("mutex", "iostream", "functional"),
+            "src/tensor/kernels/avx512.cpp":
+                ("mutex", "iostream", "functional"),
+            "src/tensor/kernels/dispatch.cpp":
+                ("mutex", "iostream", "functional"),
         }),
 ]

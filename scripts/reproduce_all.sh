@@ -31,6 +31,11 @@ Stages are controlled by environment variables (all default off/full):
                      bench re-runs with --metrics and the stage fails if
                      the Prometheus snapshot comes out empty (see
                      docs/observability.md)
+  KERNEL_BENCH=1     run the per-tier kernel micro-benchmarks (the
+                     BM_Kernel* rows of bench_micro_kernels: scalar vs
+                     avx2 vs avx512 popcount GEMM / threshold / im2row on
+                     whatever tiers this host can execute) and save the
+                     JSON to bench_artifacts/kernel_tiers.json
 
 Exit status is non-zero when any enabled stage fails; a per-stage summary
 prints at the end either way.
@@ -114,6 +119,19 @@ if [[ "${METRICS_BENCH:-0}" == "1" ]]; then
   fi
 else
   note "metrics_bench: skipped (set METRICS_BENCH=1 to exercise the observability exporters)"
+fi
+
+if [[ "${KERNEL_BENCH:-0}" == "1" ]]; then
+  if build/bench/bench_micro_kernels \
+      --benchmark_filter='BM_Kernel' \
+      --benchmark_out=bench_artifacts/kernel_tiers.json \
+      --benchmark_out_format=json; then
+    note "kernel_bench (BM_Kernel*): PASS"
+  else
+    note "kernel_bench (BM_Kernel*): FAIL"
+  fi
+else
+  note "kernel_bench: skipped (set KERNEL_BENCH=1 to compare kernel dispatch tiers)"
 fi
 
 echo

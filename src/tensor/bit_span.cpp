@@ -1,15 +1,37 @@
+// Span-kernel entry points. ALLOCATION-FREE ZONE: these are the kernels
+// the plan interpreter replays, so this TU must not allocate, lock or
+// throw -- contract violations abort through BCOP_CHECK (a throw here
+// would drag __cxa_throw/operator delete references into the hot object;
+// scripts/audit_hot_path.py audits the compiled artifact for exactly
+// that, and rules R6/R9 lint the source).
+//
+// The GEMM / threshold / im2row kernel *bodies* live in
+// src/tensor/kernels/ (scalar reference + SIMD tiers); the wrappers here
+// resolve the active dispatch table per call, which keeps every legacy
+// caller (engine fold paths, tests, benches) on the best tier. The plan
+// interpreter bypasses these wrappers entirely -- it replays the function
+// pointers its plan froze at compile time.
 #include "tensor/bit_span.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cstring>
-#include <stdexcept>
 
 #include "parallel/thread_pool.hpp"
 #include "tensor/bit_tensor.hpp"
 #include "tensor/im2row.hpp"
+#include "tensor/kernels/dispatch.hpp"
 
 namespace bcop::tensor {
+
+namespace {
+
+using parallel::ThreadPool;
+
+// Kernel chunk functions fan out through the pool without adapters.
+static_assert(std::is_same_v<kernels::KernelFn, ThreadPool::ChunkFn>,
+              "kernel tables must match the thread pool's chunk shape");
+
+}  // namespace
 
 BitSpan span_of(BitMatrix& m) {
   return {m.rows() > 0 ? m.row(0) : nullptr, m.rows(), m.cols(),
@@ -48,126 +70,89 @@ void transpose_word_major(ConstBitSpan b, std::uint64_t* bt) {
   }
 }
 
-namespace {
-
-struct GemmCtx {
-  ConstBitSpan a;
-  const std::uint64_t* bt;
-  std::int64_t n;
-  std::int32_t* c;
-};
-
-void gemm_chunk(void* raw, std::int64_t lo, std::int64_t hi) {
-  const GemmCtx& g = *static_cast<const GemmCtx*>(raw);
-  const std::int64_t N = g.n, K = g.a.cols;
-  const std::int64_t words = g.a.wpr, pad = g.a.pad();
-  // Popcount accumulators live in a fixed stack tile: the weight-row
-  // dimension is walked kTile lanes at a time, each sweep streaming every
-  // activation word once. 256 lanes keep the tile inside L1 while leaving
-  // the inner loop wide enough to vectorize (see binary_gemm for the
-  // word-major layout rationale).
-  constexpr std::int64_t kTile = 256;
-  std::int64_t pop[kTile];
-  for (std::int64_t i = lo; i < hi; ++i) {
-    const std::uint64_t* ai = g.a.row(i);
-    std::int32_t* ci = g.c + i * N;
-    for (std::int64_t j0 = 0; j0 < N; j0 += kTile) {
-      const std::int64_t jn = std::min(kTile, N - j0);
-#pragma omp simd
-      for (std::int64_t j = 0; j < jn; ++j) pop[j] = 0;
-      for (std::int64_t w = 0; w < words; ++w) {
-        const std::uint64_t av = ai[w];
-        const std::uint64_t* btw = g.bt + w * N + j0;
-#pragma omp simd
-        for (std::int64_t j = 0; j < jn; ++j)
-          pop[j] += std::popcount(~(av ^ btw[j]));
-      }
-#pragma omp simd
-      for (std::int64_t j = 0; j < jn; ++j)
-        ci[j0 + j] = static_cast<std::int32_t>(2 * (pop[j] - pad) - K);
-    }
-  }
-}
-
-}  // namespace
-
 void binary_gemm_pre(ConstBitSpan a, const std::uint64_t* bt, std::int64_t n,
                      std::int32_t* c) {
-  GemmCtx ctx{a, bt, n, c};
-  parallel::ThreadPool::global().for_chunks(0, a.rows, &gemm_chunk, &ctx);
+  kernels::GemmCtx ctx{a, bt, n, c};
+  ThreadPool::global().for_chunks(0, a.rows, kernels::active_table().gemm,
+                                  &ctx);
 }
-
-namespace {
-
-struct Im2RowCtx {
-  ConstBitSpan pixels;
-  BitSpan rows;
-  std::int64_t h, w, c, k, ho, wo;
-};
-
-void im2row_chunk(void* raw, std::int64_t lo, std::int64_t hi) {
-  const Im2RowCtx& t = *static_cast<const Im2RowCtx*>(raw);
-  const std::int64_t h = t.h, w = t.w, c = t.c, k = t.k;
-  const std::int64_t ho = t.ho, wo = t.wo;
-  const std::int64_t wpp = t.pixels.wpr;
-  const bool aligned = (c % 64) == 0;
-  for (std::int64_t r = lo; r < hi; ++r) {
-    const std::int64_t img = r / (ho * wo);
-    const std::int64_t rem = r - img * ho * wo;
-    const std::int64_t y = rem / wo, x = rem - y * wo;
-    std::uint64_t* dst = t.rows.row(r);
-    // The OR-based paths rely on zero destination bits; arena rows carry
-    // stale state, so clear the whole row first (aligned rows are fully
-    // overwritten by the memcpy below and skip this).
-    if (!aligned)
-      std::memset(dst, 0, static_cast<std::size_t>(t.rows.wpr) *
-                              sizeof(std::uint64_t));
-    for (std::int64_t ky = 0; ky < k; ++ky) {
-      // The k pixels of one kernel row are adjacent along x, so their
-      // packed fields are consecutive rows of `pixels`.
-      const std::int64_t p = ((img * h) + y + ky) * w + x;
-      if (aligned) {
-        std::memcpy(dst + (ky * k * c) / 64, t.pixels.row(p),
-                    static_cast<std::size_t>(k * wpp) * sizeof(std::uint64_t));
-      } else if (c < 64) {
-        // Single-word fields: inline the append (the call + multi-word
-        // generality of append_bits costs more than the OR itself).
-        const std::uint64_t* src = t.pixels.row(p);
-        for (std::int64_t kx = 0; kx < k; ++kx) {
-          const std::uint64_t v = src[kx * wpp];
-          const std::int64_t off = (ky * k + kx) * c;
-          const std::int64_t sh = off & 63;
-          std::uint64_t* d = dst + (off >> 6);
-          d[0] |= v << sh;
-          if (sh + c > 64) d[1] |= v >> (64 - sh);
-        }
-      } else {
-        for (std::int64_t kx = 0; kx < k; ++kx)
-          append_bits(dst, (ky * k + kx) * c, t.pixels.row(p + kx), c);
-      }
-    }
-  }
-}
-
-}  // namespace
 
 void bit_im2row(ConstBitSpan pixels, std::int64_t n, std::int64_t h,
                 std::int64_t w, std::int64_t c, std::int64_t k, BitSpan rows) {
-  if (pixels.rows != n * h * w || pixels.cols != c)
-    throw std::invalid_argument("bit_im2row: pixels not [N*H*W, C]");
+  BCOP_CHECK(pixels.rows == n * h * w && pixels.cols == c,
+             "bit_im2row: pixels span [%lld, %lld] != [%lld, %lld]",
+             static_cast<long long>(pixels.rows),
+             static_cast<long long>(pixels.cols),
+             static_cast<long long>(n * h * w), static_cast<long long>(c));
   const std::int64_t ho = conv_out_dim(h, k), wo = conv_out_dim(w, k);
-  if (ho <= 0 || wo <= 0)
-    throw std::invalid_argument("bit_im2row: kernel larger than input");
+  BCOP_CHECK(ho > 0 && wo > 0,
+             "bit_im2row: kernel %lld larger than input %lldx%lld",
+             static_cast<long long>(k), static_cast<long long>(h),
+             static_cast<long long>(w));
   BCOP_CHECK(rows.rows == n * ho * wo && rows.cols == k * k * c,
              "bit_im2row: rows span [%lld, %lld] != [%lld, %lld]",
              static_cast<long long>(rows.rows),
              static_cast<long long>(rows.cols),
              static_cast<long long>(n * ho * wo),
              static_cast<long long>(k * k * c));
-  Im2RowCtx ctx{pixels, rows, h, w, c, k, ho, wo};
-  parallel::ThreadPool::global().for_chunks(0, n * ho * wo, &im2row_chunk,
-                                            &ctx);
+  kernels::Im2RowCtx ctx{pixels, rows, h, w, c, k, ho, wo};
+  ThreadPool::global().for_chunks(0, n * ho * wo,
+                                  kernels::active_table().im2row, &ctx);
 }
+
+namespace {
+
+struct Pool2Ctx {
+  ConstBitSpan pixels;
+  BitSpan out;
+  std::int64_t h, w, ho, wo;
+};
+
+void pool2_chunk(void* raw, std::int64_t lo, std::int64_t hi) {
+  const Pool2Ctx& t = *static_cast<const Pool2Ctx*>(raw);
+  const std::int64_t w = t.w, ho = t.ho, wo = t.wo;
+  const std::int64_t wpp = t.pixels.wpr;
+  for (std::int64_t r = lo; r < hi; ++r) {
+    const std::int64_t img = r / (ho * wo);
+    const std::int64_t rem = r - img * ho * wo;
+    const std::int64_t yy = rem / wo, xx = rem - yy * wo;
+    const std::int64_t base = (img * t.h + 2 * yy) * w + 2 * xx;
+    const std::uint64_t* r0 = t.pixels.row(base);
+    const std::uint64_t* r1 = t.pixels.row(base + 1);
+    const std::uint64_t* r2 = t.pixels.row(base + w);
+    const std::uint64_t* r3 = t.pixels.row(base + w + 1);
+    std::uint64_t* dst = t.out.row(r);
+    for (std::int64_t i = 0; i < wpp; ++i)
+      dst[i] = (r0[i] | r1[i]) | (r2[i] | r3[i]);
+  }
+}
+
+struct FlattenCtx {
+  ConstBitSpan pixels;
+  BitSpan out;
+  std::int64_t ppi, c;
+};
+
+void flatten_chunk(void* raw, std::int64_t lo, std::int64_t hi) {
+  const FlattenCtx& t = *static_cast<const FlattenCtx*>(raw);
+  const std::int64_t ppi = t.ppi, c = t.c;
+  const std::int64_t wpp = t.pixels.wpr;
+  if (c % 64 == 0) {
+    for (std::int64_t i = lo; i < hi; ++i)
+      std::memcpy(t.out.row(i), t.pixels.row(i * ppi),
+                  static_cast<std::size_t>(ppi * wpp) * sizeof(std::uint64_t));
+  } else {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      std::uint64_t* dst = t.out.row(i);
+      std::memset(dst, 0,
+                  static_cast<std::size_t>(t.out.wpr) * sizeof(std::uint64_t));
+      for (std::int64_t p = 0; p < ppi; ++p)
+        append_bits(dst, p * c, t.pixels.row(i * ppi + p), c);
+    }
+  }
+}
+
+}  // namespace
 
 void pool2_bits(ConstBitSpan pixels, std::int64_t n, std::int64_t h,
                 std::int64_t w, BitSpan out) {
@@ -177,19 +162,12 @@ void pool2_bits(ConstBitSpan pixels, std::int64_t n, std::int64_t h,
              static_cast<long long>(out.rows), static_cast<long long>(out.cols),
              static_cast<long long>(n * ho * wo),
              static_cast<long long>(pixels.cols));
-  const std::int64_t wpp = pixels.wpr;
-  for (std::int64_t nn_ = 0; nn_ < n; ++nn_)
-    for (std::int64_t yy = 0; yy < ho; ++yy)
-      for (std::int64_t xx = 0; xx < wo; ++xx) {
-        const std::int64_t base = (nn_ * h + 2 * yy) * w + 2 * xx;
-        const std::uint64_t* r0 = pixels.row(base);
-        const std::uint64_t* r1 = pixels.row(base + 1);
-        const std::uint64_t* r2 = pixels.row(base + w);
-        const std::uint64_t* r3 = pixels.row(base + w + 1);
-        std::uint64_t* dst = out.row((nn_ * ho + yy) * wo + xx);
-        for (std::int64_t i = 0; i < wpp; ++i)
-          dst[i] = (r0[i] | r1[i]) | (r2[i] | r3[i]);
-      }
+  // Fans out like every other pixel-row stage: at large batch the pooled
+  // rows are numerous enough (n*ho*wo) that a serial loop showed up in
+  // the per-stage histograms between two parallel stages.
+  Pool2Ctx ctx{pixels, out, h, w, ho, wo};
+  parallel::ThreadPool::global().for_chunks(0, n * ho * wo, &pool2_chunk,
+                                            &ctx);
 }
 
 void flatten_pixels(ConstBitSpan pixels, std::int64_t n, std::int64_t ppi,
@@ -198,20 +176,10 @@ void flatten_pixels(ConstBitSpan pixels, std::int64_t n, std::int64_t ppi,
              "flatten_pixels: out span [%lld, %lld] != [%lld, %lld]",
              static_cast<long long>(out.rows), static_cast<long long>(out.cols),
              static_cast<long long>(n), static_cast<long long>(ppi * c));
-  const std::int64_t wpp = pixels.wpr;
-  if (c % 64 == 0) {
-    for (std::int64_t i = 0; i < n; ++i)
-      std::memcpy(out.row(i), pixels.row(i * ppi),
-                  static_cast<std::size_t>(ppi * wpp) * sizeof(std::uint64_t));
-  } else {
-    for (std::int64_t i = 0; i < n; ++i) {
-      std::uint64_t* dst = out.row(i);
-      std::memset(dst, 0,
-                  static_cast<std::size_t>(out.wpr) * sizeof(std::uint64_t));
-      for (std::int64_t p = 0; p < ppi; ++p)
-        append_bits(dst, p * c, pixels.row(i * ppi + p), c);
-    }
-  }
+  // Chunked over images: one flat destination row per image, so chunks
+  // never share a cache line of the destination.
+  FlattenCtx ctx{pixels, out, ppi, c};
+  parallel::ThreadPool::global().for_chunks(0, n, &flatten_chunk, &ctx);
 }
 
 }  // namespace bcop::tensor

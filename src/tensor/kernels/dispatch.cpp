@@ -1,0 +1,143 @@
+// Kernel-tier dispatch. ALLOCATION-FREE ZONE: although selection runs at
+// plan-compile time (cold), this TU is audited with the kernel tiers --
+// state lives in constant-initialized atomics (a function-local static
+// would drag __cxa_guard locking into the object), the env override is
+// read with getenv/strcmp (no std::string), and nothing here can throw.
+#include "tensor/kernels/dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "tensor/kernels/avx2.hpp"
+#include "tensor/kernels/avx512.hpp"
+#include "tensor/kernels/scalar.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace bcop::tensor::kernels {
+
+namespace {
+
+// Cached resolution state. Encoding: level ordinal, or kUnresolved.
+// Detection and the env read are idempotent, so a startup race at worst
+// recomputes the same value -- plain relaxed atomics suffice.
+constexpr int kUnresolved = -1;
+constexpr int kEnvUnread = -2;
+std::atomic<int> g_detected{kUnresolved};
+std::atomic<int> g_env{kEnvUnread};     // kUnresolved = none/auto
+std::atomic<int> g_override{kUnresolved};
+
+#if defined(__x86_64__) || defined(__i386__)
+
+std::uint64_t xgetbv0() {
+  std::uint32_t eax, edx;
+  // xgetbv with xcr index 0: which register states the OS saves/restores.
+  __asm__ volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<std::uint64_t>(edx) << 32) | eax;
+}
+
+KernelLevel detect_cpu() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return KernelLevel::kScalar;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (!osxsave || !avx) return KernelLevel::kScalar;
+  const std::uint64_t xcr0 = xgetbv0();
+  const bool ymm_os = (xcr0 & 0x06) == 0x06;          // XMM + YMM state
+  const bool zmm_os = (xcr0 & 0xe6) == 0xe6;          // + opmask, ZMM state
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0)
+    return KernelLevel::kScalar;
+  const bool avx2 = (ebx & (1u << 5)) != 0;
+  const bool avx512f = (ebx & (1u << 16)) != 0;
+  const bool avx512bw = (ebx & (1u << 30)) != 0;
+  const bool vpopcntdq = (ecx & (1u << 14)) != 0;
+  if (zmm_os && avx512f && avx512bw && vpopcntdq && avx512_table() != nullptr)
+    return KernelLevel::kAvx512;
+  if (ymm_os && avx2 && avx2_table() != nullptr) return KernelLevel::kAvx2;
+  return KernelLevel::kScalar;
+}
+
+#else
+
+KernelLevel detect_cpu() { return KernelLevel::kScalar; }
+
+#endif
+
+/// BCOP_KERNEL_LEVEL, parsed once: a forced tier ordinal or kUnresolved.
+int env_request() {
+  int v = g_env.load(std::memory_order_relaxed);
+  if (v != kEnvUnread) return v;
+  KernelLevel lvl{};
+  v = parse_kernel_level(std::getenv("BCOP_KERNEL_LEVEL"), &lvl)
+          ? static_cast<int>(lvl)
+          : kUnresolved;
+  g_env.store(v, std::memory_order_relaxed);
+  return v;
+}
+
+}  // namespace
+
+const char* kernel_level_name(KernelLevel level) {
+  switch (level) {
+    case KernelLevel::kScalar: return "scalar";
+    case KernelLevel::kAvx2: return "avx2";
+    case KernelLevel::kAvx512: return "avx512";
+  }
+  return "scalar";
+}
+
+bool parse_kernel_level(const char* s, KernelLevel* out) {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "scalar") == 0) { *out = KernelLevel::kScalar; return true; }
+  if (std::strcmp(s, "avx2") == 0) { *out = KernelLevel::kAvx2; return true; }
+  if (std::strcmp(s, "avx512") == 0) { *out = KernelLevel::kAvx512; return true; }
+  return false;
+}
+
+KernelLevel detected_level() {
+  int v = g_detected.load(std::memory_order_relaxed);
+  if (v == kUnresolved) {
+    v = static_cast<int>(detect_cpu());
+    g_detected.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<KernelLevel>(v);
+}
+
+bool level_available(KernelLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(detected_level());
+}
+
+const KernelTable& table_for(KernelLevel level) {
+  const KernelLevel best = detected_level();
+  const KernelLevel lvl = static_cast<int>(level) <= static_cast<int>(best)
+                              ? level
+                              : best;
+  switch (lvl) {
+    case KernelLevel::kAvx512: return *avx512_table();
+    case KernelLevel::kAvx2: return *avx2_table();
+    case KernelLevel::kScalar: break;
+  }
+  return scalar_table();
+}
+
+KernelLevel active_level() {
+  int v = g_override.load(std::memory_order_relaxed);
+  if (v == kUnresolved) v = env_request();
+  if (v == kUnresolved) return detected_level();
+  return table_for(static_cast<KernelLevel>(v)).level;  // clamped
+}
+
+const KernelTable& active_table() { return table_for(active_level()); }
+
+void set_level_override(KernelLevel level) {
+  g_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void clear_level_override() {
+  g_override.store(kUnresolved, std::memory_order_relaxed);
+}
+
+}  // namespace bcop::tensor::kernels

@@ -1,0 +1,13 @@
+// Scalar reference tier: portable C++ kernels (autovectorized through
+// `#pragma omp simd`). Every other tier is differentially tested against
+// this table -- it defines the semantics.
+#pragma once
+
+#include "tensor/kernels/kernel_api.hpp"
+
+namespace bcop::tensor::kernels {
+
+/// Always available, on every architecture.
+const KernelTable& scalar_table();
+
+}  // namespace bcop::tensor::kernels

@@ -13,6 +13,7 @@
 #include "nn/flatten.hpp"
 #include "nn/maxpool.hpp"
 #include "nn/sign_activation.hpp"
+#include "tensor/kernels/dispatch.hpp"
 #include "tensor/ops.hpp"
 #include "util/check.hpp"
 #include "util/thread_annotations.hpp"
@@ -45,11 +46,14 @@ BitMatrix pack_transposed(const Tensor& w) {
 
 }  // namespace
 
-/// Plans keyed by the exact input shape (rank + dims, batch included).
-/// std::map keeps node-stable references, so plan_for can hand out
-/// long-lived const references while the cache keeps growing.
+/// Plans keyed by the exact input shape (rank + dims, batch included)
+/// plus the active kernel dispatch tier -- a plan freezes one tier's
+/// function pointers, so flipping the override must compile (and cache) a
+/// fresh plan instead of replaying stale pointers. std::map keeps
+/// node-stable references, so plan_for can hand out long-lived const
+/// references while the cache keeps growing.
 struct XnorNetwork::PlanCache {
-  using Key = std::array<std::int64_t, 5>;
+  using Key = std::array<std::int64_t, 6>;
   util::Mutex mutex;
   std::map<Key, ExecutionPlan> plans BCOP_GUARDED_BY(mutex);
 };
@@ -184,6 +188,7 @@ const ExecutionPlan& XnorNetwork::plan_for(const Shape& input) const {
   PlanCache::Key key{};
   key[0] = input.rank();
   for (int i = 0; i < input.rank(); ++i) key[static_cast<std::size_t>(i) + 1] = input[i];
+  key[5] = static_cast<std::int64_t>(tensor::kernels::active_level());
   util::MutexLock lock(cache_->mutex);
   auto it = cache_->plans.find(key);
   if (it == cache_->plans.end())

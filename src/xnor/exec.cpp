@@ -13,6 +13,7 @@
 
 #include "parallel/thread_pool.hpp"
 #include "tensor/bit_span.hpp"
+#include "tensor/kernels/kernel_api.hpp"
 #include "util/check.hpp"
 
 #if BCOP_OBS
@@ -31,45 +32,31 @@ using tensor::ConstBitSpan;
 
 namespace {
 
-// ---- Folded threshold firing: int32 accumulators -> packed bits. ----
+// ---- Plan-frozen kernel replay (GEMM / thresholds / im2row). ----
+//
+// The kernel bodies live in src/tensor/kernels/ (scalar + SIMD tiers);
+// compile() froze one tier's chunk pointers into every step. Replay is a
+// ctx fill plus a pool fan-out -- no tier branch, no dispatch lookup.
 
-struct ThreshCtx {
-  const std::int32_t* acc;
-  const std::int32_t* thr;
-  const std::int32_t* inv;
-  BitSpan out;
-};
-
-void thresh_chunk(void* raw, std::int64_t lo, std::int64_t hi) {
-  const ThreshCtx& t = *static_cast<const ThreshCtx*>(raw);
-  const std::int64_t C = t.out.cols, wpr = t.out.wpr;
-  for (std::int64_t r = lo; r < hi; ++r) {
-    const std::int32_t* a = t.acc + r * C;
-    std::uint64_t* w = t.out.row(r);
-    // Branch-free compare mask per 64-channel word (see
-    // PreparedThresholds); per-channel fire() branches cost more than the
-    // XNOR GEMM itself.
-    for (std::int64_t word = 0; word < wpr; ++word) {
-      const std::int64_t base = word * 64;
-      const std::int64_t nb = std::min<std::int64_t>(64, C - base);
-      const std::int32_t* ab = a + base;
-      const std::int32_t* tp = t.thr + base;
-      const std::int32_t* ip = t.inv + base;
-      std::uint64_t bits = 0;
-#pragma omp simd reduction(| : bits)
-      for (std::int64_t i = 0; i < nb; ++i)
-        bits |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                    (ab[i] >= tp[i]) ^ ip[i]))
-                << i;
-      w[word] = bits;
-    }
-  }
+void run_gemm(const PlanStep& st, ConstBitSpan a, const std::uint64_t* bt,
+              std::int32_t* acc) {
+  tensor::kernels::GemmCtx ctx{a, bt, st.co, acc};
+  ThreadPool::global().for_chunks(0, a.rows, st.gemm_fn, &ctx);
 }
 
-void fire_thresholds(const std::int32_t* acc, const PreparedThresholds& prep,
-                     BitSpan out) {
-  ThreshCtx ctx{acc, prep.thr.data(), prep.inv.data(), out};
-  ThreadPool::global().for_chunks(0, out.rows, &thresh_chunk, &ctx);
+void fire_thresholds(const PlanStep& st, const std::int32_t* acc,
+                     const PreparedThresholds& prep, BitSpan out) {
+  tensor::kernels::ThreshCtx ctx{acc, prep.thr.data(), prep.inv.data(), out};
+  ThreadPool::global().for_chunks(0, out.rows, st.thresh_fn, &ctx);
+}
+
+void run_im2row(const PlanStep& st, ConstBitSpan pixels, BitSpan rows) {
+  // Geometry was validated when the plan was compiled, so the frozen chunk
+  // function is driven directly (the tensor::bit_im2row wrapper would
+  // re-check and re-resolve the dispatch tier on every replay).
+  tensor::kernels::Im2RowCtx ctx{pixels, rows, st.h,  st.w,
+                                 st.c,   st.k, st.ho, st.wo};
+  ThreadPool::global().for_chunks(0, rows.rows, st.im2row_fn, &ctx);
 }
 
 // ---- Fused first conv: quantized pixels -> conv -> threshold -> bits. ----
@@ -306,11 +293,11 @@ void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
         // Sub-phase split of the conv step: where does a binary conv
         // spend its time -- patch gather, XNOR GEMM, or threshold firing.
         const std::uint64_t ta = profile ? obs::now_ns() : 0;
-        tensor::bit_im2row(src, st.n, st.h, st.w, st.c, st.k, rows);
+        run_im2row(st, src, rows);
         const std::uint64_t tb = profile ? obs::now_ns() : 0;
-        tensor::binary_gemm_pre(rows, plan.wmat(st.wmat), st.co, acc);
+        run_gemm(st, rows, plan.wmat(st.wmat), acc);
         const std::uint64_t tc = profile ? obs::now_ns() : 0;
-        fire_thresholds(acc, plan.prep(st.prep), dst);
+        fire_thresholds(st, acc, plan.prep(st.prep), dst);
         if (profile) {
           const std::uint64_t td = obs::now_ns();
           slots->slot_ns[kObsSlotIm2row]->record(tb - ta);
@@ -318,9 +305,9 @@ void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
           slots->slot_ns[kObsSlotThresholds]->record(td - tc);
         }
 #else
-        tensor::bit_im2row(src, st.n, st.h, st.w, st.c, st.k, rows);
-        tensor::binary_gemm_pre(rows, plan.wmat(st.wmat), st.co, acc);
-        fire_thresholds(acc, plan.prep(st.prep), dst);
+        run_im2row(st, src, rows);
+        run_gemm(st, rows, plan.wmat(st.wmat), acc);
+        fire_thresholds(st, acc, plan.prep(st.prep), dst);
 #endif
         break;
       }
@@ -331,11 +318,11 @@ void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
         tensor::flatten_pixels(src, st.n, st.h * st.w, st.c, dst);
         break;
       case StepKind::kBinDense:
-        tensor::binary_gemm_pre(src, plan.wmat(st.wmat), st.co, acc);
-        fire_thresholds(acc, plan.prep(st.prep), dst);
+        run_gemm(st, src, plan.wmat(st.wmat), acc);
+        fire_thresholds(st, acc, plan.prep(st.prep), dst);
         break;
       case StepKind::kLogits:
-        tensor::binary_gemm_pre(src, plan.wmat(st.wmat), st.co, acc);
+        run_gemm(st, src, plan.wmat(st.wmat), acc);
         for (std::int64_t j = 0; j < st.acc_len; ++j)
           out[j] = static_cast<float>(acc[j]);
         break;

@@ -7,6 +7,7 @@
 
 #include "tensor/bit_span.hpp"
 #include "tensor/im2row.hpp"
+#include "tensor/kernels/dispatch.hpp"
 #include "xnor/engine.hpp"
 #include "xnor/exec.hpp"
 
@@ -62,7 +63,17 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
     plan.wmats_.push_back(std::move(bt));
     return static_cast<std::int64_t>(plan.wmats_.size()) - 1;
   };
+  // Resolve the dispatch tier ONCE per compile and freeze its kernel
+  // pointers into every step -- the interpreter replays them with no tier
+  // branch, and a plan never mixes tiers even if the override flips
+  // between compiles.
+  const tensor::kernels::KernelTable& kt = tensor::kernels::active_table();
+  plan.kernel_level_ = kt.level;
+
   auto emit = [&](PlanStep st) {
+    st.gemm_fn = kt.gemm;
+    st.thresh_fn = kt.thresh;
+    st.im2row_fn = kt.im2row;
     if (st.dst_half >= 0)
       half_bytes[st.dst_half] = std::max(
           half_bytes[st.dst_half], bits_bytes(st.out_rows, st.out_cols));

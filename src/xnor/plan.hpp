@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "tensor/kernels/kernel_api.hpp"
 #include "tensor/shape.hpp"
 #include "xnor/folding.hpp"
 
@@ -65,6 +66,13 @@ struct PlanStep {
   std::int64_t patch_rows = 0, patch_cols = 0, patch_wpr = 0;
   std::int64_t acc_len = 0;  // int32 accumulator length (GEMM steps)
   int src_half = -1, dst_half = -1;
+  // Kernel chunk functions frozen at compile time from the dispatch tier
+  // that was active then (tensor/kernels/dispatch.hpp). The interpreter
+  // replays these pointers directly -- no per-call tier branch, and an
+  // override flipped after compile cannot skew a plan mid-flight.
+  tensor::kernels::KernelFn gemm_fn = nullptr;
+  tensor::kernels::KernelFn thresh_fn = nullptr;
+  tensor::kernels::KernelFn im2row_fn = nullptr;
 };
 
 /// Per-*stage* shape metadata (aligned with XnorNetwork::stages()), for
@@ -118,6 +126,10 @@ class ExecutionPlan {
   /// hooks (-DBCOP_OBS=OFF); the interpreter records nothing then.
   const obs::StageSlots* obs_slots() const { return obs_slots_; }
 
+  /// The dispatch tier whose kernel pointers this plan froze at compile
+  /// time (serving artifacts and benches report it per plan).
+  tensor::kernels::KernelLevel kernel_level() const { return kernel_level_; }
+
  private:
   tensor::Shape input_, output_;
   std::vector<PlanStep> steps_;
@@ -128,6 +140,8 @@ class ExecutionPlan {
   std::size_t off_half_[2] = {0, 0};
   std::size_t off_patch_ = 0, off_acc_ = 0, off_floats_ = 0;
   const obs::StageSlots* obs_slots_ = nullptr;
+  tensor::kernels::KernelLevel kernel_level_ =
+      tensor::kernels::KernelLevel::kScalar;
 };
 
 /// Grow-only arena backing plan execution. One workspace serves any number

@@ -1,0 +1,2 @@
+// Fixture: AVX-512 kernel tier, token-free.
+void gemm_chunk_avx512(void*, long lo, long hi) { (void)lo; (void)hi; }

@@ -1,0 +1,2 @@
+// Fixture: scalar kernel tier, token-free.
+void gemm_chunk(void*, long lo, long hi) { (void)lo; (void)hi; }

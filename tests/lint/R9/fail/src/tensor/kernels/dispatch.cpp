@@ -1,0 +1,3 @@
+// Fixture: kernel dispatch, token-free (atomics only).
+#include <atomic>
+std::atomic<int> g_level{-1};

@@ -1,0 +1,2 @@
+// Fixture: AVX2 kernel tier, token-free.
+void gemm_chunk_avx2(void*, long lo, long hi) { (void)lo; (void)hi; }

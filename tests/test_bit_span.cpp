@@ -141,11 +141,16 @@ TEST(BitSpan, FlattenMatchesFloatOrderOnDirtyBuffer) {
   }
 }
 
-TEST(BitSpan, GemmShapeMismatchIsGuarded) {
+TEST(BitSpanDeathTest, Im2rowShapeMismatchAborts) {
+  // Span-kernel contracts abort via BCOP_CHECK rather than throw: a throw
+  // would pull exception machinery into the allocation-free hot objects
+  // (scripts/audit_hot_path.py would flag it), and a shape mismatch here
+  // is a caller bug, not a recoverable condition.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   BitMatrix pixels(4, 3);
   DirtyBits bad(5, 27);  // wrong row count for 1x2x2 im2row
-  EXPECT_THROW(bit_im2row(span_of(pixels), 1, 2, 2, 3, 3, bad.span),
-               std::invalid_argument);
+  EXPECT_DEATH(bit_im2row(span_of(pixels), 1, 2, 2, 3, 3, bad.span),
+               "bit_im2row: kernel 3 larger than input 2x2");
 }
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include "core/architecture.hpp"
 #include "core/predictor.hpp"
 #include "obs/stage_profiler.hpp"
+#include "tensor/kernels/dispatch.hpp"
 #include "tensor/tensor.hpp"
 #include "util/allocmeter.hpp"
 #include "util/rng.hpp"
@@ -59,23 +60,36 @@ TEST_P(ZeroAllocPrototype, ForwardBatchSteadyStateIsAllocationFree) {
   nn::Sequential model = core::build_bnn(GetParam(), 29);
   const xnor::XnorNetwork net = xnor::XnorNetwork::fold(model);
 
-  for (const std::int64_t batch : {std::int64_t{1}, std::int64_t{4}}) {
-    const Tensor x = random_images(batch, 1000 + static_cast<std::uint64_t>(batch));
-    xnor::Workspace ws;
-    Tensor out;
-    net.forward_batch(x, ws, out);  // warm: compiles plan, grows arena
-    const Tensor expected = out;
+  // The contract holds on EVERY kernel dispatch tier this host can run,
+  // not just the detected best: a SIMD tier that allocates (or a scalar
+  // fallback that regresses) must fail here the same way.
+  namespace kn = tensor::kernels;
+  for (int lvl = 0; lvl < kn::kKernelLevelCount; ++lvl) {
+    const auto level = static_cast<kn::KernelLevel>(lvl);
+    if (!kn::level_available(level)) continue;
+    kn::set_level_override(level);
+    for (const std::int64_t batch : {std::int64_t{1}, std::int64_t{4}}) {
+      const Tensor x =
+          random_images(batch, 1000 + static_cast<std::uint64_t>(batch));
+      xnor::Workspace ws;
+      Tensor out;
+      net.forward_batch(x, ws, out);  // warm: compiles plan, grows arena
+      const Tensor expected = out;
 
-    const std::uint64_t mark = util::alloc_count();
-    net.forward_batch(x, ws, out);
-    net.forward_batch(x, ws, out);
-    const std::uint64_t allocs = util::alloc_count() - mark;
-    EXPECT_EQ(allocs, 0u) << core::arch_name(GetParam()) << " batch " << batch
-                          << ": steady-state forward_batch allocated";
+      const std::uint64_t mark = util::alloc_count();
+      net.forward_batch(x, ws, out);
+      net.forward_batch(x, ws, out);
+      const std::uint64_t allocs = util::alloc_count() - mark;
+      EXPECT_EQ(allocs, 0u)
+          << core::arch_name(GetParam()) << " batch " << batch << " tier "
+          << kn::kernel_level_name(level)
+          << ": steady-state forward_batch allocated";
 
-    for (std::int64_t i = 0; i < out.numel(); ++i)
-      ASSERT_EQ(out[i], expected[i]) << "logit drift at " << i;
+      for (std::int64_t i = 0; i < out.numel(); ++i)
+        ASSERT_EQ(out[i], expected[i]) << "logit drift at " << i;
+    }
   }
+  kn::clear_level_override();
 }
 
 TEST_P(ZeroAllocPrototype, PredictorClassifyBatchSteadyStateIsAllocationFree) {
