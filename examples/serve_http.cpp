@@ -1,0 +1,83 @@
+// BinaryCoP as a network service: the full edge-deployment wire.
+//
+//   camera / curl --> net::HttpServer --> serve::BatchingServer --> BNN
+//
+// Starts the HTTP/1.1 front-end (src/net) over a batching server and
+// serves until the requested duration elapses (or forever with
+// --duration-s 0, until stdin closes). Endpoints, payload format and
+// shedding semantics are documented in docs/networking.md; quick check:
+//
+//   # classify a raw 32x32x3 u8 image (3072 bytes)
+//   head -c 3072 /dev/urandom > /tmp/img.raw
+//   curl -s --data-binary @/tmp/img.raw http://127.0.0.1:8080/v1/classify
+//   curl -s http://127.0.0.1:8080/healthz
+//   curl -s http://127.0.0.1:8080/metrics | grep bcop_net
+//
+// Knobs: --port N (default 8080), --arch cnv|ncnv|ucnv, --untrained
+// (skip load/quick-train; weights random, latency representative),
+// --workers N (batcher), --http-workers N, --watermark N (503 above this
+// queue depth; 0 sheds everything, -1 disables), --duration-s N.
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "core/architecture.hpp"
+#include "core/predictor.hpp"
+#include "example_util.hpp"
+#include "net/http_server.hpp"
+#include "serve/batcher.hpp"
+#include "util/args.hpp"
+
+using namespace bcop;
+
+namespace {
+
+core::ArchitectureId parse_arch(const std::string& name) {
+  if (name == "cnv") return core::ArchitectureId::kCnv;
+  if (name == "ncnv") return core::ArchitectureId::kNCnv;
+  if (name == "ucnv") return core::ArchitectureId::kMicroCnv;
+  throw std::invalid_argument("unknown --arch '" + name +
+                              "' (expected cnv|ncnv|ucnv)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv, {"untrained"});
+  const auto arch = parse_arch(args.get("arch", "ucnv"));
+
+  nn::Sequential model =
+      args.get_flag("untrained")
+          ? core::build_bnn(arch, /*seed=*/7)
+          : examples::load_or_train(arch, examples::model_path(arch));
+  const core::Predictor predictor(std::move(model));
+
+  serve::BatcherConfig bcfg;
+  bcfg.workers = static_cast<unsigned>(args.get_int("workers", 2));
+  serve::BatchingServer batcher(predictor, bcfg);
+
+  net::HttpServerConfig hcfg;
+  hcfg.port = static_cast<std::uint16_t>(args.get_int("port", 8080));
+  hcfg.workers = static_cast<unsigned>(args.get_int("http-workers", 2));
+  hcfg.shed_watermark = args.get_int("watermark", 48);
+  net::HttpServer http(batcher, hcfg);
+
+  std::printf("serving on http://127.0.0.1:%u\n", http.port());
+  std::printf("  POST /v1/classify  (3072 u8 or 12288 f32 bytes)\n");
+  std::printf("  GET  /healthz      queue state\n");
+  std::printf("  GET  /metrics      Prometheus export\n");
+  std::printf("shed watermark: %lld, batch workers: %u, http workers: %u\n",
+              static_cast<long long>(hcfg.shed_watermark), bcfg.workers,
+              hcfg.workers);
+
+  const int duration_s = args.get_int("duration-s", 0);
+  if (duration_s > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(duration_s));
+  } else {
+    std::printf("press Ctrl-D (EOF) to stop\n");
+    while (std::getchar() != EOF) {
+    }
+  }
+  std::printf("shutting down\n");
+  return 0;
+}

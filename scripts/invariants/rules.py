@@ -1,4 +1,4 @@
-"""The repo's invariant rules, R1..R9, as data.
+"""The repo's invariant rules, R1..R10, as data.
 
 Each rule is a Rule value built either from a declarative constructor in
 engine.py (token confinement, token-free zone, include hygiene) or from a
@@ -24,6 +24,16 @@ BAD_RNG = re.compile(
 COORD_USE = re.compile(
     r"std::condition_variable\b|std::future\b|std::promise\b"
     r"|#include\s*<condition_variable>|#include\s*<future>"
+)
+
+# R10: raw sockets and readiness syscalls. Confined to src/net/ so every
+# byte of untrusted network input funnels through the bounded parser and
+# admission control there -- a stray socket() elsewhere is an unaudited
+# ingress path.
+SOCKET_USE = re.compile(
+    r"#\s*include\s*<(?:sys/socket\.h|sys/epoll\.h|poll\.h|sys/poll\.h"
+    r"|netinet/[^>]+|arpa/inet\.h|sys/un\.h|netdb\.h)>"
+    r"|::socket\s*\(|::accept4?\s*\(|::epoll_(?:create1?|ctl|wait)\s*\("
 )
 
 # ---- R6/R7 token sets ------------------------------------------------------
@@ -169,7 +179,7 @@ RULES: list[Rule] = [
         "R5", "blocking coordination confined to src/parallel/ + src/serve/",
         "every wait/notify path must be exercised by the TSan stress "
         "suite via ThreadPool / BatchingServer",
-        COORD_USE, ("src/parallel/", "src/serve/")),
+        COORD_USE, ("src/parallel/", "src/serve/", "src/net/")),
     engine.forbidden_tokens_in_files(
         "R6", "plan interpreter is an allocation-free zone",
         "the allocating prologue belongs in plan.cpp / engine.cpp; "
@@ -190,16 +200,25 @@ RULES: list[Rule] = [
         "locking, stream or type-erasure machinery even transitively "
         "inlined -- the binary audit backs this up at the symbol level",
         {
-            "src/xnor/exec.cpp": ("mutex", "iostream", "functional"),
-            "src/obs/metrics.hpp": ("mutex", "iostream", "functional"),
-            "src/tensor/bit_span.cpp": ("mutex", "iostream", "functional"),
+            "src/xnor/exec.cpp":
+                ("mutex", "iostream", "functional", "sys/socket.h", "poll.h"),
+            "src/obs/metrics.hpp":
+                ("mutex", "iostream", "functional", "sys/socket.h", "poll.h"),
+            "src/tensor/bit_span.cpp":
+                ("mutex", "iostream", "functional", "sys/socket.h", "poll.h"),
             "src/tensor/kernels/scalar.cpp":
-                ("mutex", "iostream", "functional"),
+                ("mutex", "iostream", "functional", "sys/socket.h", "poll.h"),
             "src/tensor/kernels/avx2.cpp":
-                ("mutex", "iostream", "functional"),
+                ("mutex", "iostream", "functional", "sys/socket.h", "poll.h"),
             "src/tensor/kernels/avx512.cpp":
-                ("mutex", "iostream", "functional"),
+                ("mutex", "iostream", "functional", "sys/socket.h", "poll.h"),
             "src/tensor/kernels/dispatch.cpp":
-                ("mutex", "iostream", "functional"),
+                ("mutex", "iostream", "functional", "sys/socket.h", "poll.h"),
         }),
+    engine.token_confinement(
+        "R10", "raw sockets and readiness syscalls confined to src/net/",
+        "every byte of untrusted network input must enter through the "
+        "bounded parser and admission control in src/net/; a socket "
+        "opened elsewhere is an unaudited ingress path",
+        SOCKET_USE, ("src/net/",), comment_stripped=True),
 ]

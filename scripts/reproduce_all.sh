@@ -15,7 +15,7 @@ then run every bench binary in build/bench/. Run from the repo root.
 Stages are controlled by environment variables (all default off/full):
   QUICK=1            reduced training schedules (minutes instead of hours)
   STATIC_ANALYSIS=1  also run scripts/static_analysis.sh: clang-tidy, the
-                     R1-R9 repo-invariant lint plus its fixture self-test,
+                     R1-R10 repo-invariant lint plus its fixture self-test,
                      and the binary-level hot-path audit (nm/objdump over
                      the interpreter and metric-recording objects); the
                      concurrency contracts themselves compile-check under
@@ -31,6 +31,13 @@ Stages are controlled by environment variables (all default off/full):
                      bench re-runs with --metrics and the stage fails if
                      the Prometheus snapshot comes out empty (see
                      docs/observability.md)
+  NET_BENCH=1        drive the HTTP front-end with the open-loop load
+                     generator (bench_loadgen): a baseline phase at the
+                     default offered rate plus a 2x overload phase that
+                     must shed gracefully (503s, zero losses); the JSON
+                     artifact lands in bench_artifacts/loadgen.json and
+                     the stage fails on any lost/timed-out request or a
+                     broken conservation identity (see docs/networking.md)
   KERNEL_BENCH=1     run the per-tier kernel micro-benchmarks (the
                      BM_Kernel* rows of bench_micro_kernels: scalar vs
                      avx2 vs avx512 popcount GEMM / threshold / im2row on
@@ -119,6 +126,16 @@ if [[ "${METRICS_BENCH:-0}" == "1" ]]; then
   fi
 else
   note "metrics_bench: skipped (set METRICS_BENCH=1 to exercise the observability exporters)"
+fi
+
+if [[ "${NET_BENCH:-0}" == "1" ]]; then
+  if build/bench/bench_loadgen --out bench_artifacts/loadgen.json; then
+    note "net_bench (bench_loadgen): PASS"
+  else
+    note "net_bench (bench_loadgen): FAIL"
+  fi
+else
+  note "net_bench: skipped (set NET_BENCH=1 to load-test the HTTP front-end)"
 fi
 
 if [[ "${KERNEL_BENCH:-0}" == "1" ]]; then

@@ -1,0 +1,176 @@
+#include "net/client.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+
+#include <cstdio>
+
+namespace bcop::net {
+
+namespace {
+
+std::size_t find_crlf(const char* data, std::size_t len, std::size_t from) {
+  for (std::size_t i = from; i + 1 < len; ++i)
+    if (data[i] == '\r' && data[i + 1] == '\n') return i;
+  return len;
+}
+
+}  // namespace
+
+ParseStatus parse_response(const char* data, std::size_t len,
+                           HttpResponse& out, std::size_t& consumed) {
+  out = HttpResponse{};
+  consumed = 0;
+
+  const std::size_t line_end = find_crlf(data, len, 0);
+  if (line_end == len)
+    return len > 8192 ? ParseStatus::kBadRequest : ParseStatus::kNeedMore;
+  const std::string_view line(data, line_end);
+  // "HTTP/1.x NNN reason"
+  if (line.size() < 12 || line.substr(0, 7) != "HTTP/1." ||
+      line[8] != ' ')
+    return ParseStatus::kBadRequest;
+  int status = 0;
+  for (std::size_t i = 9; i < 12; ++i) {
+    if (line[i] < '0' || line[i] > '9') return ParseStatus::kBadRequest;
+    status = status * 10 + (line[i] - '0');
+  }
+  out.status = status;
+  out.keep_alive = line[7] != '0';
+
+  std::size_t pos = line_end + 2;
+  for (;;) {
+    const std::size_t eol = find_crlf(data, len, pos);
+    if (eol == len) return ParseStatus::kNeedMore;
+    if (eol == pos) {  // blank line
+      pos += 2;
+      break;
+    }
+    const std::string_view field(data + pos, eol - pos);
+    const std::size_t colon = field.find(':');
+    if (colon == std::string_view::npos) return ParseStatus::kBadRequest;
+    std::string_view name = field.substr(0, colon);
+    std::string_view value = field.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t'))
+      value.remove_prefix(1);
+    while (!value.empty() && (value.back() == ' ' || value.back() == '\t'))
+      value.remove_suffix(1);
+    if (iequals(name, "content-length")) {
+      std::size_t parsed = 0;
+      for (const char c : value) {
+        if (c < '0' || c > '9') return ParseStatus::kBadRequest;
+        parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+      }
+      out.content_length = parsed;
+    } else if (iequals(name, "connection")) {
+      if (iequals(value, "close")) out.keep_alive = false;
+      else if (iequals(value, "keep-alive")) out.keep_alive = true;
+    }
+    pos = eol + 2;
+  }
+
+  if (out.status == 100) {  // interim: no body regardless of headers
+    consumed = pos;
+    return ParseStatus::kOk;
+  }
+  if (len < pos + out.content_length) return ParseStatus::kNeedMore;
+  out.body.assign(data + pos, out.content_length);
+  consumed = pos + out.content_length;
+  return ParseStatus::kOk;
+}
+
+bool BlockingClient::connect(const std::string& host, std::uint16_t port,
+                             int timeout_ms) {
+  close();
+  fd_ = connect_tcp(host, port);
+  if (!fd_.valid()) return false;
+  set_nodelay(fd_.get());
+  set_io_timeout(fd_.get(), timeout_ms);
+  return true;
+}
+
+void BlockingClient::close() {
+  fd_.reset();
+  buf_.clear();
+}
+
+bool BlockingClient::send_raw(std::string_view bytes) {
+  if (!fd_.valid()) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_.get(), bytes.data() + off,
+                             bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool BlockingClient::read_response(HttpResponse& out) {
+  if (!fd_.valid()) return false;
+  char chunk[8192];
+  for (;;) {
+    std::size_t consumed = 0;
+    const ParseStatus st =
+        parse_response(buf_.data(), buf_.size(), out, consumed);
+    if (st == ParseStatus::kOk) {
+      buf_.erase(0, consumed);
+      if (out.status == 100) continue;  // interim; keep reading
+      if (!out.keep_alive) fd_.reset();  // server will close; mirror it
+      return true;
+    }
+    if (st != ParseStatus::kNeedMore) {
+      close();
+      return false;
+    }
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close();  // peer closed mid-response or the read timed out
+    return false;
+  }
+}
+
+std::string format_request(std::string_view method, std::string_view target,
+                           std::string_view body,
+                           std::string_view extra_headers) {
+  std::string req;
+  req.reserve(128 + body.size() + extra_headers.size());
+  req.append(method);
+  req.append(" ");
+  req.append(target);
+  req.append(" HTTP/1.1\r\nHost: 127.0.0.1\r\n");
+  if (!body.empty() || iequals(method, "POST") || iequals(method, "PUT")) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "Content-Length: %zu\r\n", body.size());
+    req.append(buf);
+  }
+  req.append(extra_headers);
+  req.append("\r\n");
+  req.append(body);
+  return req;
+}
+
+bool BlockingClient::send_request(std::string_view method,
+                                  std::string_view target,
+                                  std::string_view body,
+                                  std::string_view extra_headers) {
+  return send_raw(format_request(method, target, body, extra_headers));
+}
+
+bool BlockingClient::request(std::string_view method, std::string_view target,
+                             std::string_view body, HttpResponse& out,
+                             std::string_view extra_headers) {
+  return send_request(method, target, body, extra_headers) &&
+         read_response(out);
+}
+
+}  // namespace bcop::net

@@ -1,0 +1,82 @@
+// Blocking loopback HTTP client for tests plus the shared response parser.
+//
+// The protocol battery (tests/test_net_http.cpp) needs byte-level control:
+// send half a request and stall, dribble one byte at a time, pipeline three
+// requests in a single write. So the client exposes the raw socket verbs
+// (send_raw / read_response) and builds convenience request() on top of
+// them, instead of hiding the wire behind a request API.
+//
+// parse_response is the single minimal HTTP/1.1 response scanner in the
+// repo; the non-blocking load generator (net/loadgen.cpp) reuses it over
+// its own buffers so both consumers agree on framing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "net/http_parser.hpp"
+#include "net/socket.hpp"
+
+namespace bcop::net {
+
+/// One parsed response. `body` is copied out (responses are small JSON or
+/// metrics text), so it stays valid as the connection buffer mutates.
+struct HttpResponse {
+  int status = 0;
+  bool keep_alive = true;
+  std::size_t content_length = 0;
+  std::string body;
+};
+
+/// Scan [data, data + len) for one complete response. kOk sets `out` and
+/// `consumed` (status line + headers + body bytes); kNeedMore asks for more
+/// input; kBadRequest means the peer is not speaking HTTP. Only
+/// Content-Length framing is understood -- matching what HttpServer emits.
+ParseStatus parse_response(const char* data, std::size_t len,
+                           HttpResponse& out, std::size_t& consumed);
+
+/// Blocking client over one TCP connection (SO_RCVTIMEO-bounded reads).
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+
+  /// Connect to host:port; false on failure. Reconnects after close().
+  bool connect(const std::string& host, std::uint16_t port,
+               int timeout_ms = 5000);
+  bool connected() const { return fd_.valid(); }
+  void close();
+
+  /// Write exactly these bytes (looping over short writes). False = the
+  /// peer closed or errored; the connection is closed.
+  bool send_raw(std::string_view bytes);
+
+  /// Read until one complete response is buffered (or timeout / close /
+  /// garbage). Consumes the response; pipelined follow-ups stay buffered
+  /// for the next call. "100 Continue" interim responses are skipped.
+  bool read_response(HttpResponse& out);
+
+  /// Build and send one request. Adds Content-Length (when body is
+  /// non-empty or the method takes a body) and Host; callers append any
+  /// extra headers as full "Name: value\r\n" lines.
+  bool send_request(std::string_view method, std::string_view target,
+                    std::string_view body,
+                    std::string_view extra_headers = {});
+
+  /// send_request + read_response in one step.
+  bool request(std::string_view method, std::string_view target,
+               std::string_view body, HttpResponse& out,
+               std::string_view extra_headers = {});
+
+ private:
+  Fd fd_;
+  std::string buf_;  // bytes read but not yet consumed as responses
+};
+
+/// The request text send_request() would write, for tests that dribble or
+/// pipeline raw bytes themselves.
+std::string format_request(std::string_view method, std::string_view target,
+                           std::string_view body,
+                           std::string_view extra_headers = {});
+
+}  // namespace bcop::net

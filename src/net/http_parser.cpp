@@ -1,0 +1,163 @@
+#include "net/http_parser.hpp"
+
+namespace bcop::net {
+
+namespace {
+
+bool is_tchar(char c) {
+  // RFC 7230 token characters (header names, methods).
+  if (c >= 'a' && c <= 'z') return true;
+  if (c >= 'A' && c <= 'Z') return true;
+  if (c >= '0' && c <= '9') return true;
+  switch (c) {
+    case '!': case '#': case '$': case '%': case '&': case '\'': case '*':
+    case '+': case '-': case '.': case '^': case '_': case '`': case '|':
+    case '~':
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_ctl(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  return u < 0x20 || u == 0x7f;
+}
+
+char ascii_lower(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+/// Find "\r\n" in [from, len) of data; npos-like len when absent.
+std::size_t find_crlf(const char* data, std::size_t len, std::size_t from) {
+  for (std::size_t i = from; i + 1 < len; ++i)
+    if (data[i] == '\r' && data[i + 1] == '\n') return i;
+  return len;
+}
+
+std::string_view trim_ows(std::string_view v) {
+  while (!v.empty() && (v.front() == ' ' || v.front() == '\t'))
+    v.remove_prefix(1);
+  while (!v.empty() && (v.back() == ' ' || v.back() == '\t'))
+    v.remove_suffix(1);
+  return v;
+}
+
+}  // namespace
+
+bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
+  return true;
+}
+
+ParseStatus parse_request(const char* data, std::size_t len,
+                          const ParserLimits& limits, ParsedRequest& out) {
+  out = ParsedRequest{};
+
+  // --- Request line --------------------------------------------------------
+  const std::size_t scan_cap = len < limits.max_header_bytes
+                                   ? len
+                                   : limits.max_header_bytes;
+  std::size_t line_end = find_crlf(data, scan_cap, 0);
+  if (line_end == scan_cap) {
+    // No CRLF within the scan window. If the window is already at the
+    // header cap the line can never terminate legally; a lone '\n' start
+    // or embedded control bytes are malformed regardless of more input.
+    for (std::size_t i = 0; i < scan_cap; ++i)
+      if (data[i] != '\r' && is_ctl(data[i])) return ParseStatus::kBadRequest;
+    return len >= limits.max_header_bytes ? ParseStatus::kHeadersTooLarge
+                                          : ParseStatus::kNeedMore;
+  }
+  const std::string_view line(data, line_end);
+
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos || sp1 == 0)
+    return ParseStatus::kBadRequest;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string_view::npos || sp2 == sp1 + 1)
+    return ParseStatus::kBadRequest;
+  if (line.find(' ', sp2 + 1) != std::string_view::npos)
+    return ParseStatus::kBadRequest;
+
+  out.method = line.substr(0, sp1);
+  out.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::string_view version = line.substr(sp2 + 1);
+
+  for (const char c : out.method)
+    if (!is_tchar(c)) return ParseStatus::kBadRequest;
+  if (out.target.empty() || out.target.front() != '/')
+    return ParseStatus::kBadRequest;
+  for (const char c : out.target)
+    if (is_ctl(c)) return ParseStatus::kBadRequest;
+  if (version.size() != 8 || version.substr(0, 7) != "HTTP/1." ||
+      (version[7] != '0' && version[7] != '1'))
+    return ParseStatus::kBadRequest;
+  out.version_minor = version[7] - '0';
+  out.keep_alive = out.version_minor >= 1;
+
+  // --- Header fields -------------------------------------------------------
+  bool have_content_length = false;
+  std::size_t headers = 0;
+  std::size_t pos = line_end + 2;
+  for (;;) {
+    if (pos >= limits.max_header_bytes) return ParseStatus::kHeadersTooLarge;
+    const std::size_t eol = find_crlf(data, scan_cap, pos);
+    if (eol == scan_cap) {
+      for (std::size_t i = pos; i < scan_cap; ++i)
+        if (data[i] != '\r' && is_ctl(data[i]) && data[i] != '\t')
+          return ParseStatus::kBadRequest;
+      return len >= limits.max_header_bytes ? ParseStatus::kHeadersTooLarge
+                                            : ParseStatus::kNeedMore;
+    }
+    if (eol == pos) {  // blank line: headers done
+      pos += 2;
+      break;
+    }
+    if (++headers > limits.max_headers) return ParseStatus::kHeadersTooLarge;
+
+    const std::string_view field(data + pos, eol - pos);
+    const std::size_t colon = field.find(':');
+    if (colon == std::string_view::npos || colon == 0)
+      return ParseStatus::kBadRequest;
+    const std::string_view name = field.substr(0, colon);
+    for (const char c : name)
+      if (!is_tchar(c)) return ParseStatus::kBadRequest;  // incl. no SP
+    const std::string_view value = trim_ows(field.substr(colon + 1));
+    for (const char c : value)
+      if (is_ctl(c) && c != '\t') return ParseStatus::kBadRequest;
+
+    if (iequals(name, "content-length")) {
+      if (value.empty()) return ParseStatus::kBadRequest;
+      std::size_t parsed = 0;
+      for (const char c : value) {
+        if (c < '0' || c > '9') return ParseStatus::kBadRequest;
+        parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+        if (parsed > limits.max_body) return ParseStatus::kBodyTooLarge;
+      }
+      if (have_content_length && parsed != out.content_length)
+        return ParseStatus::kBadRequest;  // conflicting duplicates
+      have_content_length = true;
+      out.content_length = parsed;
+    } else if (iequals(name, "transfer-encoding")) {
+      return ParseStatus::kUnsupported;
+    } else if (iequals(name, "connection")) {
+      if (iequals(value, "close")) out.keep_alive = false;
+      else if (iequals(value, "keep-alive")) out.keep_alive = true;
+    } else if (iequals(name, "expect")) {
+      if (iequals(value, "100-continue")) out.expect_continue = true;
+      else return ParseStatus::kBadRequest;  // 417-class; reject simply
+    }
+    pos = eol + 2;
+  }
+
+  // --- Body ----------------------------------------------------------------
+  out.header_end = pos;
+  if (len < pos + out.content_length) return ParseStatus::kNeedMore;
+  out.body = std::string_view(data + pos, out.content_length);
+  out.consumed = pos + out.content_length;
+  return ParseStatus::kOk;
+}
+
+}  // namespace bcop::net

@@ -1,0 +1,78 @@
+// Bounded HTTP/1.1 request parser: fixed limits, no allocation, no state.
+//
+// The parser is a pure function over a caller-owned byte range: it scans
+// [data, data + len) for one complete request and either produces a
+// ParsedRequest whose string_views point back into that range, or reports
+// exactly why it cannot (need more bytes / protocol error / limit hit).
+// This is the fixed-allocation idiom from the Boost.Beast exemplar the
+// ROADMAP names, without the dependency: the connection owns one bounded
+// buffer, the parser never copies out of it and never reads past `len`
+// (tests/test_net_parser.cpp proves the bound on a torn-input corpus with
+// exact-sized ASan allocations).
+//
+// Re-parsing from scratch on every arrival of bytes keeps the parser
+// stateless -- byte-dribbled and pipelined input cannot desynchronize a
+// state machine that has no state. Header sections are capped at
+// max_header_bytes, so the worst-case rescan is bounded and tiny compared
+// to one inference.
+//
+// Deliberately unsupported (answered at the server layer, never routed to
+// the engine): Transfer-Encoding (kUnsupported -> 501), header sections
+// over the limit (kHeadersTooLarge -> 431), bodies over the limit
+// (kBodyTooLarge -> 413), anything malformed (kBadRequest -> 400).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace bcop::net {
+
+struct ParserLimits {
+  /// Cap on request line + headers + blank line, in bytes.
+  std::size_t max_header_bytes = 8192;
+  /// Cap on the number of header fields.
+  std::size_t max_headers = 64;
+  /// Cap on Content-Length (the server sets this just above its largest
+  /// accepted payload, so oversized uploads are refused before any read).
+  std::size_t max_body = 1 << 20;
+};
+
+enum class ParseStatus {
+  kNeedMore,         // prefix of a valid request; feed more bytes
+  kOk,               // one complete request parsed
+  kBadRequest,       // malformed request line / header syntax -> 400
+  kHeadersTooLarge,  // header section exceeds max_header_bytes -> 431
+  kBodyTooLarge,     // Content-Length exceeds max_body -> 413
+  kUnsupported,      // Transfer-Encoding etc. -> 501
+};
+
+/// One parsed request. Views alias the input buffer passed to
+/// parse_request and are invalidated by any mutation of it.
+struct ParsedRequest {
+  std::string_view method;   // e.g. "GET"
+  std::string_view target;   // e.g. "/v1/classify"
+  int version_minor = 1;     // HTTP/1.<n>
+  bool keep_alive = true;    // Connection / version default
+  bool expect_continue = false;
+  std::size_t content_length = 0;
+  std::string_view body;     // content_length bytes
+  /// Offset just past the header-terminating CRLFCRLF. Valid whenever the
+  /// header section parsed, including kNeedMore-for-body -- the server
+  /// uses it to emit "100 Continue" before the body arrives.
+  std::size_t header_end = 0;
+  /// Total bytes consumed by this request (header_end + content_length);
+  /// the connection drops this prefix and re-parses for pipelining.
+  std::size_t consumed = 0;
+};
+
+/// Scan for one complete request. On kNeedMore with a complete header
+/// section, the header-derived fields (method/target/keep_alive/
+/// expect_continue/content_length/header_end) are already filled in.
+ParseStatus parse_request(const char* data, std::size_t len,
+                          const ParserLimits& limits, ParsedRequest& out);
+
+/// Case-insensitive ASCII equality (header names, token values).
+bool iequals(std::string_view a, std::string_view b);
+
+}  // namespace bcop::net

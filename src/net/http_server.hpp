@@ -1,0 +1,137 @@
+// HTTP/1.1 serving front-end over serve::BatchingServer.
+//
+// The paper deploys BinaryCoP as an edge service at building entrances;
+// this is the wire between a camera fleet and the 11.9k-FPS engine. The
+// design goal is that *nothing a client does can park a server thread or
+// touch the engine without admission*:
+//
+//   - A pool of poll()-based event workers (tasks on a parallel::ThreadPool,
+//     repo rule R2) each own the connections they accept. There is no
+//     shared connection state, so the workers need no locks at all.
+//   - Per-connection read/write buffers are bounded; the stateless parser
+//     (net/http_parser.hpp) enforces header/body limits before a single
+//     byte reaches the engine.
+//   - Classification is admitted through BatchingServer::try_submit with a
+//     configurable queue-depth watermark: at or above it the server
+//     answers 503 immediately (load shedding, driving the existing
+//     bcop_serve_rejected_total counter) instead of queueing. The worker
+//     then *polls* the returned future between socket events -- it never
+//     blocks on it -- so one worker can keep hundreds of keep-alive
+//     connections in flight at batch-friendly depths.
+//   - Each connection carries an ordered pipeline of response slots
+//     (immediate text or a pending engine future), so pipelined HTTP/1.1
+//     clients keep the batching queue fed to useful depths while responses
+//     still go out strictly in request order.
+//   - Malformed input gets 400/413/431/501 without touching the engine;
+//     idle and stuck-mid-request connections are reaped by per-connection
+//     timeouts (slowloris defense).
+//
+// Endpoints (docs/networking.md has curl examples):
+//   POST /v1/classify  raw image payload -> class + confidence JSON
+//   GET  /metrics      obs::export_prometheus of the process registry
+//   GET  /healthz      queue depth / watermark / shedding state JSON
+//
+// The classify payload is the raw [S, S, 3] image, either S*S*3 bytes of
+// interleaved RGB u8 (mapped onto the same 8-bit grid as
+// facegen::MaskedFaceDataset::quantize_pixel) or S*S*3 float32
+// little-endian values already in [-1, 1]. Anything else is 400; larger
+// than the float payload is 413.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "net/http_parser.hpp"
+#include "net/socket.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/batcher.hpp"
+#include "tensor/shape.hpp"
+
+namespace bcop::net {
+
+struct HttpServerConfig {
+  /// Port to bind on 127.0.0.1 (0 = ephemeral; read back via port()).
+  std::uint16_t port = 0;
+  /// Event workers. Each owns its accepted connections outright.
+  unsigned workers = 2;
+  int backlog = 128;
+  std::size_t max_connections_per_worker = 256;
+  /// Admission watermark: POST /v1/classify answers 503 while
+  /// BatchingServer::queue_depth() >= shed_watermark (0 sheds everything;
+  /// < 0 disables the watermark and sheds only on a full queue).
+  std::int64_t shed_watermark = 48;
+  /// Close connections with no traffic for this long.
+  std::chrono::milliseconds idle_timeout{5000};
+  /// 408 + close connections stuck mid-request for this long (slowloris).
+  std::chrono::milliseconds read_timeout{2000};
+  /// Header-section cap handed to the parser.
+  std::size_t max_header_bytes = 8192;
+  std::size_t max_headers = 64;
+  /// Responses in flight per connection (HTTP/1.1 pipelining depth).
+  /// Beyond it the worker stops parsing and lets TCP push back. Depth
+  /// matters for load shedding: in-flight requests are what fills the
+  /// batching queue past the watermark, so a deep pipeline is how an
+  /// overloaded server sees 503-able backlog instead of socket buffers
+  /// silently queueing it.
+  std::size_t max_pipeline = 64;
+};
+
+class HttpServer {
+ public:
+  /// Binds and starts serving immediately. The BatchingServer (and the
+  /// predictor behind it) must outlive this object. Throws
+  /// std::runtime_error when the port cannot be bound.
+  HttpServer(serve::BatchingServer& server, HttpServerConfig config);
+  /// Stops accepting, closes every connection, joins the workers.
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (the ephemeral one when config.port was 0).
+  std::uint16_t port() const { return port_; }
+  const HttpServerConfig& config() const { return config_; }
+
+ private:
+  struct Connection;
+  struct Metrics;
+
+  void worker_loop();
+  /// Accept as many pending connections as the worker has room for.
+  void accept_ready(std::vector<Connection>& conns);
+  /// Drain readable bytes into the bounded input buffer. False = close.
+  bool read_some(Connection& conn);
+  /// Parse / admit / respond until blocked on input or an engine future.
+  void step(Connection& conn);
+  /// Route one parsed request (may leave a pending engine future).
+  void handle_request(Connection& conn, const ParsedRequest& req);
+  void handle_classify(Connection& conn, const ParsedRequest& req);
+  /// Queue an already-rendered response slot and do the bookkeeping
+  /// (status-class counters, keep-alive vs close).
+  void respond(Connection& conn, int status, std::string_view content_type,
+               std::string_view body, bool keep_alive,
+               std::string_view extra_headers = {});
+  /// Move completed response slots to the output buffer, in request order.
+  void drain_ready(Connection& conn);
+  /// Bump the responses_{2,4,5}xx counter for this status class.
+  static void count_status(int status);
+  /// Flush pending output. False = close.
+  bool flush(Connection& conn);
+
+  serve::BatchingServer& server_;
+  const HttpServerConfig config_;
+  ParserLimits limits_;
+  tensor::Shape want_;           // [S, S, C] model input
+  std::size_t u8_bytes_ = 0;     // accepted payload sizes
+  std::size_t f32_bytes_ = 0;
+  Fd listen_fd_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+
+  // Declared last so the destructor's stop/join happens before members go
+  // away (same pattern as serve::BatchingServer).
+  parallel::ThreadPool pool_;
+};
+
+}  // namespace bcop::net

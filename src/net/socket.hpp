@@ -1,0 +1,73 @@
+// Thin POSIX socket vocabulary for the network layer.
+//
+// Everything that touches <sys/socket.h> in this repository lives under
+// src/net/ (lint rule R10), and this header is the shared floor: an RAII
+// file-descriptor wrapper plus the handful of TCP helpers the server
+// (http_server.cpp), the test client (client.cpp) and the load generator
+// (loadgen.cpp) need. No framework, no global state -- each helper is a
+// direct syscall wrapper that reports failure by return value, because the
+// serving loops treat every socket error as "close this connection", never
+// as an exception.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bcop::net {
+
+/// Move-only owning file descriptor; closes on destruction. -1 == empty.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Close now (idempotent).
+  void reset();
+
+  /// Give up ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Create a listening TCP socket on 127.0.0.1:`port` (0 = ephemeral;
+/// `bound_port` receives the actual port either way). SO_REUSEADDR is set
+/// and the socket is non-blocking. Returns an empty Fd on failure.
+Fd listen_tcp(std::uint16_t port, int backlog, std::uint16_t& bound_port);
+
+/// Blocking TCP connect to `host`:`port` (numeric IPv4 only -- the test
+/// client and load generator speak to loopback). Returns an empty Fd on
+/// failure.
+Fd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// O_NONBLOCK on/off. Returns false on fcntl failure.
+bool set_nonblocking(int fd, bool enable);
+
+/// TCP_NODELAY: the request/response pattern here is latency-bound and
+/// every message is written in one buffer, so Nagle only adds delay.
+bool set_nodelay(int fd);
+
+/// SO_RCVTIMEO/SO_SNDTIMEO in milliseconds (blocking client sockets).
+bool set_io_timeout(int fd, int timeout_ms);
+
+}  // namespace bcop::net

@@ -62,6 +62,7 @@ BatchingServer::BatchingServer(const Predictor& predictor,
              static_cast<long long>(config_.queue_capacity));
   const Shape want = predictor_.network().expected_input_shape();
   if (want.rank() == 3) image_shape_ = want;
+  ServeMetrics::get();  // register before traffic so exports always list them
   for (unsigned i = 0; i < config_.workers; ++i)
     pool_.submit([this] { worker_loop(); });
 }
@@ -78,83 +79,141 @@ BatchingServer::~BatchingServer() {
   pool_.wait_idle();
 }
 
-std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
-  Shape s = image.shape();
-  if (s.rank() == 4 && s[0] == 1) {
-    image = image.reshaped(Shape{s[1], s[2], s[3]});
-    s = image.shape();
-  }
+Tensor BatchingServer::normalize_rank(Tensor image) {
+  const Shape s = image.shape();
+  if (s.rank() == 4 && s[0] == 1)
+    return image.reshaped(Shape{s[1], s[2], s[3]});
   if (s.rank() != 3) {
     ServeMetrics::get().rejected.add(1);
     throw std::invalid_argument("BatchingServer::submit: image must be "
                                 "[S, S, C] or [1, S, S, C], got " + s.str());
   }
+  return image;
+}
 
-  UniqueLock lock(mutex_);
-  if (image_shape_.rank() == 0) image_shape_ = s;
-  if (s != image_shape_) {
-    ServeMetrics::get().rejected.add(1);
-    throw std::invalid_argument("BatchingServer::submit: image " + s.str() +
-                                " does not match the served model input " +
-                                image_shape_.str());
-  }
-  if (stopping_) {
-    ServeMetrics::get().rejected.add(1);
-    throw std::runtime_error("BatchingServer::submit: server is shutting down");
-  }
-
-  if (config_.workers == 0) {
-    // Synchronous degenerate mode: no queue, classify on the caller.
-    ++stats_.requests;
-    ++stats_.batches;
-    stats_.max_batch_seen = std::max<std::int64_t>(stats_.max_batch_seen, 1);
-    lock.unlock();
-    ServeMetrics& metrics = ServeMetrics::get();
-    metrics.submitted.add(1);
-    metrics.batches.add(1);
-    metrics.batch_size.record(1);
-    metrics.coalesce_wait_ns.record(0);
-    const auto t0 = std::chrono::steady_clock::now();
-    std::promise<Predictor::Result> promise;
-    auto future = promise.get_future();
-    try {
-      const Tensor batch = image.reshaped(Shape{1, s[0], s[1], s[2]});
-      promise.set_value(predictor_.classify_batch(batch).front());
-    } catch (...) {
-      promise.set_exception(std::current_exception());
-    }
-    metrics.e2e_latency_ns.record(ns_since(t0));
-    return future;
-  }
-
-  // Back-pressure wait, written as an explicit loop over guarded state so
-  // the thread-safety analysis sees every access (predicate lambdas are
-  // opaque to it; see util/thread_annotations.hpp).
-  while (!stopping_ &&
-         static_cast<std::int64_t>(queue_.size()) >= config_.queue_capacity)
-    cv_space_.wait(lock.native());
-  if (stopping_) {
-    ServeMetrics::get().rejected.add(1);
-    throw std::runtime_error("BatchingServer::submit: server is shutting down");
-  }
-
+std::future<Predictor::Result> BatchingServer::enqueue_locked(Tensor image) {
   Request request;
   request.image = std::move(image);
   request.enqueued = std::chrono::steady_clock::now();
   auto future = request.promise.get_future();
   queue_.push_back(std::move(request));
   ++stats_.requests;
-  ServeMetrics& metrics = ServeMetrics::get();
   // Gauge moves with the queue mutation it mirrors, inside the critical
   // section (recording is lock-free, so this costs one relaxed fetch_add
   // under the lock): a snapshot can no longer observe a pushed request
   // with an un-bumped depth, or the transiently negative depth the old
   // unlock-then-add ordering allowed when a worker drained first.
-  metrics.queue_depth.add(1);
-  lock.unlock();
-  metrics.submitted.add(1);
-  cv_work_.notify_one();
+  ServeMetrics::get().queue_depth.add(1);
   return future;
+}
+
+std::future<Predictor::Result> BatchingServer::classify_inline(Tensor image) {
+  {
+    MutexLock lock(mutex_);
+    ++stats_.requests;
+    ++stats_.batches;
+    stats_.max_batch_seen = std::max<std::int64_t>(stats_.max_batch_seen, 1);
+  }
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.submitted.add(1);
+  metrics.batches.add(1);
+  metrics.batch_size.record(1);
+  metrics.coalesce_wait_ns.record(0);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::promise<Predictor::Result> promise;
+  auto future = promise.get_future();
+  try {
+    const Shape& s = image.shape();
+    const Tensor batch = image.reshaped(Shape{1, s[0], s[1], s[2]});
+    promise.set_value(predictor_.classify_batch(batch).front());
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+  }
+  metrics.e2e_latency_ns.record(ns_since(t0));
+  return future;
+}
+
+std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
+  image = normalize_rank(std::move(image));
+  const Shape s = image.shape();
+  {
+    UniqueLock lock(mutex_);
+    if (image_shape_.rank() == 0) image_shape_ = s;
+    if (s != image_shape_) {
+      ServeMetrics::get().rejected.add(1);
+      throw std::invalid_argument("BatchingServer::submit: image " + s.str() +
+                                  " does not match the served model input " +
+                                  image_shape_.str());
+    }
+    if (stopping_) {
+      ServeMetrics::get().rejected.add(1);
+      throw std::runtime_error(
+          "BatchingServer::submit: server is shutting down");
+    }
+
+    if (config_.workers != 0) {
+      // Back-pressure wait, written as an explicit loop over guarded state
+      // so the thread-safety analysis sees every access (predicate lambdas
+      // are opaque to it; see util/thread_annotations.hpp).
+      while (!stopping_ &&
+             static_cast<std::int64_t>(queue_.size()) >= config_.queue_capacity)
+        cv_space_.wait(lock.native());
+      if (stopping_) {
+        ServeMetrics::get().rejected.add(1);
+        throw std::runtime_error(
+            "BatchingServer::submit: server is shutting down");
+      }
+      auto future = enqueue_locked(std::move(image));
+      lock.unlock();
+      ServeMetrics::get().submitted.add(1);
+      cv_work_.notify_one();
+      return future;
+    }
+  }
+  // Synchronous degenerate mode: no queue, classify on the caller.
+  return classify_inline(std::move(image));
+}
+
+std::optional<std::future<Predictor::Result>> BatchingServer::try_submit(
+    Tensor image, std::int64_t max_depth) {
+  image = normalize_rank(std::move(image));
+  const Shape s = image.shape();
+  {
+    UniqueLock lock(mutex_);
+    if (image_shape_.rank() == 0) image_shape_ = s;
+    if (s != image_shape_) {
+      ServeMetrics::get().rejected.add(1);
+      throw std::invalid_argument(
+          "BatchingServer::try_submit: image " + s.str() +
+          " does not match the served model input " + image_shape_.str());
+    }
+    // Shutdown is load the caller cannot fix by retrying elsewhere, but a
+    // network front-end must still answer 503 rather than crash: report it
+    // as a rejection instead of throwing.
+    if (stopping_) {
+      ServeMetrics::get().rejected.add(1);
+      return std::nullopt;
+    }
+    if (config_.workers != 0) {
+      std::int64_t limit = config_.queue_capacity;
+      if (max_depth >= 0) limit = std::min(limit, max_depth);
+      if (static_cast<std::int64_t>(queue_.size()) >= limit) {
+        ServeMetrics::get().rejected.add(1);
+        return std::nullopt;
+      }
+      auto future = enqueue_locked(std::move(image));
+      lock.unlock();
+      ServeMetrics::get().submitted.add(1);
+      cv_work_.notify_one();
+      return future;
+    }
+  }
+  return classify_inline(std::move(image));
+}
+
+std::int64_t BatchingServer::queue_depth() const {
+  MutexLock lock(mutex_);
+  return static_cast<std::int64_t>(queue_.size());
 }
 
 ServerStats BatchingServer::stats() const {

@@ -35,6 +35,7 @@
 #include <deque>
 #include <future>
 #include <mutex>
+#include <optional>
 
 #include "core/predictor.hpp"
 #include "parallel/thread_pool.hpp"
@@ -82,8 +83,27 @@ class BatchingServer {
   std::future<core::Predictor::Result> submit(tensor::Tensor image)
       BCOP_EXCLUDES(mutex_);
 
+  /// Non-blocking admission-controlled submit for network front-ends: a
+  /// caller that must never park (an HTTP worker holding hundreds of
+  /// connections) gets either a future or an immediate rejection, never a
+  /// wait. Returns std::nullopt -- and counts bcop_serve_rejected_total --
+  /// when the queue already holds min(queue_capacity, max_depth) requests
+  /// (max_depth < 0 means "queue_capacity alone"; max_depth == 0 sheds
+  /// everything) or when shutdown began. Shape validation still throws
+  /// std::invalid_argument, exactly like submit(): a malformed image is a
+  /// caller bug, not load.
+  std::optional<std::future<core::Predictor::Result>> try_submit(
+      tensor::Tensor image, std::int64_t max_depth = -1) BCOP_EXCLUDES(mutex_);
+
+  /// Requests currently waiting in the queue (excludes in-flight batches).
+  /// The shedding watermark in net::HttpServer and /healthz read this.
+  std::int64_t queue_depth() const BCOP_EXCLUDES(mutex_);
+
   ServerStats stats() const BCOP_EXCLUDES(mutex_);
   const BatcherConfig& config() const { return config_; }
+  /// The served model (outlives the server per the constructor contract);
+  /// front-ends read its expected input shape to size request payloads.
+  const core::Predictor& predictor() const { return predictor_; }
 
  private:
   struct Request {
@@ -105,6 +125,17 @@ class BatchingServer {
 
   void worker_loop() BCOP_EXCLUDES(mutex_);
   void run_batch(std::deque<Request>&& batch, WorkerState& state)
+      BCOP_EXCLUDES(mutex_);
+
+  /// Flatten [1, S, S, C] to [S, S, C]; throws std::invalid_argument
+  /// (counting the rejection) on any other rank.
+  static tensor::Tensor normalize_rank(tensor::Tensor image);
+  /// Queue one admitted request and update stats/gauge; caller unlocks,
+  /// bumps the submitted counter and notifies a worker.
+  std::future<core::Predictor::Result> enqueue_locked(tensor::Tensor image)
+      BCOP_REQUIRES(mutex_);
+  /// Synchronous (workers == 0) path: classify on the calling thread.
+  std::future<core::Predictor::Result> classify_inline(tensor::Tensor image)
       BCOP_EXCLUDES(mutex_);
 
   const core::Predictor& predictor_;

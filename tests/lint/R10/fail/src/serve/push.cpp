@@ -1,0 +1,3 @@
+// Fixture: seeded violation -- a raw socket outside src/net/.
+#include <sys/socket.h>
+int push_socket() { return ::socket(2, 1, 0); }

@@ -1,0 +1,4 @@
+// Fixture: sockets and poll are legal inside src/net/.
+#include <poll.h>
+#include <sys/socket.h>
+int open_listener() { return ::socket(2, 1, 0); }

@@ -13,6 +13,8 @@
 #include "core/predictor.hpp"
 #include "facegen/dataset.hpp"
 #include "facegen/renderer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
 #include "serve/batcher.hpp"
 #include "util/rng.hpp"
 
@@ -167,6 +169,97 @@ TEST(Serve, SubmitRejectsMismatchedImages) {
   EXPECT_THROW(server.submit(Tensor(Shape{2, 32, 32, 3})),
                std::invalid_argument);
   EXPECT_THROW(server.submit(Tensor(Shape{32, 32})), std::invalid_argument);
+}
+
+// try_submit under capacity behaves exactly like submit: a future that
+// resolves to the same answer as direct classification.
+TEST(Serve, TrySubmitAdmitsUnderCapacity) {
+  const core::Predictor p = make_predictor(30);
+  util::Rng rng(31);
+  const Tensor batch = random_batch(3, rng);
+  const auto direct = p.classify_batch(batch);
+
+  serve::BatcherConfig cfg;
+  cfg.workers = 1;
+  serve::BatchingServer server(p, cfg);
+  for (std::int64_t i = 0; i < 3; ++i) {
+    auto maybe = server.try_submit(nth_image(batch, i));
+    ASSERT_TRUE(maybe.has_value()) << "image " << i;
+    expect_same_result(maybe->get(), direct[static_cast<std::size_t>(i)], i);
+  }
+  EXPECT_EQ(server.stats().requests, 3);
+}
+
+// max_depth == 0 sheds every request deterministically (the queue depth,
+// zero, is already at the watermark) and counts each rejection in
+// bcop_serve_rejected_total -- the accounting the 503 path reconciles
+// against in tests/test_net_stress.cpp.
+TEST(Serve, TrySubmitShedsAtWatermarkAndCountsRejections) {
+  const core::Predictor p = make_predictor(32);
+  util::Rng rng(33);
+  const Tensor image = nth_image(random_batch(1, rng), 0);
+
+  serve::BatcherConfig cfg;
+  cfg.workers = 1;
+  serve::BatchingServer server(p, cfg);
+  obs::Counter& rejected =
+      obs::Registry::global().counter("bcop_serve_rejected_total");
+  const std::uint64_t before = rejected.value();
+  for (int i = 0; i < 5; ++i)
+    EXPECT_FALSE(server.try_submit(image, 0).has_value());
+  EXPECT_EQ(rejected.value() - before, 5u);
+  EXPECT_EQ(server.stats().requests, 0) << "shed requests never enqueue";
+
+  // The watermark only gates admission; the next unconstrained try_submit
+  // is served normally.
+  auto maybe = server.try_submit(image);
+  ASSERT_TRUE(maybe.has_value());
+  maybe->get();
+}
+
+// Shape validation is a caller bug, not load: try_submit throws exactly
+// like submit instead of reporting nullopt.
+TEST(Serve, TrySubmitRejectsMismatchedImages) {
+  const core::Predictor p = make_predictor(34);
+  serve::BatcherConfig cfg;
+  cfg.workers = 1;
+  serve::BatchingServer server(p, cfg);
+  EXPECT_THROW(server.try_submit(Tensor(Shape{8, 8, 3})),
+               std::invalid_argument);
+  EXPECT_THROW(server.try_submit(Tensor(Shape{2, 32, 32, 3})),
+               std::invalid_argument);
+}
+
+// Synchronous mode has no queue to shed from: try_submit classifies inline
+// and resolves immediately, mirroring submit.
+TEST(Serve, TrySubmitSynchronousModeResolvesInline) {
+  const core::Predictor p = make_predictor(35);
+  util::Rng rng(36);
+  const Tensor image = nth_image(random_batch(1, rng), 0);
+  serve::BatcherConfig cfg;
+  cfg.workers = 0;
+  serve::BatchingServer server(p, cfg);
+  auto maybe = server.try_submit(image);
+  ASSERT_TRUE(maybe.has_value());
+  EXPECT_EQ(maybe->wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+}
+
+TEST(Serve, QueueDepthReflectsPendingRequests) {
+  const core::Predictor p = make_predictor(37);
+  serve::BatcherConfig cfg;
+  cfg.workers = 1;
+  serve::BatchingServer server(p, cfg);
+  EXPECT_EQ(server.queue_depth(), 0);
+  // After draining every submitted request the depth returns to zero (a
+  // non-zero transient is timing-dependent, so only the fixed points are
+  // asserted).
+  util::Rng rng(38);
+  auto f = server.submit(nth_image(random_batch(1, rng), 0));
+  f.get();
+  for (int spin = 0; spin < 1000 && server.queue_depth() != 0; ++spin) {
+  }
+  EXPECT_EQ(server.queue_depth(), 0);
 }
 
 // End to end with rendered faces: the server answers exactly what
