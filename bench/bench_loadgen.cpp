@@ -1,8 +1,9 @@
 // Open-loop load benchmark for the HTTP serving front-end.
 //
-// Boots the full serving stack in-process (BNN predictor -> batching
-// server -> net::HttpServer on an ephemeral loopback port), then drives it
-// with the seeded open-loop generator (net/loadgen.hpp) in two phases:
+// Boots the full serving stack in-process (BNN predictor -> serve::Router
+// replica fleet -> net::HttpServer on an ephemeral loopback port), then
+// drives it with the seeded open-loop generator (net/loadgen.hpp) in two
+// phases:
 //
 //   baseline   the configured rate (default 6000 req/s)
 //   overload   the same shape at --overload-factor x the rate (default 2x)
@@ -11,13 +12,17 @@
 //
 // The JSON artifact (--out, default artifacts/loadgen.json) records both
 // phases: offered vs achieved rate, p50/p90/p99 latency measured from the
-// *scheduled* arrival (coordinated-omission safe), and the shed fraction.
-// Exit status is non-zero if either phase loses requests or breaks the
-// sent == answered conservation identity, so CI can gate on it.
+// *scheduled* arrival (coordinated-omission safe), and the shed fraction
+// -- plus the provenance needed to compare runs across machines and
+// commits: the dispatched SIMD kernel tier, the replica count and the git
+// SHA the binary was built from. Exit status is non-zero if either phase
+// loses requests or breaks the sent == answered conservation identity, so
+// CI can gate on it.
 //
 // Knobs: --rate R --duration-ms N --shape poisson|burst|diurnal
-// --burst-factor F --connections N --seed S --workers N --http-workers N
-// --watermark N --overload-factor F (0 skips the overload phase)
+// --burst-factor F --connections N --seed S --replicas N --workers N
+// (per replica) --pin --http-workers N --watermark N (per replica)
+// --overload-factor F (0 skips the overload phase)
 // --smoke (400ms phases at 500 req/s, for CI wiring checks).
 #include <cstdio>
 #include <filesystem>
@@ -27,10 +32,15 @@
 #include "core/predictor.hpp"
 #include "net/http_server.hpp"
 #include "net/loadgen.hpp"
-#include "serve/batcher.hpp"
+#include "serve/router.hpp"
+#include "tensor/kernels/dispatch.hpp"
 #include "util/args.hpp"
 
 using namespace bcop;
+
+#ifndef BCOP_GIT_SHA
+#define BCOP_GIT_SHA "unknown"
+#endif
 
 namespace {
 
@@ -63,7 +73,7 @@ bool phase_healthy(const net::LoadGenReport& r) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"smoke"});
+  const util::Args args(argc, argv, {"smoke", "pin"});
   const bool smoke = args.get_flag("smoke");
   const double rate = args.get_double("rate", smoke ? 500.0 : 6000.0);
   const int duration_ms = args.get_int("duration-ms", smoke ? 400 : 3000);
@@ -74,13 +84,15 @@ int main(int argc, char** argv) {
   const core::Predictor predictor(
       core::build_bnn(core::ArchitectureId::kMicroCnv,
                       static_cast<std::uint64_t>(args.get_int("seed", 42))));
-  serve::BatcherConfig bcfg;
-  bcfg.workers = static_cast<unsigned>(args.get_int("workers", 2));
-  serve::BatchingServer batcher(predictor, bcfg);
+  serve::RouterConfig rcfg;
+  rcfg.replicas = static_cast<int>(args.get_int("replicas", 2));
+  rcfg.batcher.workers = static_cast<unsigned>(args.get_int("workers", 2));
+  rcfg.pin_workers = args.get_flag("pin");
+  serve::Router router(predictor, rcfg);
   net::HttpServerConfig hcfg;
   hcfg.workers = static_cast<unsigned>(args.get_int("http-workers", 2));
   hcfg.shed_watermark = args.get_int("watermark", 48);
-  net::HttpServer http(batcher, hcfg);
+  net::HttpServer http(router, hcfg);
 
   const net::LoadGenReport baseline =
       run_phase("baseline", http.port(), args, rate, duration_ms);
@@ -90,14 +102,20 @@ int main(int argc, char** argv) {
     stress =
         run_phase("overload", http.port(), args, rate * overload, duration_ms);
 
-  const std::string out = args.get("out", "artifacts/loadgen.json");
+  const std::string out = args.get("out", "bench_artifacts/loadgen.json");
   std::filesystem::create_directories(
       std::filesystem::path(out).parent_path());
   if (FILE* f = std::fopen(out.c_str(), "w")) {
     std::fprintf(f,
                  "{\n  \"rate\": %.1f,\n  \"shape\": \"%s\",\n"
-                 "  \"overload_factor\": %.2f,\n  \"baseline\": %s",
+                 "  \"overload_factor\": %.2f,\n"
+                 "  \"kernel_level\": \"%s\",\n  \"replicas\": %d,\n"
+                 "  \"workers_per_replica\": %u,\n  \"git_sha\": \"%s\",\n"
+                 "  \"baseline\": %s",
                  rate, args.get("shape", "poisson").c_str(), overload,
+                 tensor::kernels::kernel_level_name(
+                     tensor::kernels::active_level()),
+                 rcfg.replicas, rcfg.batcher.workers, BCOP_GIT_SHA,
                  baseline.to_json().c_str());
     if (ran_overload)
       std::fprintf(f, ",\n  \"overload\": %s", stress.to_json().c_str());

@@ -1,11 +1,13 @@
 // BinaryCoP as a network service: the full edge-deployment wire.
 //
-//   camera / curl --> net::HttpServer --> serve::BatchingServer --> BNN
+//   camera / curl --> net::HttpServer --> serve::Router --> replicas --> BNN
 //
-// Starts the HTTP/1.1 front-end (src/net) over a batching server and
-// serves until the requested duration elapses (or forever with
-// --duration-s 0, until stdin closes). Endpoints, payload format and
-// shedding semantics are documented in docs/networking.md; quick check:
+// Starts the HTTP/1.1 front-end (src/net) over a replica fleet (each
+// replica: its own engine clone, queue and worker pool; the Router places
+// each request on the least-loaded serving replica) and serves until the
+// requested duration elapses (or forever with --duration-s 0, until stdin
+// closes). Endpoints, payload format and shedding semantics are
+// documented in docs/networking.md; quick check:
 //
 //   # classify a raw 32x32x3 u8 image (3072 bytes)
 //   head -c 3072 /dev/urandom > /tmp/img.raw
@@ -15,8 +17,10 @@
 //
 // Knobs: --port N (default 8080), --arch cnv|ncnv|ucnv, --untrained
 // (skip load/quick-train; weights random, latency representative),
-// --workers N (batcher), --http-workers N, --watermark N (503 above this
-// queue depth; 0 sheds everything, -1 disables), --duration-s N.
+// --replicas N, --workers N (per replica), --pin (deal each replica a
+// disjoint core set), --http-workers N, --watermark N (503 above this
+// per-replica queue depth; 0 sheds everything, -1 disables),
+// --duration-s N.
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -25,7 +29,7 @@
 #include "core/predictor.hpp"
 #include "example_util.hpp"
 #include "net/http_server.hpp"
-#include "serve/batcher.hpp"
+#include "serve/router.hpp"
 #include "util/args.hpp"
 
 using namespace bcop;
@@ -43,7 +47,7 @@ core::ArchitectureId parse_arch(const std::string& name) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const util::Args args(argc, argv, {"untrained"});
+  const util::Args args(argc, argv, {"untrained", "pin"});
   const auto arch = parse_arch(args.get("arch", "ucnv"));
 
   nn::Sequential model =
@@ -52,23 +56,27 @@ int main(int argc, char** argv) {
           : examples::load_or_train(arch, examples::model_path(arch));
   const core::Predictor predictor(std::move(model));
 
-  serve::BatcherConfig bcfg;
-  bcfg.workers = static_cast<unsigned>(args.get_int("workers", 2));
-  serve::BatchingServer batcher(predictor, bcfg);
+  serve::RouterConfig rcfg;
+  rcfg.replicas = static_cast<int>(args.get_int("replicas", 2));
+  rcfg.batcher.workers = static_cast<unsigned>(args.get_int("workers", 2));
+  rcfg.pin_workers = args.get_flag("pin");
+  serve::Router router(predictor, rcfg);
 
   net::HttpServerConfig hcfg;
   hcfg.port = static_cast<std::uint16_t>(args.get_int("port", 8080));
   hcfg.workers = static_cast<unsigned>(args.get_int("http-workers", 2));
   hcfg.shed_watermark = args.get_int("watermark", 48);
-  net::HttpServer http(batcher, hcfg);
+  net::HttpServer http(router, hcfg);
 
   std::printf("serving on http://127.0.0.1:%u\n", http.port());
   std::printf("  POST /v1/classify  (3072 u8 or 12288 f32 bytes)\n");
-  std::printf("  GET  /healthz      queue state\n");
+  std::printf("  GET  /healthz      fleet + per-replica state\n");
   std::printf("  GET  /metrics      Prometheus export\n");
-  std::printf("shed watermark: %lld, batch workers: %u, http workers: %u\n",
-              static_cast<long long>(hcfg.shed_watermark), bcfg.workers,
-              hcfg.workers);
+  std::printf("replicas: %d (%s), workers/replica: %u, http workers: %u, "
+              "shed watermark: %lld\n",
+              rcfg.replicas, rcfg.pin_workers ? "pinned" : "unpinned",
+              rcfg.batcher.workers, hcfg.workers,
+              static_cast<long long>(hcfg.shed_watermark));
 
   const int duration_s = args.get_int("duration-s", 0);
   if (duration_s > 0) {

@@ -20,6 +20,18 @@ Predictor Predictor::from_file(const std::string& path) {
   return Predictor(nn::Sequential::load_file(path));
 }
 
+Predictor Predictor::replicate() const {
+  // XnorNetwork's copy semantics are what make this cheap and safe: the
+  // copy shares no mutable state with the original (its plan cache starts
+  // empty), so replicas never contend on plans. The float graph is not
+  // copied -- Sequential owns its layers via unique_ptr and the serving
+  // path never touches it.
+  Predictor clone;
+  clone.net_ = net_;
+  clone.want_ = want_;
+  return clone;
+}
+
 std::vector<Predictor::Result> Predictor::classify_batch(
     const tensor::Tensor& batch) const {
   static thread_local xnor::Workspace ws;

@@ -24,6 +24,14 @@ class Predictor {
   /// Load a model file written by nn::Sequential::save().
   static Predictor from_file(const std::string& path);
 
+  /// A deployment-only clone for scale-out serving: copies the folded
+  /// XNOR network (the copy starts with a fresh, empty plan cache, so each
+  /// replica's workers build and own their plans with zero cross-replica
+  /// sharing) but NOT the float training graph -- the clone's model() is
+  /// an empty Sequential and it cannot produce Grad-CAM maps. classify()
+  /// and classify_batch() behave identically to the original.
+  Predictor replicate() const;
+
   struct Result {
     facegen::MaskClass label = facegen::MaskClass::kCorrect;
     std::array<float, facegen::kNumClasses> scores{};  // softmax of logits
@@ -55,6 +63,9 @@ class Predictor {
   const xnor::XnorNetwork& network() const { return net_; }
 
  private:
+  /// For replicate(): clones start empty and copy net_/want_ directly.
+  Predictor() = default;
+
   nn::Sequential model_;
   xnor::XnorNetwork net_;
   /// net_.expected_input_shape(), computed once at construction so the

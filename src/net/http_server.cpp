@@ -166,10 +166,10 @@ std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
 
 }  // namespace
 
-HttpServer::HttpServer(serve::BatchingServer& server, HttpServerConfig config)
-    : server_(server),
+HttpServer::HttpServer(serve::Router& router, HttpServerConfig config)
+    : router_(router),
       config_(config),
-      want_(server.predictor().network().expected_input_shape()),
+      want_(router.prototype().network().expected_input_shape()),
       pool_(config.workers) {
   BCOP_CHECK(config_.workers >= 1, "HttpServer needs >= 1 worker, got %u",
              config_.workers);
@@ -313,10 +313,12 @@ void HttpServer::handle_classify(Connection& conn, const ParsedRequest& req) {
     return;
   }
 
-  // try_submit is the single admission point: at or above the watermark it
-  // bumps bcop_serve_rejected_total and returns nullopt, which we map to
-  // an immediate 503 (never a queued request).
-  auto future = server_.try_submit(std::move(image), config_.shed_watermark);
+  // Router::try_submit is the single admission point: it places on the
+  // least-loaded serving replica (routing around draining/swapping ones)
+  // and returns nullopt -- having counted bcop_serve_rejected_total
+  // exactly once -- at or above the per-replica watermark, which we map
+  // to an immediate 503 (never a queued request).
+  auto future = router_.try_submit(std::move(image), config_.shed_watermark);
   if (!future) {
     Metrics::get().shed.add(1);
     respond(conn, 503, "application/json", error_body("over capacity, retry"),
@@ -359,15 +361,37 @@ void HttpServer::handle_request(Connection& conn, const ParsedRequest& req) {
               req.keep_alive, "Allow: GET\r\n");
       return;
     }
-    const std::int64_t depth = server_.queue_depth();
-    const bool shedding = config_.shed_watermark >= 0 &&
-                          depth >= config_.shed_watermark;
+    const std::int64_t depth = router_.queue_depth();
+    // The fleet sheds when every serving replica is at the watermark --
+    // the Router picks the least loaded, so "shedding" means min depth
+    // over serving replicas >= watermark. No serving replica at all is
+    // shedding too (fleet-wide drain/swap).
+    bool shedding = config_.shed_watermark >= 0;
+    bool any_serving = false;
+    std::string replicas = "[";
+    for (int i = 0; i < router_.size(); ++i) {
+      const serve::Replica& r = router_.replica(i);
+      const serve::ReplicaState state = r.state();
+      const std::int64_t rdepth = r.queue_depth();
+      if (state == serve::ReplicaState::kServing) {
+        any_serving = true;
+        if (config_.shed_watermark >= 0 && rdepth < config_.shed_watermark)
+          shedding = false;
+      }
+      if (i) replicas += ",";
+      replicas += "{\"id\":" + std::to_string(r.id());
+      replicas += ",\"state\":\"";
+      replicas += serve::to_string(state);
+      replicas += "\",\"queue_depth\":" + std::to_string(rdepth) + "}";
+    }
+    replicas += "]";
+    if (!any_serving) shedding = true;
     std::string body = "{\"status\":\"";
     body += shedding ? "shedding" : "ok";
     body += "\",\"queue_depth\":" + std::to_string(depth);
-    body += ",\"queue_capacity\":" +
-            std::to_string(server_.config().queue_capacity);
+    body += ",\"queue_capacity\":" + std::to_string(router_.queue_capacity());
     body += ",\"shed_watermark\":" + std::to_string(config_.shed_watermark);
+    body += ",\"replicas\":" + replicas;
     body += "}";
     respond(conn, 200, "application/json", body, req.keep_alive);
     return;

@@ -1,4 +1,4 @@
-// HTTP/1.1 serving front-end over serve::BatchingServer.
+// HTTP/1.1 serving front-end over serve::Router.
 //
 // The paper deploys BinaryCoP as an edge service at building entrances;
 // this is the wire between a camera fleet and the 11.9k-FPS engine. The
@@ -11,13 +11,16 @@
 //   - Per-connection read/write buffers are bounded; the stateless parser
 //     (net/http_parser.hpp) enforces header/body limits before a single
 //     byte reaches the engine.
-//   - Classification is admitted through BatchingServer::try_submit with a
-//     configurable queue-depth watermark: at or above it the server
-//     answers 503 immediately (load shedding, driving the existing
-//     bcop_serve_rejected_total counter) instead of queueing. The worker
-//     then *polls* the returned future between socket events -- it never
-//     blocks on it -- so one worker can keep hundreds of keep-alive
-//     connections in flight at batch-friendly depths.
+//   - Classification is admitted through serve::Router::try_submit with a
+//     configurable per-replica queue-depth watermark: the Router places
+//     the request on the least-loaded serving replica, routes around
+//     replicas that are draining or hot-swapping a model version, and
+//     reports nullopt -- mapped to an immediate 503 (load shedding,
+//     driving the existing bcop_serve_rejected_total counter) -- when the
+//     fleet is over the watermark. The worker then *polls* the returned
+//     future between socket events -- it never blocks on it -- so one
+//     worker can keep hundreds of keep-alive connections in flight at
+//     batch-friendly depths.
 //   - Each connection carries an ordered pipeline of response slots
 //     (immediate text or a pending engine future), so pipelined HTTP/1.1
 //     clients keep the batching queue fed to useful depths while responses
@@ -29,7 +32,8 @@
 // Endpoints (docs/networking.md has curl examples):
 //   POST /v1/classify  raw image payload -> class + confidence JSON
 //   GET  /metrics      obs::export_prometheus of the process registry
-//   GET  /healthz      queue depth / watermark / shedding state JSON
+//   GET  /healthz      fleet queue depth / watermark / shedding state plus
+//                      a per-replica [{id, state, queue_depth}] array
 //
 // The classify payload is the raw [S, S, 3] image, either S*S*3 bytes of
 // interleaved RGB u8 (mapped onto the same 8-bit grid as
@@ -45,7 +49,7 @@
 #include "net/http_parser.hpp"
 #include "net/socket.hpp"
 #include "parallel/thread_pool.hpp"
-#include "serve/batcher.hpp"
+#include "serve/router.hpp"
 #include "tensor/shape.hpp"
 
 namespace bcop::net {
@@ -57,9 +61,10 @@ struct HttpServerConfig {
   unsigned workers = 2;
   int backlog = 128;
   std::size_t max_connections_per_worker = 256;
-  /// Admission watermark: POST /v1/classify answers 503 while
-  /// BatchingServer::queue_depth() >= shed_watermark (0 sheds everything;
-  /// < 0 disables the watermark and sheds only on a full queue).
+  /// Per-replica admission watermark: POST /v1/classify answers 503 when
+  /// the replica the Router picked already holds shed_watermark requests
+  /// (0 sheds everything; < 0 disables the watermark and sheds only on a
+  /// full queue). Fleet shedding capacity is replicas x this value.
   std::int64_t shed_watermark = 48;
   /// Close connections with no traffic for this long.
   std::chrono::milliseconds idle_timeout{5000};
@@ -79,10 +84,10 @@ struct HttpServerConfig {
 
 class HttpServer {
  public:
-  /// Binds and starts serving immediately. The BatchingServer (and the
+  /// Binds and starts serving immediately. The Router (and the prototype
   /// predictor behind it) must outlive this object. Throws
   /// std::runtime_error when the port cannot be bound.
-  HttpServer(serve::BatchingServer& server, HttpServerConfig config);
+  HttpServer(serve::Router& router, HttpServerConfig config);
   /// Stops accepting, closes every connection, joins the workers.
   ~HttpServer();
 
@@ -119,7 +124,7 @@ class HttpServer {
   /// Flush pending output. False = close.
   bool flush(Connection& conn);
 
-  serve::BatchingServer& server_;
+  serve::Router& router_;
   const HttpServerConfig config_;
   ParserLimits limits_;
   tensor::Shape want_;           // [S, S, C] model input

@@ -1,0 +1,72 @@
+#include "parallel/affinity.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/check.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace bcop::parallel {
+
+std::vector<int> cpu_ids() {
+  std::vector<int> ids;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  if (::sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu)
+      if (CPU_ISSET(cpu, &mask)) ids.push_back(cpu);
+  }
+#endif
+  return ids;
+}
+
+int available_cpus() {
+  const std::vector<int> ids = cpu_ids();
+  if (!ids.empty()) return static_cast<int>(ids.size());
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+bool pin_current_thread(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+#if defined(__linux__)
+  cpu_set_t mask;
+  CPU_ZERO(&mask);
+  bool any = false;
+  for (const int cpu : cpus) {
+    if (cpu < 0 || cpu >= CPU_SETSIZE) continue;
+    CPU_SET(cpu, &mask);
+    any = true;
+  }
+  if (!any) return false;
+  // 0 == the calling thread; an EINVAL (CPU outside the cgroup mask)
+  // leaves the thread unpinned, which is the documented soft failure.
+  return ::sched_setaffinity(0, sizeof(mask), &mask) == 0;
+#else
+  return false;
+#endif
+}
+
+std::vector<int> partition_cpus(unsigned group, unsigned groups) {
+  BCOP_CHECK(groups >= 1, "partition_cpus: groups must be >= 1");
+  BCOP_CHECK(group < groups, "partition_cpus: group %u out of %u", group,
+             groups);
+  const std::vector<int> ids = cpu_ids();
+  std::vector<int> mine;
+  if (ids.empty()) return mine;
+  if (groups > ids.size()) {
+    // Oversubscribed: alias groups onto CPUs round-robin instead of
+    // handing out empty sets.
+    mine.push_back(ids[group % ids.size()]);
+    return mine;
+  }
+  for (std::size_t i = group; i < ids.size(); i += groups)
+    mine.push_back(ids[i]);
+  return mine;
+}
+
+}  // namespace bcop::parallel

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/registry.hpp"
+#include "parallel/affinity.hpp"
 #include "util/check.hpp"
 
 namespace bcop::serve {
@@ -26,10 +28,24 @@ std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
           .count());
 }
 
-/// Server telemetry (naming scheme in docs/observability.md). Registered
-/// once on first server construction; recording afterwards is lock-free,
-/// so the per-request cost is a handful of relaxed atomics.
-struct ServeMetrics {
+/// A future already carrying the rejection: the no-throw shutdown path of
+/// submit(). The caller's get() observes std::runtime_error, but submit
+/// itself never throws for load/lifecycle reasons (only for caller bugs
+/// like a mis-shaped image).
+std::future<Predictor::Result> rejected_future(const char* why) {
+  std::promise<Predictor::Result> promise;
+  auto future = promise.get_future();
+  promise.set_exception(std::make_exception_ptr(std::runtime_error(why)));
+  return future;
+}
+
+}  // namespace
+
+/// Server telemetry (naming scheme in docs/observability.md). The global
+/// bcop_serve_* family is registered once on first server construction; a
+/// Router replica additionally owns a bcop_serve_replica<N>_* family.
+/// Recording is lock-free either way -- a handful of relaxed atomics.
+struct BatchingServer::Metrics {
   obs::Counter& submitted;
   obs::Counter& rejected;
   obs::Counter& batches;
@@ -38,20 +54,28 @@ struct ServeMetrics {
   obs::LatencyHistogram& coalesce_wait_ns;
   obs::LatencyHistogram& e2e_latency_ns;
 
-  static ServeMetrics& get() {
-    static ServeMetrics m{
-        obs::Registry::global().counter("bcop_serve_submitted_total"),
-        obs::Registry::global().counter("bcop_serve_rejected_total"),
-        obs::Registry::global().counter("bcop_serve_batches_total"),
-        obs::Registry::global().gauge("bcop_serve_queue_depth"),
-        obs::Registry::global().histogram("bcop_serve_batch_size"),
-        obs::Registry::global().histogram("bcop_serve_coalesce_wait_ns"),
-        obs::Registry::global().histogram("bcop_serve_e2e_latency_ns")};
+  static Metrics make(const std::string& prefix) {
+    auto& reg = obs::Registry::global();
+    return Metrics{reg.counter(prefix + "_submitted_total"),
+                   reg.counter(prefix + "_rejected_total"),
+                   reg.counter(prefix + "_batches_total"),
+                   reg.gauge(prefix + "_queue_depth"),
+                   reg.histogram(prefix + "_batch_size"),
+                   reg.histogram(prefix + "_coalesce_wait_ns"),
+                   reg.histogram(prefix + "_e2e_latency_ns")};
+  }
+
+  static Metrics& global() {
+    static Metrics m = make("bcop_serve");
     return m;
   }
 };
 
-}  // namespace
+template <typename Fn>
+void BatchingServer::each_metrics(Fn&& fn) const {
+  fn(Metrics::global());
+  if (replica_metrics_) fn(*replica_metrics_);
+}
 
 BatchingServer::BatchingServer(const Predictor& predictor,
                                BatcherConfig config)
@@ -62,12 +86,17 @@ BatchingServer::BatchingServer(const Predictor& predictor,
              static_cast<long long>(config_.queue_capacity));
   const Shape want = predictor_.network().expected_input_shape();
   if (want.rank() == 3) image_shape_ = want;
-  ServeMetrics::get();  // register before traffic so exports always list them
+  Metrics::global();  // register before traffic so exports always list them
+  if (config_.replica_id >= 0)
+    replica_metrics_ = std::make_unique<Metrics>(Metrics::make(
+        "bcop_serve_replica" + std::to_string(config_.replica_id)));
   for (unsigned i = 0; i < config_.workers; ++i)
     pool_.submit([this] { worker_loop(); });
 }
 
-BatchingServer::~BatchingServer() {
+BatchingServer::~BatchingServer() { shutdown(); }
+
+void BatchingServer::shutdown() {
   {
     MutexLock lock(mutex_);
     stopping_ = true;
@@ -75,16 +104,17 @@ BatchingServer::~BatchingServer() {
   cv_work_.notify_all();
   cv_space_.notify_all();
   // Workers drain the queue before exiting, so every accepted request is
-  // answered even when the server is torn down mid-burst.
+  // answered even when the server is shut down mid-burst. Idempotent: a
+  // second call finds the pool already idle and returns immediately.
   pool_.wait_idle();
 }
 
-Tensor BatchingServer::normalize_rank(Tensor image) {
+Tensor BatchingServer::normalize_rank(Tensor image) const {
   const Shape s = image.shape();
   if (s.rank() == 4 && s[0] == 1)
     return image.reshaped(Shape{s[1], s[2], s[3]});
   if (s.rank() != 3) {
-    ServeMetrics::get().rejected.add(1);
+    each_metrics([](Metrics& m) { m.rejected.add(1); });
     throw std::invalid_argument("BatchingServer::submit: image must be "
                                 "[S, S, C] or [1, S, S, C], got " + s.str());
   }
@@ -103,7 +133,7 @@ std::future<Predictor::Result> BatchingServer::enqueue_locked(Tensor image) {
   // under the lock): a snapshot can no longer observe a pushed request
   // with an un-bumped depth, or the transiently negative depth the old
   // unlock-then-add ordering allowed when a worker drained first.
-  ServeMetrics::get().queue_depth.add(1);
+  each_metrics([](Metrics& m) { m.queue_depth.add(1); });
   return future;
 }
 
@@ -114,11 +144,12 @@ std::future<Predictor::Result> BatchingServer::classify_inline(Tensor image) {
     ++stats_.batches;
     stats_.max_batch_seen = std::max<std::int64_t>(stats_.max_batch_seen, 1);
   }
-  ServeMetrics& metrics = ServeMetrics::get();
-  metrics.submitted.add(1);
-  metrics.batches.add(1);
-  metrics.batch_size.record(1);
-  metrics.coalesce_wait_ns.record(0);
+  each_metrics([](Metrics& m) {
+    m.submitted.add(1);
+    m.batches.add(1);
+    m.batch_size.record(1);
+    m.coalesce_wait_ns.record(0);
+  });
   const auto t0 = std::chrono::steady_clock::now();
   std::promise<Predictor::Result> promise;
   auto future = promise.get_future();
@@ -129,7 +160,8 @@ std::future<Predictor::Result> BatchingServer::classify_inline(Tensor image) {
   } catch (...) {
     promise.set_exception(std::current_exception());
   }
-  metrics.e2e_latency_ns.record(ns_since(t0));
+  const std::uint64_t ns = ns_since(t0);
+  each_metrics([ns](Metrics& m) { m.e2e_latency_ns.record(ns); });
   return future;
 }
 
@@ -140,15 +172,17 @@ std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
     UniqueLock lock(mutex_);
     if (image_shape_.rank() == 0) image_shape_ = s;
     if (s != image_shape_) {
-      ServeMetrics::get().rejected.add(1);
+      each_metrics([](Metrics& m) { m.rejected.add(1); });
       throw std::invalid_argument("BatchingServer::submit: image " + s.str() +
                                   " does not match the served model input " +
                                   image_shape_.str());
     }
+    // Shutdown is a lifecycle event, not a caller bug: report it through
+    // the future (no-throw admission, same discipline as try_submit's
+    // nullopt) so a drain racing a client cannot unwind the client.
     if (stopping_) {
-      ServeMetrics::get().rejected.add(1);
-      throw std::runtime_error(
-          "BatchingServer::submit: server is shutting down");
+      each_metrics([](Metrics& m) { m.rejected.add(1); });
+      return rejected_future("BatchingServer::submit: server is shutting down");
     }
 
     if (config_.workers != 0) {
@@ -159,13 +193,13 @@ std::future<Predictor::Result> BatchingServer::submit(Tensor image) {
              static_cast<std::int64_t>(queue_.size()) >= config_.queue_capacity)
         cv_space_.wait(lock.native());
       if (stopping_) {
-        ServeMetrics::get().rejected.add(1);
-        throw std::runtime_error(
+        each_metrics([](Metrics& m) { m.rejected.add(1); });
+        return rejected_future(
             "BatchingServer::submit: server is shutting down");
       }
       auto future = enqueue_locked(std::move(image));
       lock.unlock();
-      ServeMetrics::get().submitted.add(1);
+      each_metrics([](Metrics& m) { m.submitted.add(1); });
       cv_work_.notify_one();
       return future;
     }
@@ -182,7 +216,7 @@ std::optional<std::future<Predictor::Result>> BatchingServer::try_submit(
     UniqueLock lock(mutex_);
     if (image_shape_.rank() == 0) image_shape_ = s;
     if (s != image_shape_) {
-      ServeMetrics::get().rejected.add(1);
+      each_metrics([](Metrics& m) { m.rejected.add(1); });
       throw std::invalid_argument(
           "BatchingServer::try_submit: image " + s.str() +
           " does not match the served model input " + image_shape_.str());
@@ -191,19 +225,19 @@ std::optional<std::future<Predictor::Result>> BatchingServer::try_submit(
     // network front-end must still answer 503 rather than crash: report it
     // as a rejection instead of throwing.
     if (stopping_) {
-      ServeMetrics::get().rejected.add(1);
+      each_metrics([](Metrics& m) { m.rejected.add(1); });
       return std::nullopt;
     }
     if (config_.workers != 0) {
       std::int64_t limit = config_.queue_capacity;
       if (max_depth >= 0) limit = std::min(limit, max_depth);
       if (static_cast<std::int64_t>(queue_.size()) >= limit) {
-        ServeMetrics::get().rejected.add(1);
+        each_metrics([](Metrics& m) { m.rejected.add(1); });
         return std::nullopt;
       }
       auto future = enqueue_locked(std::move(image));
       lock.unlock();
-      ServeMetrics::get().submitted.add(1);
+      each_metrics([](Metrics& m) { m.submitted.add(1); });
       cv_work_.notify_one();
       return future;
     }
@@ -222,6 +256,10 @@ ServerStats BatchingServer::stats() const {
 }
 
 void BatchingServer::worker_loop() {
+  // Replica workers pin to the core set the Router dealt this replica
+  // (parallel::partition_cpus); a failed pin just leaves the worker
+  // floating -- affinity is a performance hint, never a requirement.
+  if (!config_.pin_cpus.empty()) parallel::pin_current_thread(config_.pin_cpus);
   WorkerState state;  // lives as long as the worker: arena grows, then holds
   for (;;) {
     std::deque<Request> batch;
@@ -251,7 +289,7 @@ void BatchingServer::worker_loop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
-      ServeMetrics::get().queue_depth.add(-take);
+      each_metrics([take](Metrics& m) { m.queue_depth.add(-take); });
     }
     cv_space_.notify_all();
     run_batch(std::move(batch), state);
@@ -261,12 +299,14 @@ void BatchingServer::worker_loop() {
 void BatchingServer::run_batch(std::deque<Request>&& batch,
                                WorkerState& state) {
   const auto b = static_cast<std::int64_t>(batch.size());
-  ServeMetrics& metrics = ServeMetrics::get();
-  metrics.batches.add(1);
-  metrics.batch_size.record(static_cast<std::uint64_t>(b));
   // How long the oldest member waited for the batch to ship: the cost of
   // the coalescing window, bounded by config_.max_latency plus scheduling.
-  metrics.coalesce_wait_ns.record(ns_since(batch.front().enqueued));
+  const std::uint64_t wait_ns = ns_since(batch.front().enqueued);
+  each_metrics([b, wait_ns](Metrics& m) {
+    m.batches.add(1);
+    m.batch_size.record(static_cast<std::uint64_t>(b));
+    m.coalesce_wait_ns.record(wait_ns);
+  });
   const Shape& s = batch.front().image.shape();
   const Shape batch_shape{b, s[0], s[1], s[2]};
   // Reuse the worker's coalescing buffer; it only reallocates when the
@@ -291,7 +331,8 @@ void BatchingServer::run_batch(std::deque<Request>&& batch,
     for (std::int64_t i = 0; i < b; ++i) {
       Request& request = batch[static_cast<std::size_t>(i)];
       request.promise.set_value(state.results[static_cast<std::size_t>(i)]);
-      metrics.e2e_latency_ns.record(ns_since(request.enqueued));
+      const std::uint64_t e2e_ns = ns_since(request.enqueued);
+      each_metrics([e2e_ns](Metrics& m) { m.e2e_latency_ns.record(e2e_ns); });
     }
   } catch (...) {
     for (auto& request : batch)

@@ -34,8 +34,10 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "core/predictor.hpp"
 #include "parallel/thread_pool.hpp"
@@ -57,6 +59,18 @@ struct BatcherConfig {
   /// Worker tasks. 0 = synchronous mode: submit() classifies inline and
   /// returns a ready future (single-core hosts, tests).
   unsigned workers = 2;
+  /// CPUs the worker tasks pin themselves to (parallel::pin_current_thread
+  /// at loop entry; empty = unpinned). serve::Router hands each replica a
+  /// disjoint set from parallel::partition_cpus so replicas do not migrate
+  /// onto each other's caches. Pinning is a hint: an unpinnable host just
+  /// runs unpinned.
+  std::vector<int> pin_cpus;
+  /// >= 0: this server is replica N of a serve::Router, and every metric
+  /// it records lands in a bcop_serve_replica<N>_* family *in addition to*
+  /// the process-wide bcop_serve_* family (so fleet-level dashboards and
+  /// the 503<->rejected ledger keep working unchanged). -1: standalone
+  /// server, global family only.
+  int replica_id = -1;
 };
 
 struct ServerStats {
@@ -77,9 +91,18 @@ class BatchingServer {
   BatchingServer(const BatchingServer&) = delete;
   BatchingServer& operator=(const BatchingServer&) = delete;
 
+  /// Begin shutdown and wait for the workers: every already-accepted
+  /// request is still answered (the queue drains), then the worker tasks
+  /// exit. Idempotent; the destructor calls it. After shutdown, submit()
+  /// returns rejected futures and try_submit() returns std::nullopt --
+  /// serve::Replica uses this as the graceful-drain primitive.
+  void shutdown() BCOP_EXCLUDES(mutex_);
+
   /// Enqueue one [S, S, 3] image (or [1, S, S, 3]); blocks while the queue
   /// is full. The future resolves once a worker ships the batch containing
-  /// this request. Throws std::runtime_error after shutdown began.
+  /// this request. After shutdown began the call never throws: it counts a
+  /// rejection and returns a *rejected future* (std::runtime_error surfaces
+  /// at get()), matching the no-throw admission discipline of try_submit.
   std::future<core::Predictor::Result> submit(tensor::Tensor image)
       BCOP_EXCLUDES(mutex_);
 
@@ -123,13 +146,23 @@ class BatchingServer {
     std::vector<core::Predictor::Result> results;
   };
 
+  /// The obs series this server records (global bcop_serve_* family plus,
+  /// for Router replicas, the per-replica bcop_serve_replica<N>_* family).
+  /// Defined in batcher.cpp; recording is lock-free either way.
+  struct Metrics;
+
   void worker_loop() BCOP_EXCLUDES(mutex_);
   void run_batch(std::deque<Request>&& batch, WorkerState& state)
       BCOP_EXCLUDES(mutex_);
 
+  /// Apply `fn` to the global metrics family and, when this server is a
+  /// replica, to its per-replica family too (defined in batcher.cpp).
+  template <typename Fn>
+  void each_metrics(Fn&& fn) const;
+
   /// Flatten [1, S, S, C] to [S, S, C]; throws std::invalid_argument
   /// (counting the rejection) on any other rank.
-  static tensor::Tensor normalize_rank(tensor::Tensor image);
+  tensor::Tensor normalize_rank(tensor::Tensor image) const;
   /// Queue one admitted request and update stats/gauge; caller unlocks,
   /// bumps the submitted counter and notifies a worker.
   std::future<core::Predictor::Result> enqueue_locked(tensor::Tensor image)
@@ -140,6 +173,10 @@ class BatchingServer {
 
   const core::Predictor& predictor_;
   const BatcherConfig config_;
+  /// Per-replica metric family (bcop_serve_replica<N>_*); null unless
+  /// config_.replica_id >= 0. The pointees are registry-owned and
+  /// reference-stable; recording is relaxed atomics only.
+  std::unique_ptr<Metrics> replica_metrics_;
 
   mutable util::Mutex mutex_;
   std::condition_variable cv_work_;   // queue became non-empty / stopping

@@ -1,0 +1,4 @@
+// Fixture: seeded violation -- dispatcher plumbing (promise/future)
+// leaked outside the src/parallel/ + src/serve/ + src/net/ zones.
+#include <future>
+std::promise<int> route_one();

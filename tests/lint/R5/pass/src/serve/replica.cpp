@@ -1,0 +1,8 @@
+// Fixture: promise/future plumbing is legal inside src/serve/ -- the
+// replica hands BatchingServer futures back through the Router.
+#include <future>
+std::future<int> replica_submit() {
+  std::promise<int> p;
+  p.set_value(1);
+  return p.get_future();
+}

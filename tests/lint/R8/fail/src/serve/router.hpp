@@ -1,0 +1,10 @@
+// Fixture: seeded violation -- a lifecycle mutex that guards no member
+// and carries no waiver. Region locks must either annotate a member or
+// write down why they cannot.
+#pragma once
+#include "util/thread_annotations.hpp"
+class Replica {
+  util::Mutex admin_mutex_ BCOP_ACQUIRED_BEFORE(mutex_);
+  util::Mutex mutex_;
+  int generation_ BCOP_GUARDED_BY(mutex_) = 0;
+};

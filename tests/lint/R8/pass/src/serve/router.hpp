@@ -1,0 +1,10 @@
+// Fixture: the dispatcher/replica idiom. A data mutex guards members; a
+// lifecycle mutex guards a *region* (drain/swap serialization) and so
+// carries a reasoned waiver instead of a BCOP_GUARDED_BY member.
+#pragma once
+#include "util/thread_annotations.hpp"
+class Replica {
+  util::Mutex admin_mutex_ BCOP_ACQUIRED_BEFORE(mutex_);  // bcop-lint: allow(R8): serializes the drain/swap region, guards no member
+  util::Mutex mutex_;
+  int generation_ BCOP_GUARDED_BY(mutex_) = 0;
+};

@@ -15,7 +15,7 @@
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
 #include "obs/registry.hpp"
-#include "serve/batcher.hpp"
+#include "serve/router.hpp"
 #include "tensor/tensor.hpp"
 #include "util/rng.hpp"
 
@@ -28,22 +28,24 @@ using tensor::Tensor;
 constexpr std::size_t kU8Bytes = 32 * 32 * 3;
 constexpr std::size_t kF32Bytes = kU8Bytes * sizeof(float);
 
-/// Predictor + batching server + HTTP front-end on an ephemeral loopback
+/// Predictor + replica fleet + HTTP front-end on an ephemeral loopback
 /// port, plus the counters the engine-untouched assertions read.
 struct LiveServer {
   core::Predictor predictor;
-  serve::BatchingServer batcher;
+  serve::Router router;
   net::HttpServer http;
 
-  explicit LiveServer(std::uint64_t seed, std::int64_t shed_watermark = 48)
+  explicit LiveServer(std::uint64_t seed, std::int64_t shed_watermark = 48,
+                      int replicas = 1)
       : predictor(core::build_bnn(core::ArchitectureId::kMicroCnv, seed)),
-        batcher(predictor, batcher_config()),
-        http(batcher, http_config(shed_watermark)) {}
+        router(predictor, router_config(replicas)),
+        http(router, http_config(shed_watermark)) {}
 
-  static serve::BatcherConfig batcher_config() {
-    serve::BatcherConfig cfg;
-    cfg.workers = 1;
-    cfg.max_latency = std::chrono::microseconds(500);
+  static serve::RouterConfig router_config(int replicas) {
+    serve::RouterConfig cfg;
+    cfg.replicas = replicas;
+    cfg.batcher.workers = 1;
+    cfg.batcher.max_latency = std::chrono::microseconds(500);
     return cfg;
   }
   static net::HttpServerConfig http_config(std::int64_t watermark) {
@@ -326,6 +328,58 @@ TEST(NetHttp, WatermarkZeroShedsWith503AndRetryAfter) {
   EXPECT_EQ(health.status, 200);
   EXPECT_NE(health.body.find("\"status\":\"shedding\""), std::string::npos)
       << health.body;
+}
+
+TEST(NetHttp, HealthzReportsPerReplicaStates) {
+  LiveServer s(120, /*shed_watermark=*/48, /*replicas=*/2);
+  auto c = s.client();
+  net::HttpResponse health;
+  ASSERT_TRUE(c.request("GET", "/healthz", "", health));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"replicas\":["), std::string::npos)
+      << health.body;
+  EXPECT_NE(health.body.find("\"id\":0,\"state\":\"serving\""),
+            std::string::npos)
+      << health.body;
+  EXPECT_NE(health.body.find("\"id\":1,\"state\":\"serving\""),
+            std::string::npos)
+      << health.body;
+
+  // Drain one replica: /healthz must show it stopped while the fleet
+  // stays "ok" and classification still works through the survivor.
+  s.router.drain(1);
+  ASSERT_TRUE(c.request("GET", "/healthz", "", health));
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.body.find("\"id\":1,\"state\":\"stopped\""),
+            std::string::npos)
+      << health.body;
+  EXPECT_NE(health.body.find("\"status\":\"ok\""), std::string::npos)
+      << "one serving replica under the watermark must keep the fleet ok";
+  net::HttpResponse resp;
+  ASSERT_TRUE(c.request("POST", "/v1/classify", u8_payload(121), resp));
+  EXPECT_EQ(resp.status, 200)
+      << "a drained replica must not take requests down with it";
+}
+
+TEST(NetHttp, HotSwapUnderTrafficNeverDropsService) {
+  LiveServer s(122, /*shed_watermark=*/48, /*replicas=*/2);
+  auto c = s.client();
+  const std::string payload = u8_payload(123);
+  net::HttpResponse resp;
+  ASSERT_TRUE(c.request("POST", "/v1/classify", payload, resp));
+  EXPECT_EQ(resp.status, 200);
+
+  // Swap each replica in turn (rolling deploy); every request in between
+  // must still be answered 200 by whichever replica is serving.
+  for (int i = 0; i < s.router.size(); ++i) {
+    s.router.swap_model(i, s.predictor);
+    for (int j = 0; j < 2; ++j) {
+      ASSERT_TRUE(c.request("POST", "/v1/classify", payload, resp));
+      EXPECT_EQ(resp.status, 200) << "swap of replica " << i;
+    }
+  }
+  EXPECT_GE(s.router.replica(0).generation(), 2);
+  EXPECT_GE(s.router.replica(1).generation(), 2);
 }
 
 TEST(NetHttp, MetricsEndpointExportsServeAndNetFamilies) {

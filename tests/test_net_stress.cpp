@@ -19,7 +19,7 @@
 #include "obs/metrics.hpp"
 #include "obs/registry.hpp"
 #include "parallel/thread_pool.hpp"
-#include "serve/batcher.hpp"
+#include "serve/router.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -68,18 +68,20 @@ struct StressResult {
 };
 
 StressResult hammer(std::int64_t shed_watermark, unsigned clients,
-                    int requests_per_client, std::uint64_t seed) {
+                    int requests_per_client, std::uint64_t seed,
+                    int replicas = 1) {
   const core::Predictor predictor(
       core::build_bnn(core::ArchitectureId::kMicroCnv, seed));
-  serve::BatcherConfig bcfg;
-  bcfg.workers = 1;
-  bcfg.max_batch = 8;
-  bcfg.max_latency = std::chrono::microseconds(500);
-  serve::BatchingServer batcher(predictor, bcfg);
+  serve::RouterConfig rcfg;
+  rcfg.replicas = replicas;
+  rcfg.batcher.workers = 1;
+  rcfg.batcher.max_batch = 8;
+  rcfg.batcher.max_latency = std::chrono::microseconds(500);
+  serve::Router router(predictor, rcfg);
   net::HttpServerConfig hcfg;
   hcfg.workers = 2;
   hcfg.shed_watermark = shed_watermark;
-  net::HttpServer http(batcher, hcfg);
+  net::HttpServer http(router, hcfg);
 
   obs::Counter& rejected =
       obs::Registry::global().counter("bcop_serve_rejected_total");
@@ -143,18 +145,35 @@ TEST(NetStress, RejectedCounterReconcilesWithObserved503s) {
   EXPECT_EQ(r.net_shed_delta, r.total.shed_503);
 }
 
+// Multi-replica fleet under the same hammer: the conservation identity
+// and the 503 <-> rejected ledger must survive queue-aware routing (no
+// double-counted rejections when the Router retries past a busy replica).
+TEST(NetStress, FleetConservationAndLedgerWithTwoReplicas) {
+  const StressResult r = hammer(/*shed_watermark=*/48, /*clients=*/4,
+                                /*requests_per_client=*/20, /*seed=*/204,
+                                /*replicas=*/2);
+  EXPECT_EQ(r.total.sent, 80u);
+  EXPECT_EQ(r.total.lost, 0u);
+  EXPECT_EQ(r.total.other, 0u);
+  EXPECT_EQ(r.total.sent,
+            r.total.ok_2xx + r.total.err_4xx + r.total.shed_503);
+  EXPECT_EQ(r.rejected_delta, r.total.shed_503)
+      << "routing retries must never double-count a rejection";
+}
+
 // The open-loop generator against a live server: deterministic schedule,
 // conservative accounting, and the conservation identity it promises.
 TEST(NetStress, LoadgenAccountingConserves) {
   const core::Predictor predictor(
       core::build_bnn(core::ArchitectureId::kMicroCnv, 202));
-  serve::BatcherConfig bcfg;
-  bcfg.workers = 1;
-  bcfg.max_latency = std::chrono::microseconds(500);
-  serve::BatchingServer batcher(predictor, bcfg);
+  serve::RouterConfig rcfg;
+  rcfg.replicas = 2;
+  rcfg.batcher.workers = 1;
+  rcfg.batcher.max_latency = std::chrono::microseconds(500);
+  serve::Router router(predictor, rcfg);
   net::HttpServerConfig hcfg;
   hcfg.workers = 2;
-  net::HttpServer http(batcher, hcfg);
+  net::HttpServer http(router, hcfg);
 
   net::LoadGenConfig cfg;
   cfg.port = http.port();
@@ -176,12 +195,13 @@ TEST(NetStress, LoadgenAccountingConserves) {
 TEST(NetStress, LoadgenScheduleIsDeterministic) {
   const core::Predictor predictor(
       core::build_bnn(core::ArchitectureId::kMicroCnv, 203));
-  serve::BatcherConfig bcfg;
-  bcfg.workers = 1;
-  serve::BatchingServer batcher(predictor, bcfg);
+  serve::RouterConfig rcfg;
+  rcfg.replicas = 1;
+  rcfg.batcher.workers = 1;
+  serve::Router router(predictor, rcfg);
   net::HttpServerConfig hcfg;
   hcfg.workers = 1;
-  net::HttpServer http(batcher, hcfg);
+  net::HttpServer http(router, hcfg);
 
   net::LoadGenConfig cfg;
   cfg.port = http.port();

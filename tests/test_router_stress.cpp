@@ -1,0 +1,198 @@
+// Concurrency hammering for the dispatcher/replica split, written for the
+// ThreadSanitizer configuration (ctest -L stress): client tasks race
+// try_submit against an administrator that drains and hot-swaps replicas
+// mid-flight. Invariants under fire:
+//
+//   - every accepted future resolves with a value (drain never abandons
+//     accepted work, swap never crosses responses between generations),
+//   - accounting conserves: attempts == accepted + shed, and the replica
+//     stats sum to exactly the accepted count (the Router never placed a
+//     request onto a replica that did not record it),
+//   - the fleet keeps answering while any replica is serving (zero
+//     downtime across a rolling swap).
+//
+// Client concurrency comes from parallel::ThreadPool (repo rule R2).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "core/architecture.hpp"
+#include "core/predictor.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/router.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bcop;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_image(util::Rng& rng) {
+  Tensor image(Shape{32, 32, 3});
+  for (std::int64_t i = 0; i < image.numel(); ++i)
+    image[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return image;
+}
+
+struct ClientTally {
+  std::uint64_t attempts = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t resolved = 0;  // accepted futures that delivered a value
+  std::uint64_t failed = 0;    // accepted futures that threw
+};
+
+// Rolling hot-swap under client fire: an admin task swaps each replica
+// round-robin while clients hammer try_submit. Nothing may be lost and
+// nothing may fail -- a drained replica resolves its queue, the Router
+// routes around it, and at least one replica is serving at all times
+// (swaps are sequential).
+TEST(RouterStress, RollingHotSwapLosesNothing) {
+  const core::Predictor p(
+      core::build_bnn(core::ArchitectureId::kMicroCnv, 50));
+  const core::Predictor next(
+      core::build_bnn(core::ArchitectureId::kMicroCnv, 51));
+
+  serve::RouterConfig cfg;
+  cfg.replicas = 3;
+  cfg.batcher.workers = 1;
+  cfg.batcher.max_batch = 4;
+  cfg.batcher.queue_capacity = 16;
+  cfg.batcher.max_latency = std::chrono::microseconds(500);
+  serve::Router router(p, cfg);
+
+  const int kClients = 3;
+  const int kSwapRounds = 2;
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(kClients));
+  std::atomic<bool> swapping{true};
+
+  parallel::ThreadPool pool(kClients + 1);
+  pool.submit([&] {
+    // Rolling deploy: drain+restart each replica in turn, twice. The
+    // Router must keep placing on the other two the whole time.
+    for (int round = 0; round < kSwapRounds; ++round)
+      for (int i = 0; i < router.size(); ++i)
+        router.swap_model(i, round % 2 ? p : next);
+    swapping.store(false, std::memory_order_release);
+  });
+  for (int c = 0; c < kClients; ++c) {
+    ClientTally* tally = &tallies[static_cast<std::size_t>(c)];
+    pool.submit([&, tally, c] {
+      util::Rng rng(static_cast<std::uint64_t>(300 + c));
+      const Tensor image = random_image(rng);
+      // Keep firing until the admin finishes, then a fixed coda so every
+      // client records post-swap traffic too.
+      int coda = 50;
+      while (swapping.load(std::memory_order_acquire) || coda-- > 0) {
+        ++tally->attempts;
+        auto future = router.try_submit(image);
+        if (!future.has_value()) {
+          ++tally->shed;
+          continue;
+        }
+        ++tally->accepted;
+        try {
+          future->get();
+          ++tally->resolved;
+        } catch (...) {
+          ++tally->failed;
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+
+  std::uint64_t attempts = 0, accepted = 0, shed = 0, resolved = 0,
+                failed = 0;
+  for (const ClientTally& t : tallies) {
+    attempts += t.attempts;
+    accepted += t.accepted;
+    shed += t.shed;
+    resolved += t.resolved;
+    failed += t.failed;
+  }
+  EXPECT_GT(accepted, 0u) << "the fleet must keep serving across swaps";
+  EXPECT_EQ(attempts, accepted + shed) << "tri-state admission conserves";
+  EXPECT_EQ(resolved, accepted)
+      << "every accepted future must deliver a value";
+  EXPECT_EQ(failed, 0u);
+  // Placement honesty: what the clients saw accepted is exactly what the
+  // replicas recorded (across all generations) -- the Router never placed
+  // work on a replica that was not serving it.
+  EXPECT_EQ(router.stats().requests,
+            static_cast<std::int64_t>(accepted));
+  for (int i = 0; i < router.size(); ++i)
+    EXPECT_EQ(router.replica(i).state(), serve::ReplicaState::kServing)
+        << "replica " << i << " must finish the rolling swap serving";
+}
+
+// Drain races admission: clients hammer one replica while it drains.
+// Every future accepted before the drain resolves, everything after is
+// shed by the Router (counted), and nothing deadlocks.
+TEST(RouterStress, DrainUnderFireResolvesAcceptedWork) {
+  const core::Predictor p(
+      core::build_bnn(core::ArchitectureId::kMicroCnv, 52));
+  serve::RouterConfig cfg;
+  cfg.replicas = 1;
+  cfg.batcher.workers = 1;
+  cfg.batcher.max_batch = 4;
+  cfg.batcher.max_latency = std::chrono::microseconds(500);
+  serve::Router router(p, cfg);
+
+  const int kClients = 3;
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(kClients));
+  std::atomic<bool> go{false};
+
+  parallel::ThreadPool pool(kClients + 1);
+  for (int c = 0; c < kClients; ++c) {
+    ClientTally* tally = &tallies[static_cast<std::size_t>(c)];
+    pool.submit([&, tally, c] {
+      util::Rng rng(static_cast<std::uint64_t>(400 + c));
+      const Tensor image = random_image(rng);
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < 60; ++i) {
+        ++tally->attempts;
+        auto future = router.try_submit(image);
+        if (!future.has_value()) {
+          ++tally->shed;
+          continue;
+        }
+        ++tally->accepted;
+        try {
+          future->get();
+          ++tally->resolved;
+        } catch (...) {
+          ++tally->failed;
+        }
+      }
+    });
+  }
+  pool.submit([&] {
+    go.store(true, std::memory_order_release);
+    router.drain(0);
+  });
+  pool.wait_idle();
+
+  EXPECT_EQ(router.replica(0).state(), serve::ReplicaState::kStopped);
+  std::uint64_t attempts = 0, accepted = 0, shed = 0, resolved = 0,
+                failed = 0;
+  for (const ClientTally& t : tallies) {
+    attempts += t.attempts;
+    accepted += t.accepted;
+    shed += t.shed;
+    resolved += t.resolved;
+    failed += t.failed;
+  }
+  EXPECT_EQ(attempts, accepted + shed);
+  EXPECT_EQ(resolved, accepted)
+      << "drain must resolve every accepted future, never abandon one";
+  EXPECT_EQ(failed, 0u);
+  EXPECT_EQ(router.stats().requests, static_cast<std::int64_t>(accepted));
+}
+
+}  // namespace

@@ -262,6 +262,77 @@ TEST(Serve, QueueDepthReflectsPendingRequests) {
   EXPECT_EQ(server.queue_depth(), 0);
 }
 
+// Lifecycle is never an exception: after shutdown(), submit() returns a
+// future that carries the rejection (std::runtime_error at get()) instead
+// of unwinding the caller, and try_submit() reports nullopt. Both count
+// bcop_serve_rejected_total so drained traffic stays on the ledger.
+TEST(Serve, SubmitAfterShutdownReturnsRejectedFuture) {
+  const core::Predictor p = make_predictor(40);
+  util::Rng rng(41);
+  const Tensor image = nth_image(random_batch(1, rng), 0);
+  serve::BatcherConfig cfg;
+  cfg.workers = 1;
+  serve::BatchingServer server(p, cfg);
+  server.shutdown();
+
+  obs::Counter& rejected =
+      obs::Registry::global().counter("bcop_serve_rejected_total");
+  const std::uint64_t before = rejected.value();
+  std::future<core::Predictor::Result> future;
+  EXPECT_NO_THROW(future = server.submit(image));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready)
+      << "the rejection must already be in the future";
+  EXPECT_THROW(future.get(), std::runtime_error);
+  EXPECT_FALSE(server.try_submit(image).has_value());
+  EXPECT_EQ(rejected.value() - before, 2u);
+}
+
+// shutdown() is idempotent and the destructor tolerates an explicit call
+// having happened first.
+TEST(Serve, ShutdownIsIdempotent) {
+  const core::Predictor p = make_predictor(42);
+  serve::BatcherConfig cfg;
+  cfg.workers = 2;
+  serve::BatchingServer server(p, cfg);
+  server.shutdown();
+  server.shutdown();  // second call must be a no-op, not a hang or crash
+}
+
+// Every future accepted before shutdown still resolves: shutdown drains.
+TEST(Serve, ShutdownDrainsAcceptedRequests) {
+  const core::Predictor p = make_predictor(43);
+  util::Rng rng(44);
+  const Tensor batch = random_batch(6, rng);
+  serve::BatcherConfig cfg;
+  cfg.workers = 1;
+  cfg.max_batch = 2;
+  serve::BatchingServer server(p, cfg);
+  std::vector<std::future<core::Predictor::Result>> futures;
+  for (std::int64_t i = 0; i < 6; ++i)
+    futures.push_back(server.submit(nth_image(batch, i)));
+  server.shutdown();
+  for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+// Predictor::replicate: the deployment clone classifies identically but
+// owns nothing of the training graph.
+TEST(Serve, ReplicatedPredictorClassifiesIdentically) {
+  const core::Predictor p = make_predictor(45);
+  const core::Predictor clone = p.replicate();
+  EXPECT_EQ(clone.model().size(), 0u)
+      << "replicas serve the folded net only; the float graph stays home";
+  EXPECT_EQ(clone.network().expected_input_shape(),
+            p.network().expected_input_shape());
+  util::Rng rng(46);
+  const Tensor batch = random_batch(5, rng);
+  const auto a = p.classify_batch(batch);
+  const auto b = clone.classify_batch(batch);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    expect_same_result(a[i], b[i], static_cast<std::int64_t>(i));
+}
+
 // End to end with rendered faces: the server answers exactly what
 // Predictor::classify answers for the same image.
 TEST(Serve, ServerAgreesWithClassifyOnFaces) {
