@@ -50,6 +50,10 @@
 using namespace bcop;
 using Clock = std::chrono::steady_clock;
 
+#ifndef BCOP_GIT_SHA
+#define BCOP_GIT_SHA "unknown"
+#endif
+
 namespace {
 
 double seconds_since(Clock::time_point t0) {
@@ -125,8 +129,10 @@ int main(int argc, char** argv) {
 
     std::FILE* json = std::fopen(out_path.c_str(), "w");
     if (!json) throw std::runtime_error("cannot write " + out_path);
-    std::fprintf(json, "{\n  \"full\": %s,\n  \"kernel_level\": \"%s\",\n  \"archs\": [",
-                 full ? "true" : "false", kernel_level);
+    std::fprintf(json,
+                 "{\n  \"full\": %s,\n  \"kernel_level\": \"%s\",\n"
+                 "  \"git_sha\": \"%s\",\n  \"archs\": [",
+                 full ? "true" : "false", kernel_level, BCOP_GIT_SHA);
 
     std::printf("Serving-path throughput (batched bit-domain engine vs "
                 "single-image path)\nkernel dispatch tier: %s\n%s\n\n",

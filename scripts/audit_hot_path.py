@@ -18,6 +18,10 @@ Audited translation units (the plan-replay path):
 
   src/xnor/exec.cpp   the interpreter: every steady-state serving cycle is
                       one replay through this TU.
+  src/xnor/exec_residual.cpp  the ReBNet residual replay kernels the
+                      interpreter branches into for M > 1 plans
+                      (multi-level GEMM accumulation, pattern-bank firing,
+                      lexicographic pooling).
   src/obs/metrics.cpp the metric recording primitives the interpreter and
                       the serving path record into.
   src/tensor/bit_span.cpp        span-kernel entry points the engine's
@@ -61,6 +65,8 @@ ROOT = Path(__file__).resolve().parent.parent
 # (source file the object was compiled from, why it must stay clean)
 AUDITED_TUS = [
     ("src/xnor/exec.cpp", "plan interpreter (steady-state replay path)"),
+    ("src/xnor/exec_residual.cpp",
+     "residual-binarization replay kernels (multi-level GEMM/fire/pool)"),
     ("src/obs/metrics.cpp", "metric recording primitives"),
     ("src/tensor/bit_span.cpp", "span-kernel entry points"),
     ("src/tensor/kernels/scalar.cpp", "scalar kernel tier (reference)"),

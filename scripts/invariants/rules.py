@@ -49,11 +49,12 @@ ALLOC_TOKENS = re.compile(
     r"|\bTensor\s*\(|\bBitMatrix\s*\("
     r"|push_back|emplace_back|\.resize\s*\(|\.reserve\s*\("
 )
-# The interpreter, the span-kernel entry points it replays, and every
-# kernel dispatch tier -- all audited at the object level too by
-# scripts/audit_hot_path.py.
+# The interpreter, the residual-binarization replay kernels, the
+# span-kernel entry points they replay, and every kernel dispatch tier --
+# all audited at the object level too by scripts/audit_hot_path.py.
 ALLOC_FREE_FILES = (
     "src/xnor/exec.cpp",
+    "src/xnor/exec_residual.cpp",
     "src/tensor/bit_span.cpp",
     "src/tensor/kernels/scalar.cpp",
     "src/tensor/kernels/avx2.cpp",
@@ -201,6 +202,8 @@ RULES: list[Rule] = [
         "inlined -- the binary audit backs this up at the symbol level",
         {
             "src/xnor/exec.cpp":
+                ("mutex", "iostream", "functional", "sys/socket.h", "poll.h"),
+            "src/xnor/exec_residual.cpp":
                 ("mutex", "iostream", "functional", "sys/socket.h", "poll.h"),
             "src/obs/metrics.hpp":
                 ("mutex", "iostream", "functional", "sys/socket.h", "poll.h"),

@@ -10,6 +10,7 @@
 #include "nn/flatten.hpp"
 #include "nn/maxpool.hpp"
 #include "nn/relu.hpp"
+#include "nn/residual_sign.hpp"
 #include "nn/sign_activation.hpp"
 #include "util/rng.hpp"
 
@@ -120,23 +121,34 @@ std::vector<LayerSpec> layer_specs(ArchitectureId id) {
   throw std::invalid_argument("layer_specs: bad id");
 }
 
-nn::Sequential build_bnn(ArchitectureId id, std::uint64_t seed) {
+nn::Sequential build_bnn(ArchitectureId id, std::uint64_t seed,
+                         std::int64_t residual_levels) {
+  if (residual_levels < 1 || residual_levels > nn::ResidualSign::kMaxLevels)
+    throw std::invalid_argument("build_bnn: residual_levels must be in [1, 3]");
   util::Rng rng(seed);
   nn::Sequential model(arch_name(id));
   const std::vector<LayerSpec> specs = layer_specs(id);
+  // M == 1 keeps emitting plain SignActivation so the single-level model
+  // (and its folded xnor plan) stays bit-identical to every prior PR.
+  const auto add_sign = [&] {
+    if (residual_levels == 1)
+      model.emplace<nn::SignActivation>();
+    else
+      model.emplace<nn::ResidualSign>(residual_levels);
+  };
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const LayerSpec& s = specs[i];
     if (s.is_conv) {
       model.emplace<nn::BinaryConv2d>(s.k, s.ci, s.co, rng);
       model.emplace<nn::BatchNorm>(s.co);
-      model.emplace<nn::SignActivation>();
+      add_sign();
       if (s.pool_after) model.emplace<nn::MaxPool2>();
     } else {
       if (s.name == "FC.1") model.emplace<nn::Flatten>();
       model.emplace<nn::BinaryDense>(s.ci, s.co, rng);
       if (i + 1 < specs.size()) {  // classifier layer has no BN/sign
         model.emplace<nn::BatchNorm>(s.co);
-        model.emplace<nn::SignActivation>();
+        add_sign();
       }
     }
   }

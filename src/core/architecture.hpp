@@ -53,7 +53,13 @@ struct LayerSpec {
 std::vector<LayerSpec> layer_specs(ArchitectureId id);
 
 /// Build the trainable BNN for a prototype (fresh Glorot weights).
-nn::Sequential build_bnn(ArchitectureId id, std::uint64_t seed);
+/// `residual_levels` selects the activation binarization depth M:
+/// 1 (default) emits plain SignActivation -- byte-identical to the
+/// pre-residual builders -- while 2 or 3 emit nn::ResidualSign so every
+/// hidden activation carries M residual binary levels (ReBNet; see
+/// docs/residual-binarization.md).
+nn::Sequential build_bnn(ArchitectureId id, std::uint64_t seed,
+                         std::int64_t residual_levels = 1);
 
 /// Build the FP32 CNV baseline (Conv2d + BatchNorm + ReLU, Dense head)
 /// used by the paper for the Grad-CAM comparison column.

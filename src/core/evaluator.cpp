@@ -99,9 +99,9 @@ ConfusionMatrix Evaluator::evaluate_model(
 
 ConfusionMatrix Evaluator::evaluate_xnor(
     const xnor::XnorNetwork& net, const std::vector<facegen::Sample>& samples,
-    std::int64_t batch_size) {
+    std::int64_t batch_size, std::int64_t levels) {
   return evaluate_batched(samples, batch_size, [&](const tensor::Tensor& x) {
-    return net.predict(x);
+    return tensor::argmax_rows(net.forward_batch(x, levels));
   });
 }
 

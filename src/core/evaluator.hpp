@@ -37,9 +37,13 @@ class Evaluator {
                                         std::int64_t batch_size = 128);
 
   /// Evaluate a folded XNOR network (the deployment path; much faster).
+  /// `levels` caps the residual binarization depth (XnorNetwork::plan_for
+  /// semantics: 0 = every trained level) -- the knob the residual
+  /// accuracy/FPS frontier bench sweeps (docs/residual-binarization.md).
   static ConfusionMatrix evaluate_xnor(const xnor::XnorNetwork& net,
                                        const std::vector<facegen::Sample>& samples,
-                                       std::int64_t batch_size = 128);
+                                       std::int64_t batch_size = 128,
+                                       std::int64_t levels = 0);
 };
 
 }  // namespace bcop::core

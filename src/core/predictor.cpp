@@ -29,7 +29,16 @@ Predictor Predictor::replicate() const {
   Predictor clone;
   clone.net_ = net_;
   clone.want_ = want_;
+  clone.serve_levels_ = serve_levels_;
   return clone;
+}
+
+void Predictor::set_serve_levels(std::int64_t levels) {
+  BCOP_CHECK(levels >= 0 && levels <= net_.max_levels(),
+             "set_serve_levels: cap %lld outside [0, %lld] for %s",
+             static_cast<long long>(levels),
+             static_cast<long long>(net_.max_levels()), net_.name().c_str());
+  serve_levels_ = levels;
 }
 
 std::vector<Predictor::Result> Predictor::classify_batch(
@@ -62,7 +71,7 @@ void Predictor::classify_batch(const tensor::Tensor& batch,
                static_cast<long long>(want[1]),
                static_cast<long long>(want[2]));
   }
-  net_.forward_batch(batch, ws, logits);
+  net_.forward_batch(batch, ws, logits, serve_levels_);
   const std::int64_t n = logits.shape()[0], classes = logits.shape()[1];
   BCOP_CHECK(classes == facegen::kNumClasses,
              "classify_batch: model emits %lld classes, expected %d",
@@ -80,8 +89,18 @@ void Predictor::classify_batch(const tensor::Tensor& batch,
       r.scores[static_cast<std::size_t>(c)] = std::exp(row[c] - mx);
       sum += r.scores[static_cast<std::size_t>(c)];
     }
-    for (std::int64_t c = 0; c < classes; ++c)
-      r.scores[static_cast<std::size_t>(c)] /= sum;
+    float top1 = 0.f, top2 = 0.f;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const float p = r.scores[static_cast<std::size_t>(c)] / sum;
+      r.scores[static_cast<std::size_t>(c)] = p;
+      if (p > top1) {
+        top2 = top1;
+        top1 = p;
+      } else if (p > top2) {
+        top2 = p;
+      }
+    }
+    r.margin = top1 - top2;
   }
 }
 

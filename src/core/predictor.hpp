@@ -35,6 +35,12 @@ class Predictor {
   struct Result {
     facegen::MaskClass label = facegen::MaskClass::kCorrect;
     std::array<float, facegen::kNumClasses> scores{};  // softmax of logits
+    /// Confidence margin: softmax(top-1) - softmax(top-2), in [0, 1].
+    /// Near 0 means the classifier is torn between two classes -- the
+    /// signal serve::TieredRouter uses to escalate a request from the
+    /// cheap M = 1 tier to the full residual depth
+    /// (docs/residual-binarization.md).
+    float margin = 0.f;
     /// True when the subject may pass a gate (mask correctly worn).
     bool admit() const { return label == facegen::MaskClass::kCorrect; }
   };
@@ -62,6 +68,17 @@ class Predictor {
   nn::Sequential& mutable_model() { return model_; }
   const xnor::XnorNetwork& network() const { return net_; }
 
+  /// Cap the residual binarization depth this predictor serves at
+  /// (XnorNetwork::plan_for semantics: 0 = every trained level, m in
+  /// [1, max_levels()] truncates the deeper planes and their threshold
+  /// banks). Classic M = 1 networks are unaffected by any value.
+  /// replicate() copies the cap, which is how serve::TieredRouter builds
+  /// an M = 1 fast tier and a full-depth escalation tier from one trained
+  /// model. Not thread-safe against concurrent classify calls: set it
+  /// before serving starts.
+  void set_serve_levels(std::int64_t levels);
+  std::int64_t serve_levels() const { return serve_levels_; }
+
  private:
   /// For replicate(): clones start empty and copy net_/want_ directly.
   Predictor() = default;
@@ -71,6 +88,8 @@ class Predictor {
   /// net_.expected_input_shape(), computed once at construction so the
   /// per-batch contract check stays allocation-free.
   tensor::Shape want_;
+  /// Residual level cap applied to every classify call (0 = full depth).
+  std::int64_t serve_levels_ = 0;
 };
 
 }  // namespace bcop::core

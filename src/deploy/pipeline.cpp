@@ -38,6 +38,15 @@ StreamingPipeline::StreamingPipeline(const xnor::XnorNetwork& net,
   // network's stages one-to-one.
   std::size_t si = 0;
   for (const auto& stage : net.stages()) {
+    // The streaming MVTU model evaluates one {-1,+1} plane per stage; it
+    // has no residual-plane dataflow, so reject ReBNet-folded networks up
+    // front instead of silently dropping their deeper planes (serve them
+    // through the ExecutionPlan interpreter instead).
+    if (const auto* rs = xnor::stage_residual(stage);
+        rs != nullptr && (rs->levels > 1 || rs->scaled()))
+      throw std::invalid_argument(
+          "StreamingPipeline: residual-binarized stages (M > 1) are not "
+          "supported by the streaming dataflow model");
     const std::string kind = xnor::stage_kind(stage);
     if (kind == "Pool" || kind == "Flatten") continue;
     if (si >= specs_.size())

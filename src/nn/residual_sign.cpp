@@ -1,0 +1,131 @@
+#include "nn/residual_sign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bcop::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+ResidualSign::ResidualSign(std::int64_t levels) : levels_(levels) {
+  if (levels < 1 || levels > kMaxLevels)
+    throw std::invalid_argument("ResidualSign: levels must be in [1, 3]");
+  // Halving init (gamma_m = 2^-m) sits mid-grid and already satisfies the
+  // dominance chain, so quantization is the identity at step 0.
+  scales_.value = Tensor(Shape{levels});
+  for (std::int64_t m = 0; m < levels; ++m)
+    scales_.value[m] = std::ldexp(1.f, static_cast<int>(-m));
+}
+
+std::vector<std::int32_t> ResidualSign::quantized_scale_bits() const {
+  std::vector<std::int32_t> g(static_cast<std::size_t>(levels_), 0);
+  std::int32_t prev = 0;
+  for (std::int64_t m = 0; m < levels_; ++m) {
+    const std::int32_t rounded = static_cast<std::int32_t>(
+        std::lround(scales_.value[m] * static_cast<float>(kScaleGrid)));
+    std::int32_t lo, hi;
+    if (m == 0) {
+      lo = kMinFirstBits;
+      hi = kMaxFirstBits;
+    } else {
+      // Floor lo_m = 2^(L-1-m) keeps the tail feasible: lo_{m-1} = 2*lo_m
+      // guarantees prev/2 >= lo_m, so the clamp below never inverts.
+      lo = std::int32_t{1} << (levels_ - 1 - m);
+      hi = std::max(prev / 2, lo);
+    }
+    g[static_cast<std::size_t>(m)] = std::clamp(rounded, lo, hi);
+    prev = g[static_cast<std::size_t>(m)];
+  }
+  return g;
+}
+
+std::vector<float> ResidualSign::quantized_scales() const {
+  const std::vector<std::int32_t> g = quantized_scale_bits();
+  std::vector<float> q(g.size());
+  for (std::size_t m = 0; m < g.size(); ++m)
+    q[m] = static_cast<float>(g[m]) / static_cast<float>(kScaleGrid);
+  return q;
+}
+
+Tensor ResidualSign::forward(const Tensor& input, bool training) {
+  const std::vector<float> q = quantized_scales();
+  if (training) input_ = input;
+
+  Tensor residual = input;  // e_m, refined in place
+  Tensor out(input.shape());
+  for (std::int64_t m = 0; m < levels_; ++m) {
+    Tensor b(input.shape());
+    for (std::int64_t i = 0; i < residual.numel(); ++i)
+      b[i] = residual[i] >= 0.f ? 1.f : -1.f;
+    // out accumulates multiples of 1/256 (|out|*256 < 2^24): exact.
+    for (std::int64_t i = 0; i < out.numel(); ++i) {
+      out[i] += q[static_cast<std::size_t>(m)] * b[i];
+      residual[i] -= q[static_cast<std::size_t>(m)] * b[i];
+    }
+    if (training) signs_[static_cast<std::size_t>(m)] = std::move(b);
+  }
+  return out;
+}
+
+Tensor ResidualSign::backward(const Tensor& grad_output) {
+  if (input_.empty())
+    throw std::logic_error("ResidualSign::backward without training forward");
+  if (grad_output.shape() != input_.shape())
+    throw std::invalid_argument("ResidualSign::backward: shape mismatch");
+
+  // dL/dgamma_m = sum_i g_i * b_m[i] (signs treated as constants; the
+  // quantizer is straight-through).
+  scales_.ensure_grad();
+  for (std::int64_t m = 0; m < levels_; ++m) {
+    const Tensor& b = signs_[static_cast<std::size_t>(m)];
+    float acc = 0.f;
+    for (std::int64_t i = 0; i < grad_output.numel(); ++i)
+      acc += grad_output[i] * b[i];
+    scales_.grad[m] += acc;
+  }
+
+  // dL/du: clipped STE through the first level only. Later levels see a
+  // residual already inside [-q_1, q_1], so the level-1 window dominates;
+  // stacking per-level windows just rescales the gradient (ReBNet drops
+  // them too).
+  Tensor dx(grad_output.shape());
+  for (std::int64_t i = 0; i < grad_output.numel(); ++i)
+    dx[i] = std::abs(input_[i]) <= 1.f ? grad_output[i] : 0.f;
+  return dx;
+}
+
+void ResidualSign::post_update() {
+  // Project the master scales into the feasible box the quantizer clamps
+  // to, so the latent and quantized values cannot drift apart without
+  // bound (mirrors latent-weight clipping in the binary layers).
+  float* s = scales_.value.data();
+  s[0] = std::clamp(
+      s[0], static_cast<float>(kMinFirstBits) / kScaleGrid,
+      static_cast<float>(kMaxFirstBits) / kScaleGrid);
+  for (std::int64_t m = 1; m < levels_; ++m) {
+    const float lo = static_cast<float>(std::int32_t{1} << (levels_ - 1 - m)) /
+                     kScaleGrid;
+    s[m] = std::clamp(s[m], lo, s[m - 1] / 2.f);
+  }
+}
+
+void ResidualSign::save(util::BinaryWriter& w) const {
+  w.write_tag("RSGN");
+  w.write_u64(static_cast<std::uint64_t>(levels_));
+  w.write_f32_array(scales_.value.storage());
+}
+
+void ResidualSign::load(util::BinaryReader& r) {
+  r.expect_tag("RSGN");
+  levels_ = static_cast<std::int64_t>(r.read_u64());
+  if (levels_ < 1 || levels_ > kMaxLevels)
+    throw std::runtime_error("ResidualSign::load: bad level count");
+  scales_.value = Tensor(Shape{levels_});
+  scales_.value.storage() = r.read_f32_array();
+  if (scales_.value.storage().size() != static_cast<std::size_t>(levels_))
+    throw std::runtime_error("ResidualSign::load: scale size mismatch");
+}
+
+}  // namespace bcop::nn

@@ -1,0 +1,82 @@
+// ReBNet-style residual binarization activation (Ghasemzadeh et al.).
+//
+// Where SignActivation emits one binary plane, ResidualSign emits the sum
+// of M sequential binary refinements of its input u:
+//
+//   e_1 = u,   b_m = sign(e_m),   e_{m+1} = e_m - q_m * b_m,
+//   out = sum_m q_m * b_m                              (M = levels, 1..3)
+//
+// so each extra level binarizes the residual the earlier levels left
+// behind. Every level reuses the SAME packed XNOR-popcount GEMM at
+// inference -- M levels cost M accumulator passes over one set of packed
+// weights (see docs/residual-binarization.md).
+//
+// The per-level scales gamma_m are trainable, but the values actually
+// *used* by forward() are quantized to the dyadic grid q_m = g_m / 256
+// with integer g_m ("scale bits"). That grid is what makes the folded
+// integer inference path bit-exact against this float graph: every
+// partial sum downstream of a residual activation is an integer multiple
+// of 2^-8 whose magnitude stays far below 2^24, so float addition is
+// exact in ANY association order and the xnor engine's integer
+// accumulator A = sum_m g_m * acc_m reproduces the float logits bit for
+// bit. Quantization also enforces the dominance chain
+//
+//   g_1 >= 16,  g_m <= g_{m-1} / 2   (=> g_1 > g_2 + g_3)
+//
+// which makes the value order of residual activations lexicographic in
+// their sign bits -- the property the bit-domain max-pool relies on.
+//
+// Gradients (straight-through, per ReBNet): dL/dgamma_m = sum_i g_i *
+// b_m[i] treating signs as constants, and dL/du uses the clipped STE
+// window of the FIRST level (|u| <= 1), matching SignActivation when
+// levels == 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace bcop::nn {
+
+class ResidualSign final : public Layer {
+ public:
+  static constexpr std::int64_t kMaxLevels = 3;
+  /// Scales are quantized to integer multiples of 1/kScaleGrid so the
+  /// folded xnor path can accumulate in int32 and stay bit-exact.
+  static constexpr std::int32_t kScaleGrid = 256;
+  /// g_1 bounds: gamma_1 in [1/16, 2].
+  static constexpr std::int32_t kMinFirstBits = 16;
+  static constexpr std::int32_t kMaxFirstBits = 512;
+
+  explicit ResidualSign(std::int64_t levels = 1);
+
+  const char* type() const override { return "ResidualSign"; }
+  tensor::Tensor forward(const tensor::Tensor& input, bool training) override;
+  tensor::Tensor backward(const tensor::Tensor& grad_output) override;
+  std::vector<Param*> params() override { return {&scales_}; }
+  void post_update() override;
+  void save(util::BinaryWriter& w) const override;
+  void load(util::BinaryReader& r) override;
+
+  std::int64_t levels() const { return levels_; }
+
+  /// Integer scale bits g_m (the master gamma_m rounded onto the 1/256
+  /// grid and clamped into the dominance chain). This is the exact
+  /// vector the folding path bakes into ResidualSpec::scale_bits.
+  std::vector<std::int32_t> quantized_scale_bits() const;
+  /// g_m / 256 as floats (all exactly representable). These are the
+  /// values forward() multiplies by and the threshold-folding predicate
+  /// must subtract in the same order.
+  std::vector<float> quantized_scales() const;
+
+ private:
+  std::int64_t levels_ = 1;
+  Param scales_;  // master (latent) gamma_m, shape {levels_}
+
+  tensor::Tensor input_;  // cached for the level-1 STE window
+  std::array<tensor::Tensor, kMaxLevels> signs_;  // b_m, for scale grads
+};
+
+}  // namespace bcop::nn

@@ -10,6 +10,7 @@
 #include "nn/flatten.hpp"
 #include "nn/maxpool.hpp"
 #include "nn/relu.hpp"
+#include "nn/residual_sign.hpp"
 #include "nn/scaled_binary_conv2d.hpp"
 #include "nn/sign_activation.hpp"
 
@@ -26,6 +27,7 @@ LayerPtr make_layer(const std::string& type) {
   if (type == "Flatten") return std::make_unique<Flatten>();
   if (type == "MaxPool2") return std::make_unique<MaxPool2>();
   if (type == "ReLU") return std::make_unique<ReLU>();
+  if (type == "ResidualSign") return std::make_unique<ResidualSign>();
   if (type == "ScaledBinaryConv2d")
     return std::make_unique<ScaledBinaryConv2d>();
   if (type == "SignActivation") return std::make_unique<SignActivation>();

@@ -1,0 +1,104 @@
+#include "serve/tiered.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/registry.hpp"
+#include "util/check.hpp"
+
+namespace bcop::serve {
+
+using core::Predictor;
+
+/// Tier telemetry (naming scheme in docs/observability.md; the ledger
+/// interaction with bcop_serve_rejected_total is documented in
+/// tiered.hpp).
+struct TieredRouter::Metrics {
+  obs::Counter& submitted;        // accepted into the low tier
+  obs::Counter& resolved_low;     // answered by the fast tier alone
+  obs::Counter& escalated;        // re-served at the high depth
+  obs::Counter& escalation_shed;  // high tier full; answered low instead
+
+  static Metrics& get() {
+    auto& reg = obs::Registry::global();
+    static Metrics m{
+        reg.counter("bcop_serve_tiered_submitted_total"),
+        reg.counter("bcop_serve_tiered_resolved_low_total"),
+        reg.counter("bcop_serve_tiered_escalated_total"),
+        reg.counter("bcop_serve_tiered_escalation_shed_total")};
+    return m;
+  }
+};
+
+struct TieredRouter::Escalation {
+  std::future<Predictor::Result> low;
+  tensor::Tensor image;  // retained copy, re-submitted on escalation
+  std::promise<Predictor::Result> promise;
+};
+
+TieredRouter::TieredRouter(const Predictor& prototype, TieredConfig config)
+    : config_(config),
+      low_proto_(prototype.replicate()),
+      high_proto_(prototype.replicate()),
+      escalators_(config.escalation_workers) {
+  Metrics::get();  // register before traffic so exports always list them
+  low_proto_.set_serve_levels(config_.low_levels);
+  high_proto_.set_serve_levels(config_.high_levels);
+  low_ = std::make_unique<Router>(low_proto_, config_.low);
+  high_ = std::make_unique<Router>(high_proto_, config_.high);
+}
+
+TieredRouter::~TieredRouter() {
+  // Every escalation task holds a future into the tiers, so the tiers
+  // must stay alive until the chains resolve. The pool itself is a
+  // member (destroyed first), but waiting here makes the ordering
+  // explicit instead of relying on ~ThreadPool draining its queue.
+  escalators_.wait_idle();
+}
+
+std::optional<std::future<Predictor::Result>> TieredRouter::try_submit(
+    tensor::Tensor image, std::int64_t max_depth) {
+  Metrics& metrics = Metrics::get();
+  auto job = std::make_shared<Escalation>();
+  job->image = image;  // deep copy: the low tier consumes the original
+  std::optional<std::future<Predictor::Result>> low_future =
+      low_->try_submit(std::move(image), max_depth);
+  if (!low_future.has_value()) {
+    // Low-tier admission shed: the client-visible 503 path. The shedding
+    // replica (or the low Router) already counted the rejection.
+    return std::nullopt;
+  }
+  metrics.submitted.add(1);
+  job->low = std::move(*low_future);
+  std::future<Predictor::Result> result = job->promise.get_future();
+  // With escalation_workers == 0 the pool runs this inline (ThreadPool's
+  // zero-worker contract), which is the deterministic test mode.
+  escalators_.submit([this, job] {
+    Metrics& m = Metrics::get();
+    try {
+      const Predictor::Result low_result = job->low.get();
+      if (low_result.margin >= config_.margin_threshold) {
+        m.resolved_low.add(1);
+        job->promise.set_value(low_result);
+        return;
+      }
+      m.escalated.add(1);
+      auto high_future =
+          high_->try_submit(std::move(job->image), config_.high_max_depth);
+      if (!high_future.has_value()) {
+        // Degrade, don't fail: the low answer is already in hand, so a
+        // saturated high tier costs accuracy, not availability.
+        m.escalation_shed.add(1);
+        job->promise.set_value(low_result);
+        return;
+      }
+      job->promise.set_value(high_future->get());
+    } catch (...) {
+      job->promise.set_exception(std::current_exception());
+    }
+  });
+  return result;
+}
+
+}  // namespace bcop::serve

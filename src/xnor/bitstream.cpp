@@ -15,7 +15,10 @@ using util::BinaryWriter;
 
 namespace {
 
-constexpr std::uint32_t kVersion = 1;
+// v1: classic single-level stages. v2 appends a RSDL residual section
+// (level count, dyadic scale bits, pattern threshold banks) after each
+// binary stage's thresholds; v1 files load as levels = 1 defaults.
+constexpr std::uint32_t kVersion = 2;
 
 void write_thresholds(BinaryWriter& w, const ThresholdSpec& spec) {
   w.write_tag("THRS");
@@ -65,6 +68,33 @@ BitMatrix read_bits(BinaryReader& r) {
   return m;
 }
 
+void write_residual(BinaryWriter& w, const ResidualSpec& spec) {
+  w.write_tag("RSDL");
+  w.write_u64(static_cast<std::uint64_t>(spec.levels));
+  w.write_i32_array(spec.scale_bits);
+  w.write_u64(spec.extra_banks.size());
+  for (const ThresholdSpec& bank : spec.extra_banks) write_thresholds(w, bank);
+}
+
+ResidualSpec read_residual(BinaryReader& r) {
+  r.expect_tag("RSDL");
+  ResidualSpec spec;
+  spec.levels = static_cast<std::int64_t>(r.read_u64());
+  if (spec.levels < 1 || spec.levels > 3)
+    throw std::runtime_error("bitstream: residual level count out of [1, 3]");
+  spec.scale_bits = r.read_i32_array();
+  if (!spec.scale_bits.empty() &&
+      static_cast<std::int64_t>(spec.scale_bits.size()) != spec.levels)
+    throw std::runtime_error("bitstream: residual scale arity mismatch");
+  const std::uint64_t banks = r.read_u64();
+  if (banks != (std::uint64_t{1} << spec.levels) - 2)
+    throw std::runtime_error("bitstream: residual bank count mismatch");
+  spec.extra_banks.reserve(banks);
+  for (std::uint64_t b = 0; b < banks; ++b)
+    spec.extra_banks.push_back(read_thresholds(r));
+  return spec;
+}
+
 }  // namespace
 
 void save_bitstream(const XnorNetwork& net, const std::string& path) {
@@ -87,6 +117,7 @@ void save_bitstream(const XnorNetwork& net, const std::string& path) {
           packed.set_from_sign(o, i, st->weights.at2(i, o));
       write_bits(w, packed);
       write_thresholds(w, st->thresholds);
+      write_residual(w, st->residual);
     } else if (const auto* st2 = std::get_if<BinConvStage>(&stage)) {
       w.write_tag("BCNV");
       w.write_u64(static_cast<std::uint64_t>(st2->k));
@@ -94,6 +125,7 @@ void save_bitstream(const XnorNetwork& net, const std::string& path) {
       w.write_u64(static_cast<std::uint64_t>(st2->co));
       write_bits(w, st2->weights);
       write_thresholds(w, st2->thresholds);
+      write_residual(w, st2->residual);
     } else if (std::get_if<PoolStage>(&stage)) {
       w.write_tag("POOL");
     } else if (std::get_if<FlattenStage>(&stage)) {
@@ -104,7 +136,10 @@ void save_bitstream(const XnorNetwork& net, const std::string& path) {
       w.write_u64(static_cast<std::uint64_t>(st3->out));
       w.write_u32(st3->has_threshold ? 1 : 0);
       write_bits(w, st3->weights);
-      if (st3->has_threshold) write_thresholds(w, st3->thresholds);
+      if (st3->has_threshold) {
+        write_thresholds(w, st3->thresholds);
+        write_residual(w, st3->residual);
+      }
     }
   }
   w.close();
@@ -114,9 +149,12 @@ XnorNetwork load_bitstream(const std::string& path) {
   BinaryReader r(path);
   r.expect_tag("BCBS");
   const std::uint32_t version = r.read_u32();
-  if (version != kVersion)
+  if (version < 1 || version > kVersion)
     throw std::runtime_error("bitstream: unsupported version " +
                              std::to_string(version));
+  // v1 files predate residual binarization: every stage loads with the
+  // default (levels = 1, unscaled) descriptor.
+  const bool has_residual = version >= 2;
   const std::string name = r.read_string();
   const std::uint64_t count = r.read_u64();
   std::vector<Stage> stages;
@@ -149,6 +187,7 @@ XnorNetwork load_bitstream(const std::string& path) {
         for (std::int64_t i = 0; i < packed.cols(); ++i)
           st.weights.at2(i, o) = packed.get(o, i) ? 1.f : -1.f;
       st.thresholds = read_thresholds(r);
+      if (has_residual) st.residual = read_residual(r);
       stages.emplace_back(std::move(st));
     } else if (kind == "BCNV") {
       BinConvStage st;
@@ -160,6 +199,7 @@ XnorNetwork load_bitstream(const std::string& path) {
           st.weights.cols() != st.k * st.k * st.ci)
         throw std::runtime_error("bitstream: BinConv geometry mismatch");
       st.thresholds = read_thresholds(r);
+      if (has_residual) st.residual = read_residual(r);
       stages.emplace_back(std::move(st));
     } else if (kind == "POOL") {
       stages.emplace_back(PoolStage{});
@@ -173,7 +213,10 @@ XnorNetwork load_bitstream(const std::string& path) {
       st.weights = read_bits(r);
       if (st.weights.rows() != st.out || st.weights.cols() != st.in)
         throw std::runtime_error("bitstream: BinDense geometry mismatch");
-      if (st.has_threshold) st.thresholds = read_thresholds(r);
+      if (st.has_threshold) {
+        st.thresholds = read_thresholds(r);
+        if (has_residual) st.residual = read_residual(r);
+      }
       stages.emplace_back(std::move(st));
     } else {
       throw std::runtime_error("bitstream: unknown stage tag '" + kind + "'");

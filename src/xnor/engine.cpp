@@ -1,5 +1,6 @@
 #include "xnor/engine.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cmath>
 #include <map>
@@ -12,6 +13,7 @@
 #include "nn/binary_dense.hpp"
 #include "nn/flatten.hpp"
 #include "nn/maxpool.hpp"
+#include "nn/residual_sign.hpp"
 #include "nn/sign_activation.hpp"
 #include "tensor/kernels/dispatch.hpp"
 #include "tensor/ops.hpp"
@@ -49,11 +51,13 @@ BitMatrix pack_transposed(const Tensor& w) {
 /// Plans keyed by the exact input shape (rank + dims, batch included)
 /// plus the active kernel dispatch tier -- a plan freezes one tier's
 /// function pointers, so flipping the override must compile (and cache) a
-/// fresh plan instead of replaying stale pointers. std::map keeps
-/// node-stable references, so plan_for can hand out long-lived const
-/// references while the cache keeps growing.
+/// fresh plan instead of replaying stale pointers -- plus the residual
+/// level cap M (0 = all trained levels; a truncated plan lays out fewer
+/// planes and threshold banks, so it is a distinct compilation). std::map
+/// keeps node-stable references, so plan_for can hand out long-lived
+/// const references while the cache keeps growing.
 struct XnorNetwork::PlanCache {
-  using Key = std::array<std::int64_t, 6>;
+  using Key = std::array<std::int64_t, 7>;
   util::Mutex mutex;
   std::map<Key, ExecutionPlan> plans BCOP_GUARDED_BY(mutex);
 };
@@ -99,33 +103,90 @@ std::string stage_kind(const Stage& s) {
       s);
 }
 
+const ResidualSpec* stage_residual(const Stage& s) {
+  return std::visit(
+      [](const auto& st) -> const ResidualSpec* {
+        using T = std::decay_t<decltype(st)>;
+        if constexpr (std::is_same_v<T, PoolStage> ||
+                      std::is_same_v<T, FlattenStage>)
+          return nullptr;
+        else
+          return &st.residual;
+      },
+      s);
+}
+
 XnorNetwork XnorNetwork::fold(nn::Sequential& model) {
   XnorNetwork net;
   net.name_ = model.name();
   const std::size_t n = model.size();
   std::size_t i = 0;
   bool first_conv = true;
+  // Residual scale bits of the CURRENT activation stream: empty while it
+  // is classic {-1,+1} planes (acc = the raw popcount dot); otherwise the
+  // g_m of the producing ResidualSign, so the consumer's accumulator
+  // domain is A = sum_m g_m * acc_m in [-fan * sum(g), fan * sum(g)] with
+  // BN input value A / 256.
+  std::vector<std::int32_t> act_bits;
 
-  auto take_bn_sign = [&](const std::string& where) -> nn::BatchNorm* {
+  struct ActPair {
+    nn::BatchNorm* bn;
+    nn::ResidualSign* rs;  // null for classic SignActivation
+  };
+  auto take_bn_act = [&](const std::string& where) -> ActPair {
     if (i + 1 >= n)
       throw std::runtime_error("XnorNetwork::fold: " + where +
                                " not followed by BatchNorm+Sign");
     auto* bn = dynamic_cast<nn::BatchNorm*>(&model.layer(i));
     auto* sign = dynamic_cast<nn::SignActivation*>(&model.layer(i + 1));
-    if (!bn || !sign)
+    auto* rs = dynamic_cast<nn::ResidualSign*>(&model.layer(i + 1));
+    if (!bn || (!sign && !rs))
       throw std::runtime_error("XnorNetwork::fold: " + where +
                                " must be followed by BatchNorm then Sign, got " +
                                model.layer(i).type() + ", " +
                                model.layer(i + 1).type());
     i += 2;
-    return bn;
+    return {bn, rs};
   };
+
+  // Fold BN + activation over accumulator domain [acc_min, acc_max] into
+  // bank 0 (returned) plus, for residual activations, the pattern banks in
+  // `spec`; leaves act_bits describing this stage's OUTPUT stream.
+  auto fold_activation = [&](const ActPair& act, std::int64_t acc_min,
+                             std::int64_t acc_max, double acc_scale,
+                             ResidualSpec& spec) -> ThresholdSpec {
+    if (!act.rs) {
+      act_bits.clear();
+      spec = ResidualSpec{};
+      return fold_batchnorm(*act.bn, acc_min, acc_max, acc_scale);
+    }
+    const std::vector<float> q = act.rs->quantized_scales();
+    spec.levels = act.rs->levels();
+    spec.scale_bits = act.rs->quantized_scale_bits();
+    spec.extra_banks.clear();
+    for (std::int64_t m = 1; m < spec.levels; ++m)
+      for (std::uint32_t p = 0; p < (1u << m); ++p)
+        spec.extra_banks.push_back(fold_batchnorm_residual(
+            *act.bn, acc_min, acc_max, acc_scale, q, m, p));
+    act_bits = spec.scale_bits;
+    return fold_batchnorm_residual(*act.bn, acc_min, acc_max, acc_scale, q,
+                                   0, 0);
+  };
+  // The consumer accumulator bound and BN value scale implied by the
+  // current input stream (binary fan-in `fan`).
+  auto acc_bound = [&](std::int64_t fan) -> std::int64_t {
+    if (act_bits.empty()) return fan;
+    std::int64_t sum = 0;
+    for (const std::int32_t g : act_bits) sum += g;
+    return fan * sum;
+  };
+  auto acc_scale = [&]() { return act_bits.empty() ? 1.0 : 1.0 / 256.0; };
 
   while (i < n) {
     nn::Layer& l = model.layer(i);
     if (auto* conv = dynamic_cast<nn::BinaryConv2d*>(&l)) {
       ++i;
-      nn::BatchNorm* bn = take_bn_sign(std::string("conv ") + std::to_string(i));
+      const ActPair act = take_bn_act(std::string("conv ") + std::to_string(i));
       const std::int64_t fan = conv->kernel() * conv->kernel() * conv->in_channels();
       if (first_conv) {
         FirstConvStage st;
@@ -133,8 +194,8 @@ XnorNetwork XnorNetwork::fold(nn::Sequential& model) {
         st.ci = conv->in_channels();
         st.co = conv->out_channels();
         st.weights = conv->binarized_weights();
-        st.thresholds =
-            fold_batchnorm(*bn, -fan * kPixelMax, fan * kPixelMax, kPixelScale);
+        st.thresholds = fold_activation(act, -fan * kPixelMax, fan * kPixelMax,
+                                        kPixelScale, st.residual);
         net.stages_.emplace_back(std::move(st));
         first_conv = false;
       } else {
@@ -143,7 +204,9 @@ XnorNetwork XnorNetwork::fold(nn::Sequential& model) {
         st.ci = conv->in_channels();
         st.co = conv->out_channels();
         st.weights = pack_transposed(conv->binarized_weights());
-        st.thresholds = fold_batchnorm(*bn, -fan, fan, 1.0);
+        const std::int64_t bound = acc_bound(fan);
+        const double scale = acc_scale();
+        st.thresholds = fold_activation(act, -bound, bound, scale, st.residual);
         net.stages_.emplace_back(std::move(st));
       }
     } else if (dynamic_cast<nn::MaxPool2*>(&l)) {
@@ -161,8 +224,10 @@ XnorNetwork XnorNetwork::fold(nn::Sequential& model) {
       if (i == n) {
         st.has_threshold = false;  // classifier layer: raw logits
       } else {
-        nn::BatchNorm* bn = take_bn_sign("dense " + std::to_string(i));
-        st.thresholds = fold_batchnorm(*bn, -st.in, st.in, 1.0);
+        const ActPair act = take_bn_act("dense " + std::to_string(i));
+        const std::int64_t bound = acc_bound(st.in);
+        const double scale = acc_scale();
+        st.thresholds = fold_activation(act, -bound, bound, scale, st.residual);
       }
       net.stages_.emplace_back(std::move(st));
     } else {
@@ -176,7 +241,16 @@ XnorNetwork XnorNetwork::fold(nn::Sequential& model) {
   return net;
 }
 
-const ExecutionPlan& XnorNetwork::plan_for(const Shape& input) const {
+std::int64_t XnorNetwork::max_levels() const {
+  std::int64_t levels = 1;
+  for (const Stage& stage : stages_)
+    if (const ResidualSpec* spec = stage_residual(stage))
+      levels = std::max(levels, spec->levels);
+  return levels;
+}
+
+const ExecutionPlan& XnorNetwork::plan_for(const Shape& input,
+                                           std::int64_t levels) const {
   // A moved-from network has no cache -- and no stages either, so it
   // could never serve. The old lazy `if (!cache_) cache_ = ...` revival
   // was an unlocked check-then-act on a shared mutable member (two
@@ -185,32 +259,39 @@ const ExecutionPlan& XnorNetwork::plan_for(const Shape& input) const {
   // hard contract: reassign a moved-from network before serving from it.
   BCOP_CHECK(cache_ != nullptr,
              "plan_for on a moved-from XnorNetwork -- reassign it first");
+  // Normalize the level cap so "no cap", "cap at the trained depth" and
+  // any deeper request all share one cache entry (they compile to the
+  // same plan).
+  if (levels < 0 || levels >= max_levels()) levels = 0;
   PlanCache::Key key{};
   key[0] = input.rank();
   for (int i = 0; i < input.rank(); ++i) key[static_cast<std::size_t>(i) + 1] = input[i];
   key[5] = static_cast<std::int64_t>(tensor::kernels::active_level());
+  key[6] = levels;
   util::MutexLock lock(cache_->mutex);
   auto it = cache_->plans.find(key);
   if (it == cache_->plans.end())
-    it = cache_->plans.emplace(key, ExecutionPlan::compile(*this, input)).first;
+    it = cache_->plans.emplace(key, ExecutionPlan::compile(*this, input, levels))
+             .first;
   return it->second;
 }
 
 void XnorNetwork::forward_batch(const Tensor& input, Workspace& ws,
-                                Tensor& out) const {
-  const ExecutionPlan& plan = plan_for(input.shape());
+                                Tensor& out, std::int64_t levels) const {
+  const ExecutionPlan& plan = plan_for(input.shape(), levels);
   ws.prepare(plan);
   if (out.shape() != plan.output_shape()) out = Tensor(plan.output_shape());
   detail::execute(plan, stages_, input.data(), ws, out.data());
 }
 
-Tensor XnorNetwork::forward_batch(const Tensor& input) const {
+Tensor XnorNetwork::forward_batch(const Tensor& input,
+                                  std::int64_t levels) const {
   // One grow-only workspace per thread serves every network and shape the
   // thread touches; explicit Workspace threading (the overload above) is
   // for callers that manage worker lifetimes themselves, e.g. the server.
   static thread_local Workspace ws;
   Tensor out;
-  forward_batch(input, ws, out);
+  forward_batch(input, ws, out, levels);
   return out;
 }
 
@@ -274,6 +355,14 @@ std::int64_t XnorNetwork::weight_bits() const {
     } else if (const auto* st3 = std::get_if<BinDenseStage>(&stage)) {
       bits += st3->weights.rows() * st3->weights.cols();
       if (st3->has_threshold) bits += st3->out * kThresholdBits;
+    }
+    // Residual stages reuse the packed weights across levels -- that is
+    // the whole point -- but each extra (level, pattern) bank is another
+    // set of per-channel threshold words, plus one 16-bit scale per level.
+    if (const ResidualSpec* spec = stage_residual(stage)) {
+      for (const ThresholdSpec& bank : spec->extra_banks)
+        bits += bank.channels() * kThresholdBits;
+      bits += static_cast<std::int64_t>(spec->scale_bits.size()) * 16;
     }
   }
   return bits;

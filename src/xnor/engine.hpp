@@ -31,11 +31,34 @@
 
 namespace bcop::xnor {
 
+/// ReBNet residual-binarization descriptor for a binary stage's OUTPUT
+/// activation (docs/residual-binarization.md). Classic sign stages keep
+/// the default: one unscaled {-1,+1} plane fired from the stage's single
+/// `thresholds` bank. A residual stage (folded from nn::ResidualSign)
+/// emits `levels` packed planes; plane m carries value scale_bits[m]/256
+/// and fires from the bank selected by the signs levels 0..m-1 actually
+/// produced. Bank 0 (level 0) stays in the stage's `thresholds` field;
+/// extra_banks holds the remaining 2^levels - 2 banks in (level, pattern)
+/// order: the bank for level m >= 1 under sign pattern p (bit j set =>
+/// level j fired +1) lives at index (1 << m) - 2 + p. Truncated serving
+/// (ExecutionPlan::compile with a levels cap) uses a strict prefix of
+/// this layout -- level m's banks only ever depend on levels < m.
+struct ResidualSpec {
+  std::int64_t levels = 1;
+  std::vector<std::int32_t> scale_bits;    // g_m (value = g_m / 256)
+  std::vector<ThresholdSpec> extra_banks;  // levels >= 1, pattern-indexed
+
+  /// Residual stages carry scales even at levels == 1 (plane 0 is worth
+  /// g_0/256, not 1); classic sign stages never do.
+  bool scaled() const { return !scale_bits.empty(); }
+};
+
 /// First layer: quantized-input convolution with binary weights.
 struct FirstConvStage {
   std::int64_t k = 0, ci = 0, co = 0;
   tensor::Tensor weights;  // {-1,+1} floats, [K*K*Ci, Co]
   ThresholdSpec thresholds;
+  ResidualSpec residual;
 };
 
 /// Hidden binary convolution evaluated as XNOR-popcount GEMM.
@@ -43,6 +66,7 @@ struct BinConvStage {
   std::int64_t k = 0, ci = 0, co = 0;
   tensor::BitMatrix weights;  // [Co, K*K*Ci] packed rows
   ThresholdSpec thresholds;
+  ResidualSpec residual;
 };
 
 /// 2x2 stride-2 max pool == boolean OR on the bit encoding.
@@ -57,6 +81,7 @@ struct BinDenseStage {
   std::int64_t in = 0, out = 0;
   tensor::BitMatrix weights;  // [Out, In]
   ThresholdSpec thresholds;
+  ResidualSpec residual;
   bool has_threshold = true;
 };
 
@@ -66,6 +91,12 @@ using Stage =
 
 /// Human-readable stage kind for diagnostics and pipeline dumps.
 std::string stage_kind(const Stage& s);
+
+/// The residual descriptor of a binary stage's output activation, or
+/// nullptr for Pool/Flatten stages (which pass planes through untouched).
+/// The classifier BinDense (has_threshold == false) returns its default
+/// descriptor; its output is logits, not an activation.
+const ResidualSpec* stage_residual(const Stage& s);
 
 class ExecutionPlan;
 class Workspace;
@@ -102,21 +133,34 @@ class XnorNetwork {
   /// combined N*Ho*Wo row dimension. This convenience overload runs
   /// against a thread-local Workspace; steady-state calls with a repeated
   /// input shape allocate only the returned tensor.
-  tensor::Tensor forward_batch(const tensor::Tensor& input) const;
+  tensor::Tensor forward_batch(const tensor::Tensor& input,
+                               std::int64_t levels = 0) const;
 
   /// Allocation-free serving form: executes the cached plan for
   /// input.shape() into `ws` (grown on first use, reused after) and writes
   /// the logits into `out`, which is only reallocated when its shape does
   /// not match the plan output. After a warm call, steady state performs
   /// zero heap allocations (measured by tests/test_zero_alloc.cpp).
+  /// `levels` caps the residual binarization depth the plan evaluates
+  /// (0 = every level the network was trained with; see plan_for).
   void forward_batch(const tensor::Tensor& input, Workspace& ws,
-                     tensor::Tensor& out) const;
+                     tensor::Tensor& out, std::int64_t levels = 0) const;
 
   /// The frozen execution plan for inputs of this exact shape (batch
   /// included). Compiled on first use, cached for the network's lifetime;
   /// safe to call from multiple threads. The reference stays valid as long
   /// as the network (plans are cached in node-stable storage).
-  const ExecutionPlan& plan_for(const tensor::Shape& input) const;
+  ///
+  /// `levels` caps the residual depth M the plan evaluates: a network
+  /// trained at M = 3 serves at M = 1 or 2 by simply dropping the higher
+  /// planes and their threshold banks (level m never depends on levels
+  /// above it). 0 -- and any cap at or above max_levels() -- means "all
+  /// trained levels" and normalizes to the same cache entry.
+  const ExecutionPlan& plan_for(const tensor::Shape& input,
+                                std::int64_t levels = 0) const;
+
+  /// Deepest residual binarization among the stages (1 for classic BNNs).
+  std::int64_t max_levels() const;
 
   /// Argmax class per sample.
   std::vector<std::int64_t> predict(const tensor::Tensor& input) const;

@@ -15,6 +15,7 @@
 #include "tensor/bit_span.hpp"
 #include "tensor/kernels/kernel_api.hpp"
 #include "util/check.hpp"
+#include "xnor/exec_residual.hpp"
 
 #if BCOP_OBS
 // Telemetry is allowed in this file because recording is atomics-only:
@@ -235,6 +236,8 @@ void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
   std::uint64_t* patch =
       reinterpret_cast<std::uint64_t*>(base + plan.patch_offset());
   std::int32_t* acc = reinterpret_cast<std::int32_t*>(base + plan.acc_offset());
+  std::int32_t* acc2 =
+      reinterpret_cast<std::int32_t*>(base + plan.acc2_offset());
   float* fscratch = reinterpret_cast<float*>(base + plan.float_offset());
 
 #if BCOP_OBS
@@ -276,18 +279,36 @@ void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
         const std::int64_t numel = st.n * st.h * st.w * st.c;
         for (std::int64_t j = 0; j < numel; ++j)
           fscratch[j] = std::nearbyint(input[j] * 255.f);
-        const PreparedThresholds& prep = plan.prep(st.prep);
-        FirstConvCtx ctx{fscratch, &fc,   prep.thr.data(), prep.inv.data(),
-                         st.h,     st.w,  st.c,            st.ho,
-                         st.wo,    dst};
-        ThreadPool::global().for_chunks(0, st.out_rows, &first_conv_chunk,
-                                        &ctx);
+        if (st.levels_out == 1) {
+          const PreparedThresholds& prep = plan.prep(st.prep);
+          FirstConvCtx ctx{fscratch, &fc,   prep.thr.data(), prep.inv.data(),
+                           st.h,     st.w,  st.c,            st.ho,
+                           st.wo,    dst};
+          ThreadPool::global().for_chunks(0, st.out_rows, &first_conv_chunk,
+                                          &ctx);
+        } else {
+          // Residual entry: materialize the integer accumulators, then
+          // fire the pattern banks (exec_residual.cpp).
+          residual_first_conv(st, fc, fscratch, acc);
+          residual_fire(plan, st, acc, half[st.dst_half]);
+        }
         break;
       }
       case StepKind::kPackInput:
         tensor::pack_rows(input, st.out_rows, st.out_cols, dst);
         break;
       case StepKind::kBinConv: {
+        if (st.levels_in > 1 || st.in_scaled || st.levels_out > 1) {
+          // Residual stream on either side: multi-pass scaled GEMM and/or
+          // pattern-bank firing (exec_residual.cpp). The classic path
+          // below stays untouched for single-plane unscaled streams.
+          residual_gemm(plan, st, half[st.src_half], patch, acc, acc2);
+          if (st.levels_out == 1)
+            fire_thresholds(st, acc, plan.prep(st.prep), dst);
+          else
+            residual_fire(plan, st, acc, half[st.dst_half]);
+          break;
+        }
         const BitSpan rows{patch, st.patch_rows, st.patch_cols, st.patch_wpr};
 #if BCOP_OBS
         // Sub-phase split of the conv step: where does a binary conv
@@ -312,26 +333,71 @@ void execute(const ExecutionPlan& plan, const std::vector<Stage>& stages,
         break;
       }
       case StepKind::kPool:
-        tensor::pool2_bits(src, st.n, st.h, st.w, dst);
+        if (st.levels_in == 1)
+          tensor::pool2_bits(src, st.n, st.h, st.w, dst);
+        else
+          residual_pool(st, half[st.src_half], half[st.dst_half]);
         break;
       case StepKind::kFlatten:
-        tensor::flatten_pixels(src, st.n, st.h * st.w, st.c, dst);
+        // Flatten is a per-plane bit permutation, so the residual case is
+        // the classic kernel replayed once per plane at shifted bases.
+        for (std::int64_t m = 0; m < st.levels_in; ++m) {
+          const ConstBitSpan s{half[st.src_half] + m * st.in_rows * st.in_wpr,
+                               st.in_rows, st.in_cols, st.in_wpr};
+          const BitSpan d{half[st.dst_half] + m * st.out_rows * st.out_wpr,
+                          st.out_rows, st.out_cols, st.out_wpr};
+          tensor::flatten_pixels(s, st.n, st.h * st.w, st.c, d);
+        }
         break;
       case StepKind::kBinDense:
+        if (st.levels_in > 1 || st.in_scaled || st.levels_out > 1) {
+          residual_gemm(plan, st, half[st.src_half], nullptr, acc, acc2);
+          if (st.levels_out == 1)
+            fire_thresholds(st, acc, plan.prep(st.prep), dst);
+          else
+            residual_fire(plan, st, acc, half[st.dst_half]);
+          break;
+        }
         run_gemm(st, src, plan.wmat(st.wmat), acc);
         fire_thresholds(st, acc, plan.prep(st.prep), dst);
         break;
       case StepKind::kLogits:
+        if (st.levels_in > 1 || st.in_scaled) {
+          // A = 256 * y for scaled inputs; out_scale (1/256) undoes it
+          // exactly -- every logit is a multiple of 2^-8 far below 2^24.
+          residual_gemm(plan, st, half[st.src_half], nullptr, acc, acc2);
+          for (std::int64_t j = 0; j < st.acc_len; ++j)
+            out[j] = static_cast<float>(acc[j]) * st.out_scale;
+          break;
+        }
         run_gemm(st, src, plan.wmat(st.wmat), acc);
         for (std::int64_t j = 0; j < st.acc_len; ++j)
           out[j] = static_cast<float>(acc[j]);
         break;
       case StepKind::kUnpack:
-        for (std::int64_t r = 0; r < st.in_rows; ++r) {
-          const std::uint64_t* row = src.row(r);
-          float* o = out + r * st.in_cols;
-          for (std::int64_t j = 0; j < st.in_cols; ++j)
-            o[j] = ((row[j >> 6] >> (j & 63)) & 1ull) ? 1.f : -1.f;
+        if (st.levels_in == 1 && !st.in_scaled) {
+          for (std::int64_t r = 0; r < st.in_rows; ++r) {
+            const std::uint64_t* row = src.row(r);
+            float* o = out + r * st.in_cols;
+            for (std::int64_t j = 0; j < st.in_cols; ++j)
+              o[j] = ((row[j >> 6] >> (j & 63)) & 1ull) ? 1.f : -1.f;
+          }
+        } else {
+          // Residual reconstruction: sum of signed per-plane values
+          // g_m/256 (exact dyadic floats, any summation order).
+          for (std::int64_t r = 0; r < st.in_rows; ++r) {
+            float* o = out + r * st.in_cols;
+            for (std::int64_t j = 0; j < st.in_cols; ++j) o[j] = 0.f;
+            for (std::int64_t m = 0; m < st.levels_in; ++m) {
+              const std::uint64_t* row = half[st.src_half] +
+                                         m * st.in_rows * st.in_wpr +
+                                         r * st.in_wpr;
+              const float q =
+                  static_cast<float>(st.in_scale_bits[m]) * (1.f / 256.f);
+              for (std::int64_t j = 0; j < st.in_cols; ++j)
+                o[j] += ((row[j >> 6] >> (j & 63)) & 1ull) ? q : -q;
+            }
+          }
         }
         break;
     }

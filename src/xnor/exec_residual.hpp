@@ -1,0 +1,64 @@
+// Residual-binarization steps of the plan interpreter (ReBNet M > 1).
+//
+// exec.cpp dispatches here whenever a step's input or output activation
+// carries more than one packed plane (docs/residual-binarization.md); the
+// classic single-plane steps never enter this TU, so the M = 1 path stays
+// byte-identical to the pre-residual interpreter. Same contract as
+// exec.cpp: ALLOCATION-FREE ZONE -- every buffer is a Workspace arena
+// slice at a plan-frozen offset, scratch lives in fixed-size stack tiles,
+// and parallel fan-out uses ThreadPool::for_chunks. Enforced by lint rule
+// R6, audited at the object level by scripts/audit_hot_path.py, and
+// measured end to end by tests/test_zero_alloc.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "xnor/engine.hpp"
+#include "xnor/plan.hpp"
+
+namespace bcop::xnor::detail {
+
+/// Multi-pass XNOR GEMM for a kBinConv / kBinDense / kLogits step fed by a
+/// residual activation: one (im2row +) GEMM pass per input plane m into
+/// the acc2 scratch, scale-accumulated into `acc` as
+///   acc = sum_m in_scale_bits[m] * acc2_m,
+/// so acc is 256x the real-valued dot product -- exact, since every
+/// partial sum is an integer far below 2^25 (PreparedThresholds::
+/// kAccBound). An unscaled single-plane input (classic stream feeding a
+/// residual stage) degenerates to one direct pass into `acc`; acc2 is
+/// untouched then. `src` is the plane-0 base of the step's source arena
+/// half; `patch` is the shared im2row scratch (conv steps only).
+void residual_gemm(const ExecutionPlan& plan, const PlanStep& st,
+                   const std::uint64_t* src, std::uint64_t* patch,
+                   std::int32_t* acc, std::int32_t* acc2);
+
+/// Fire the (1 << levels_out) - 1 pattern threshold banks of a residual
+/// step over integer accumulators, emitting levels_out packed planes at
+/// `dst` (plane m at word offset m * out_rows * out_wpr). Per channel the
+/// level-m bank is selected by the sign pattern levels 0..m-1 produced:
+/// bank (1 << m) - 1 + pattern, consecutive from st.prep. Full-word
+/// stores keep the trailing-bits-zero invariant on reused arena rows.
+void residual_fire(const ExecutionPlan& plan, const PlanStep& st,
+                   const std::int32_t* acc, std::uint64_t* dst);
+
+/// First-conv accumulation for a residual entry stage: quantized pixel
+/// codes x binary weights into int32 accumulators (acc[r * co + j]),
+/// WITHOUT firing -- residual_fire then runs the pattern banks over them.
+/// The classic entry keeps its fused conv+threshold kernel; this split
+/// exists only because M > 1 firing needs all co accumulators of a pixel
+/// at once. Arithmetic is exact: codes <= 255, |acc| <= K*255 << 2^24.
+void residual_first_conv(const PlanStep& st, const FirstConvStage& fc,
+                         const float* q, std::int32_t* acc);
+
+/// 2x2 stride-2 max pool over a residual activation. On a residual
+/// encoding the max of four candidates is the lexicographic max of their
+/// per-level sign bits (valid because the dyadic scale grid enforces
+/// g_m > g_{m+1} + ... strictly, see docs/residual-binarization.md), so
+/// plane 0 is the plain word-wise OR and each deeper plane ORs only the
+/// candidates still tied on all earlier planes -- a carried AND-mask per
+/// candidate, no per-bit branches. `src`/`dst` are plane-0 bases; plane
+/// strides are in_rows * in_wpr and out_rows * out_wpr words.
+void residual_pool(const PlanStep& st, const std::uint64_t* src,
+                   std::uint64_t* dst);
+
+}  // namespace bcop::xnor::detail

@@ -20,18 +20,40 @@ bool bn_sign_predicate(const nn::BatchNorm& bn, std::int64_t c,
   return scale * x + shift >= 0.f;
 }
 
-ThresholdSpec fold_batchnorm(const nn::BatchNorm& bn, std::int64_t acc_min,
-                             std::int64_t acc_max, double acc_scale) {
-  if (acc_min > acc_max)
-    throw std::invalid_argument("fold_batchnorm: empty accumulator range");
-  const std::int64_t C = bn.channels();
-  ThresholdSpec spec;
-  spec.t.resize(static_cast<std::size_t>(C));
-  spec.flip.resize(static_cast<std::size_t>(C));
+bool bn_residual_sign_predicate(const nn::BatchNorm& bn, std::int64_t c,
+                                std::int64_t acc, double acc_scale,
+                                const std::vector<float>& q,
+                                std::int64_t level, std::uint32_t pattern) {
+  BCOP_DCHECK(level >= 0 && level < static_cast<std::int64_t>(q.size()) + 1,
+              "level %lld out of range", static_cast<long long>(level));
+  const float inv = 1.f / std::sqrt(bn.running_var()[c] + bn.eps());
+  const float scale = bn.gamma()[c] * inv;
+  const float shift = bn.beta()[c] - scale * bn.running_mean()[c];
+  const float x = static_cast<float>(static_cast<double>(acc) * acc_scale);
+  float e = scale * x + shift;
+  // One subtraction per earlier level, in forward order -- the same float
+  // operation sequence as ResidualSign::forward's `residual -= q * b`.
+  for (std::int64_t j = 0; j < level; ++j)
+    e -= (pattern >> j) & 1u ? q[static_cast<std::size_t>(j)]
+                             : -q[static_cast<std::size_t>(j)];
+  return e >= 0.f;
+}
 
-  for (std::int64_t c = 0; c < C; ++c) {
-    const bool at_min = bn_sign_predicate(bn, c, acc_min, acc_scale);
-    const bool at_max = bn_sign_predicate(bn, c, acc_max, acc_scale);
+namespace {
+
+/// Shared monotone binary search: fold any predicate that is weakly
+/// monotone in acc over [acc_min, acc_max] into a ThresholdSpec channel.
+/// The four cases cover always/never (constant channels, e.g. gamma == 0)
+/// and the rising/falling monotone directions.
+template <typename Pred>
+ThresholdSpec fold_monotone(std::int64_t channels, std::int64_t acc_min,
+                            std::int64_t acc_max, const Pred& pred) {
+  ThresholdSpec spec;
+  spec.t.resize(static_cast<std::size_t>(channels));
+  spec.flip.resize(static_cast<std::size_t>(channels));
+  for (std::int64_t c = 0; c < channels; ++c) {
+    const bool at_min = pred(c, acc_min);
+    const bool at_max = pred(c, acc_max);
     const auto ci = static_cast<std::size_t>(c);
     if (at_min && at_max) {
       // Fires everywhere in range: always +1.
@@ -46,7 +68,7 @@ ThresholdSpec fold_batchnorm(const nn::BatchNorm& bn, std::int64_t acc_min,
       std::int64_t lo = acc_min, hi = acc_max;  // lo: false, hi: true
       while (hi - lo > 1) {
         const std::int64_t mid = lo + (hi - lo) / 2;
-        (bn_sign_predicate(bn, c, mid, acc_scale) ? hi : lo) = mid;
+        (pred(c, mid) ? hi : lo) = mid;
       }
       spec.t[ci] = hi;
       spec.flip[ci] = 0;
@@ -55,13 +77,44 @@ ThresholdSpec fold_batchnorm(const nn::BatchNorm& bn, std::int64_t acc_min,
       std::int64_t lo = acc_min, hi = acc_max;  // lo: true, hi: false
       while (hi - lo > 1) {
         const std::int64_t mid = lo + (hi - lo) / 2;
-        (bn_sign_predicate(bn, c, mid, acc_scale) ? lo : hi) = mid;
+        (pred(c, mid) ? lo : hi) = mid;
       }
       spec.t[ci] = lo;
       spec.flip[ci] = 1;
     }
   }
   return spec;
+}
+
+}  // namespace
+
+ThresholdSpec fold_batchnorm(const nn::BatchNorm& bn, std::int64_t acc_min,
+                             std::int64_t acc_max, double acc_scale) {
+  if (acc_min > acc_max)
+    throw std::invalid_argument("fold_batchnorm: empty accumulator range");
+  return fold_monotone(bn.channels(), acc_min, acc_max,
+                       [&](std::int64_t c, std::int64_t acc) {
+                         return bn_sign_predicate(bn, c, acc, acc_scale);
+                       });
+}
+
+ThresholdSpec fold_batchnorm_residual(const nn::BatchNorm& bn,
+                                      std::int64_t acc_min,
+                                      std::int64_t acc_max, double acc_scale,
+                                      const std::vector<float>& q,
+                                      std::int64_t level,
+                                      std::uint32_t pattern) {
+  if (acc_min > acc_max)
+    throw std::invalid_argument(
+        "fold_batchnorm_residual: empty accumulator range");
+  // Subtracting per-level constants from a weakly monotone float function
+  // keeps it weakly monotone (correctly rounded subtraction preserves <=),
+  // so the same binary search stays valid for every (level, pattern) bank.
+  return fold_monotone(bn.channels(), acc_min, acc_max,
+                       [&](std::int64_t c, std::int64_t acc) {
+                         return bn_residual_sign_predicate(
+                             bn, c, acc, acc_scale, q, level, pattern);
+                       });
 }
 
 PreparedThresholds::PreparedThresholds(const ThresholdSpec& spec) {

@@ -65,4 +65,29 @@ ThresholdSpec fold_batchnorm(const nn::BatchNorm& bn, std::int64_t acc_min,
 bool bn_sign_predicate(const nn::BatchNorm& bn, std::int64_t c,
                        std::int64_t acc, double acc_scale);
 
+/// Residual (ReBNet) variant of the predicate: the sign of residual level
+/// `level` given that levels 0..level-1 fired with the signs in `pattern`
+/// (bit j set => level j emitted +1). Mirrors nn::ResidualSign::forward
+/// exactly -- e = BN(x), then one float subtraction q_j * (+-1) per
+/// earlier level IN ORDER -- so folding against it is bit-faithful to the
+/// float graph. `q` are the quantized per-level scales (g_m / 256).
+/// level == 0 reduces to bn_sign_predicate.
+bool bn_residual_sign_predicate(const nn::BatchNorm& bn, std::int64_t c,
+                                std::int64_t acc, double acc_scale,
+                                const std::vector<float>& q,
+                                std::int64_t level, std::uint32_t pattern);
+
+/// Fold BatchNorm + residual level `level` under `pattern` into one
+/// threshold bank, by the same monotone binary search as fold_batchnorm
+/// (subtracting per-level constants preserves weak monotonicity in acc).
+/// A full residual activation needs one bank per (level, pattern) pair:
+/// 2^levels - 1 banks, selected at execution time by the signs the
+/// earlier levels actually fired.
+ThresholdSpec fold_batchnorm_residual(const nn::BatchNorm& bn,
+                                      std::int64_t acc_min,
+                                      std::int64_t acc_max, double acc_scale,
+                                      const std::vector<float>& q,
+                                      std::int64_t level,
+                                      std::uint32_t pattern);
+
 }  // namespace bcop::xnor

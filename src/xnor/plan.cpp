@@ -36,25 +36,77 @@ std::size_t bits_bytes(std::int64_t rows, std::int64_t cols) {
 }  // namespace
 
 ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
-                                     const Shape& input) {
+                                     const Shape& input,
+                                     std::int64_t levels) {
   ExecutionPlan plan;
   plan.input_ = input;
+  plan.levels_ = levels;
   const std::vector<Stage>& stages = net.stages();
   if (stages.empty()) fail("empty stage list");
   if (input.rank() < 2 || input[0] < 1)
     fail("input must be batched ([N, ...] with N >= 1), got " + input.str());
+  if (levels < 0 || levels > 3)
+    fail("residual level cap must be in [0, 3], got " +
+         std::to_string(levels));
 
   std::size_t half_bytes[2] = {0, 0};
-  std::size_t patch_bytes = 0, acc_bytes = 0, float_bytes = 0;
+  std::size_t patch_bytes = 0, acc_bytes = 0, acc2_bytes = 0, float_bytes = 0;
   const std::int64_t n = input[0];
   std::int64_t h = 0, w = 0, c = 0;
   bool flat = false;      // post-flatten rank-2 semantics
   bool terminal = false;  // a Logits step has been emitted
   int cur = 0;            // ping-pong half holding the live activations
+  // The live activation stream's residual shape: plane count, and the
+  // per-plane scale bits when the producer was a ResidualSign (classic
+  // sign streams stay unscaled). Updated by every plane-producing step.
+  std::int64_t cur_levels = 1;
+  bool cur_scaled = false;
+  std::int32_t cur_bits[3] = {0, 0, 0};
 
   auto add_prep = [&](const ThresholdSpec& spec) {
     plan.preps_.emplace_back(spec);
     return static_cast<std::int64_t>(plan.preps_.size()) - 1;
+  };
+  // Push the bank range of a residual stage's output: bank 0 from the
+  // stage's `thresholds`, then the first 2^Lo - 2 extra banks -- a strict
+  // prefix of the (level, pattern) layout, so a truncated plan reuses the
+  // trained banks untouched. Returns the base index (the PlanStep's
+  // `prep`); the effective output depth Lo is min(trained, cap).
+  auto add_prep_banks = [&](const ThresholdSpec& bank0,
+                            const ResidualSpec& spec, std::size_t stage_idx,
+                            std::int64_t& levels_out) {
+    levels_out = spec.levels;
+    if (levels > 0) levels_out = std::min(levels_out, levels);
+    if (spec.levels > 1 &&
+        static_cast<std::int64_t>(spec.extra_banks.size()) !=
+            (std::int64_t{1} << spec.levels) - 2)
+      fail("stage " + std::to_string(stage_idx) + " has " +
+           std::to_string(spec.extra_banks.size()) +
+           " extra threshold banks, expected " +
+           std::to_string((std::int64_t{1} << spec.levels) - 2));
+    if (spec.scaled() &&
+        static_cast<std::int64_t>(spec.scale_bits.size()) != spec.levels)
+      fail("stage " + std::to_string(stage_idx) +
+           " scale-bit arity does not match its level count");
+    const std::int64_t base = add_prep(bank0);
+    for (std::int64_t b = 0; b < (std::int64_t{1} << levels_out) - 2; ++b)
+      add_prep(spec.extra_banks[static_cast<std::size_t>(b)]);
+    return base;
+  };
+  // Record `spec` as the producer of the live stream (post-truncation).
+  auto set_stream = [&](const ResidualSpec& spec, std::int64_t levels_out) {
+    cur_levels = levels_out;
+    cur_scaled = spec.scaled();
+    for (std::int64_t m = 0; m < 3; ++m)
+      cur_bits[m] = m < levels_out && cur_scaled
+                        ? spec.scale_bits[static_cast<std::size_t>(m)]
+                        : 0;
+  };
+  // Stamp the live stream onto a step's input-side residual fields.
+  auto stamp_input = [&](PlanStep& st) {
+    st.levels_in = cur_levels;
+    st.in_scaled = cur_scaled;
+    for (std::int64_t m = 0; m < 3; ++m) st.in_scale_bits[m] = cur_bits[m];
   };
   auto add_wmat = [&](const tensor::BitMatrix& wm) {
     std::vector<std::uint64_t> bt(
@@ -76,15 +128,23 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
     st.im2row_fn = kt.im2row;
     if (st.dst_half >= 0)
       half_bytes[st.dst_half] = std::max(
-          half_bytes[st.dst_half], bits_bytes(st.out_rows, st.out_cols));
-    if (st.acc_len > 0)
+          half_bytes[st.dst_half],
+          bits_bytes(st.out_rows, st.out_cols) *
+              static_cast<std::size_t>(st.levels_out));
+    if (st.acc_len > 0) {
       acc_bytes = std::max(
           acc_bytes, static_cast<std::size_t>(st.acc_len) * sizeof(std::int32_t));
+      // Scaled inputs run one GEMM pass per plane into acc2 before the
+      // scaled accumulate into acc.
+      if (st.in_scaled)
+        acc2_bytes = std::max(acc2_bytes, static_cast<std::size_t>(st.acc_len) *
+                                              sizeof(std::int32_t));
+    }
     plan.steps_.push_back(st);
   };
-  // Bit-domain Flatten: one flat row per image. Emitted for the explicit
-  // FlattenStage and implicitly before a dense layer fed by pixel rows
-  // (the float path's pack_matrix reshape).
+  // Bit-domain Flatten: one flat row per image (per plane). Emitted for
+  // the explicit FlattenStage and implicitly before a dense layer fed by
+  // pixel rows (the float path's pack_matrix reshape).
   auto emit_flatten = [&]() {
     PlanStep st;
     st.kind = StepKind::kFlatten;
@@ -100,6 +160,8 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
     st.out_wpr = words_for_bits(st.out_cols);
     st.src_half = cur;
     st.dst_half = 1 - cur;
+    stamp_input(st);
+    st.levels_out = cur_levels;  // planes pass through, flattened
     emit(st);
     cur = 1 - cur;
     c = h * w * c;
@@ -124,7 +186,7 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
     PlanStep st;
     st.kind = StepKind::kFirstConv;
     st.stage = 0;
-    st.prep = add_prep(fc->thresholds);
+    st.prep = add_prep_banks(fc->thresholds, fc->residual, 0, st.levels_out);
     st.k = fc->k;
     st.n = n;
     st.h = h;
@@ -137,8 +199,13 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
     st.out_cols = fc->co;
     st.out_wpr = words_for_bits(fc->co);
     st.dst_half = 0;
+    // The classic first conv fires thresholds inside its fused kernel; a
+    // residual one materializes integer accumulators first so the shared
+    // pattern-bank firing can run over them.
+    if (st.levels_out > 1) st.acc_len = st.out_rows * fc->co;
     float_bytes = static_cast<std::size_t>(input.numel()) * sizeof(float);
     emit(st);
+    set_stream(fc->residual, st.levels_out);
     plan.stage_shapes_.push_back({h, w, c, ho, wo, fc->co});
     h = ho;
     w = wo;
@@ -196,8 +263,9 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
       PlanStep st;
       st.kind = StepKind::kBinConv;
       st.stage = static_cast<std::int64_t>(i);
-      st.prep = add_prep(cv->thresholds);
+      st.prep = add_prep_banks(cv->thresholds, cv->residual, i, st.levels_out);
       st.wmat = add_wmat(cv->weights);
+      stamp_input(st);
       st.k = cv->k;
       st.n = n;
       st.h = h;
@@ -221,6 +289,7 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
       patch_bytes = std::max(patch_bytes,
                              bits_bytes(st.patch_rows, st.patch_cols));
       emit(st);
+      set_stream(cv->residual, st.levels_out);
       cur = 1 - cur;
       h = ho;
       w = wo;
@@ -244,6 +313,8 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
       st.out_wpr = words_for_bits(c);
       st.src_half = cur;
       st.dst_half = 1 - cur;
+      stamp_input(st);
+      st.levels_out = cur_levels;  // planes pass through the pool
       emit(st);
       cur = 1 - cur;
       h /= 2;
@@ -276,15 +347,20 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
       st.in_wpr = words_for_bits(d->in);
       st.acc_len = n * d->out;
       st.src_half = cur;
+      stamp_input(st);
       if (d->has_threshold) {
-        st.prep = add_prep(d->thresholds);
+        st.prep = add_prep_banks(d->thresholds, d->residual, i, st.levels_out);
         st.out_rows = n;
         st.out_cols = d->out;
         st.out_wpr = words_for_bits(d->out);
         st.dst_half = 1 - cur;
         emit(st);
+        set_stream(d->residual, st.levels_out);
         cur = 1 - cur;
       } else {
+        // Residual classifier inputs make the integer logits A = 256 * y;
+        // the interpreter rescales (exactly: A is far below 2^24).
+        if (st.in_scaled) st.out_scale = 1.f / 256.f;
         emit(st);  // dst_half = -1: logits land in the caller's output
         plan.output_ = Shape{n, d->out};
         terminal = true;
@@ -312,12 +388,15 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
     st.in_cols = flat ? c : c;
     st.in_wpr = words_for_bits(c);
     st.src_half = cur;
+    stamp_input(st);
     emit(st);
     plan.output_ = flat ? Shape{n, c} : Shape{n, h, w, c};
   }
 
-  // --- Freeze the arena layout: [half A | half B | patch | acc | floats],
-  // each region 64-byte aligned so rows start on cache lines. ---
+  // --- Freeze the arena layout: [half A | half B | patch | acc | acc2 |
+  // floats], each region 64-byte aligned so rows start on cache lines.
+  // Classic plans have acc2_bytes == 0, leaving their layout (and
+  // arena_bytes) byte-identical to the pre-residual engine. ---
   std::size_t off = 0;
   plan.off_half_[0] = off;
   off += align64(half_bytes[0]);
@@ -327,6 +406,8 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
   off += align64(patch_bytes);
   plan.off_acc_ = off;
   off += align64(acc_bytes);
+  plan.off_acc2_ = off;
+  off += align64(acc2_bytes);
   plan.off_floats_ = off;
   off += align64(float_bytes);
   plan.arena_bytes_ = off;
@@ -340,6 +421,9 @@ ExecutionPlan ExecutionPlan::compile(const XnorNetwork& net,
       if (d > 1) key += "x";
       key += std::to_string(input[d]);
     }
+    // Truncated residual plans profile separately from the full-depth plan
+    // of the same shape -- their per-stage costs differ by design.
+    if (levels > 0) key += "_l" + std::to_string(levels);
     plan.obs_slots_ = obs::StageProfiler::global().slots_for(
         key, detail::kObsSlotNames, detail::kObsSlotCount);
   }

@@ -66,6 +66,18 @@ struct PlanStep {
   std::int64_t patch_rows = 0, patch_cols = 0, patch_wpr = 0;
   std::int64_t acc_len = 0;  // int32 accumulator length (GEMM steps)
   int src_half = -1, dst_half = -1;
+  // Residual binarization (docs/residual-binarization.md). Plane m of a
+  // multi-level activation lives at word offset m * rows * wpr inside its
+  // arena half. A scaled input stream (in_scaled) makes the GEMM steps
+  // accumulate A = sum_m in_scale_bits[m] * acc_m via the acc2 scratch
+  // region; levels_out > 1 fires the (1 << levels_out) - 1 consecutive
+  // threshold banks starting at `prep` (bank 0 = level 0; level m bank
+  // under sign pattern p at prep + (1 << m) - 1 + p). All defaults
+  // reproduce the classic single-level path byte for byte.
+  std::int64_t levels_in = 1, levels_out = 1;
+  std::int32_t in_scale_bits[3] = {0, 0, 0};
+  bool in_scaled = false;
+  float out_scale = 1.f;  // kLogits value scale (1/256 for scaled inputs)
   // Kernel chunk functions frozen at compile time from the dispatch tier
   // that was active then (tensor/kernels/dispatch.hpp). The interpreter
   // replays these pointers directly -- no per-call tier branch, and an
@@ -94,8 +106,15 @@ class ExecutionPlan {
   /// stage lists the interpreter does not support (e.g. float-domain
   /// Pool/Flatten before the first binary stage, or stages after the
   /// classifier). `net` must outlive the returned plan.
+  ///
+  /// `levels` caps the residual binarization depth M laid out by the
+  /// plan: 0 keeps every trained level, 1..3 truncate deeper stages to M
+  /// planes and the first 2^M - 1 threshold banks (valid because level
+  /// m's banks never depend on levels above m). Classic networks ignore
+  /// the cap.
   static ExecutionPlan compile(const XnorNetwork& net,
-                               const tensor::Shape& input);
+                               const tensor::Shape& input,
+                               std::int64_t levels = 0);
 
   const tensor::Shape& input_shape() const { return input_; }
   const tensor::Shape& output_shape() const { return output_; }
@@ -112,14 +131,21 @@ class ExecutionPlan {
 
   /// Total arena bytes a Workspace must provide, and the byte offsets of
   /// the two ping-pong halves, the im2row patch region, the int32
-  /// accumulator region and the float scratch region within it.
+  /// accumulator regions and the float scratch region within it. acc2 is
+  /// the per-level GEMM scratch of residual plans (zero-sized and aliased
+  /// to the float offset for classic plans, which never touch it).
   std::size_t arena_bytes() const { return arena_bytes_; }
   std::size_t half_offset(int half) const {
     return off_half_[static_cast<std::size_t>(half)];
   }
   std::size_t patch_offset() const { return off_patch_; }
   std::size_t acc_offset() const { return off_acc_; }
+  std::size_t acc2_offset() const { return off_acc2_; }
   std::size_t float_offset() const { return off_floats_; }
+
+  /// The residual level cap this plan was compiled with (0 = all trained
+  /// levels); part of the plan-cache key.
+  std::int64_t levels() const { return levels_; }
 
   /// Telemetry slots resolved at compile time, keyed by this plan's input
   /// shape (see obs::StageProfiler). Null when the build disables the
@@ -138,7 +164,8 @@ class ExecutionPlan {
   std::vector<StageShape> stage_shapes_;
   std::size_t arena_bytes_ = 0;
   std::size_t off_half_[2] = {0, 0};
-  std::size_t off_patch_ = 0, off_acc_ = 0, off_floats_ = 0;
+  std::size_t off_patch_ = 0, off_acc_ = 0, off_acc2_ = 0, off_floats_ = 0;
+  std::int64_t levels_ = 0;
   const obs::StageSlots* obs_slots_ = nullptr;
   tensor::kernels::KernelLevel kernel_level_ =
       tensor::kernels::KernelLevel::kScalar;

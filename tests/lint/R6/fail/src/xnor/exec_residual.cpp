@@ -1,0 +1,5 @@
+// Fixture: seeded violation -- heap allocation in the residual replay.
+int* bank_scratch(int n) {
+  int* p = new int[n];
+  return p;
+}

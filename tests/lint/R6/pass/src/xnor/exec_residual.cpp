@@ -1,0 +1,4 @@
+// Fixture: residual replay kernels with no allocation tokens.
+void scale_acc(int* acc, const int* part, int g, int n) {
+  for (int i = 0; i < n; ++i) acc[i] += g * part[i];
+}

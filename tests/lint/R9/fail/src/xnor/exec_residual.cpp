@@ -1,0 +1,3 @@
+// Fixture: seeded violation -- the residual replay pulls in <functional>.
+#include <functional>
+void scale_acc(int*, const int*, int, int) {}

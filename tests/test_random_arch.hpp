@@ -14,6 +14,7 @@
 #include "nn/flatten.hpp"
 #include "nn/maxpool.hpp"
 #include "nn/optimizer.hpp"
+#include "nn/residual_sign.hpp"
 #include "nn/sequential.hpp"
 #include "nn/sign_activation.hpp"
 #include "nn/softmax_xent.hpp"
@@ -28,12 +29,24 @@ struct RandomArch {
   std::int64_t input_channels = 0;
 };
 
-inline RandomArch make_random_arch(std::uint64_t seed) {
+/// `levels` > 1 swaps every activation for a ReBNet ResidualSign of that
+/// depth (M-level residual binarization); 1 keeps the classic
+/// SignActivation topology byte-identical to before the knob existed.
+inline RandomArch make_random_arch(std::uint64_t seed,
+                                   std::int64_t levels = 1) {
   util::Rng rng(seed);
   RandomArch out;
-  out.model.set_name("random-" + std::to_string(seed));
+  out.model.set_name("random-" + std::to_string(seed) +
+                     (levels > 1 ? "-m" + std::to_string(levels) : ""));
   out.input_size = 2 * rng.uniform_int(6, 12);  // even, 12..24
   out.input_channels = rng.uniform_int(1, 3);
+
+  auto add_sign = [&] {
+    if (levels > 1)
+      out.model.emplace<nn::ResidualSign>(levels);
+    else
+      out.model.emplace<nn::SignActivation>();
+  };
 
   std::int64_t h = out.input_size;
   std::int64_t c = out.input_channels;
@@ -43,7 +56,7 @@ inline RandomArch make_random_arch(std::uint64_t seed) {
     const std::int64_t co = 4 * rng.uniform_int(1, 6);
     out.model.emplace<nn::BinaryConv2d>(3, c, co, rng);
     out.model.emplace<nn::BatchNorm>(co);
-    out.model.emplace<nn::SignActivation>();
+    add_sign();
     h -= 2;
     c = co;
     if (h >= 4 && h % 2 == 0 && rng.bernoulli(0.5)) {
@@ -58,7 +71,7 @@ inline RandomArch make_random_arch(std::uint64_t seed) {
     const std::int64_t next = 8 * rng.uniform_int(2, 12);
     out.model.emplace<nn::BinaryDense>(features, next, rng);
     out.model.emplace<nn::BatchNorm>(next);
-    out.model.emplace<nn::SignActivation>();
+    add_sign();
     features = next;
   }
   out.model.emplace<nn::BinaryDense>(features, 4, rng);

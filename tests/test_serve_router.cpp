@@ -16,6 +16,7 @@
 #include "obs/registry.hpp"
 #include "serve/replica.hpp"
 #include "serve/router.hpp"
+#include "serve/tiered.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -240,6 +241,173 @@ TEST(Router, PerReplicaMetricFamiliesRecord) {
       << "every submission must land in exactly one per-replica family";
   EXPECT_EQ(fleet.value() - fleet_before, 4u)
       << "and once in the fleet-wide family";
+}
+
+// --- Confidence-tiered serving (serve/tiered.hpp) --------------------------
+// All tiered tests run fully synchronous (workers == 0 in both tiers,
+// escalation_workers == 0) so every future is ready when try_submit
+// returns and every counter has settled -- escalation behavior and the
+// exactly-once accounting become plain assertions.
+
+core::Predictor make_residual_predictor(std::uint64_t seed) {
+  return core::Predictor(
+      core::build_bnn(core::ArchitectureId::kMicroCnv, seed,
+                      /*residual_levels=*/3));
+}
+
+serve::TieredConfig sync_tiered(float margin_threshold) {
+  serve::TieredConfig cfg;
+  cfg.low.replicas = 1;
+  cfg.low.batcher.workers = 0;
+  cfg.high.replicas = 1;
+  cfg.high.batcher.workers = 0;
+  cfg.margin_threshold = margin_threshold;
+  cfg.escalation_workers = 0;
+  return cfg;
+}
+
+/// Ground truth for one image at a residual level cap: a replicate()d
+/// clone capped with set_serve_levels, classified directly.
+core::Predictor::Result classify_at(const core::Predictor& prototype,
+                                    const Tensor& image, std::int64_t cap) {
+  core::Predictor capped = prototype.replicate();
+  capped.set_serve_levels(cap);
+  return capped.classify_batch(image.reshaped(Shape{1, 32, 32, 3})).front();
+}
+
+struct TieredCounters {
+  obs::Counter& submitted;
+  obs::Counter& resolved_low;
+  obs::Counter& escalated;
+  obs::Counter& escalation_shed;
+  std::uint64_t submitted0, resolved_low0, escalated0, escalation_shed0;
+
+  TieredCounters()
+      : submitted(obs::Registry::global().counter(
+            "bcop_serve_tiered_submitted_total")),
+        resolved_low(obs::Registry::global().counter(
+            "bcop_serve_tiered_resolved_low_total")),
+        escalated(obs::Registry::global().counter(
+            "bcop_serve_tiered_escalated_total")),
+        escalation_shed(obs::Registry::global().counter(
+            "bcop_serve_tiered_escalation_shed_total")),
+        submitted0(submitted.value()),
+        resolved_low0(resolved_low.value()),
+        escalated0(escalated.value()),
+        escalation_shed0(escalation_shed.value()) {}
+};
+
+// Wide-margin traffic must never touch the high tier: a threshold of 0
+// accepts every margin, so each request costs exactly one M = 1 pass and
+// the answer is bit-identical to serving the capped clone directly.
+TEST(Tiered, WideMarginResolvesInLowTierOnly) {
+  const core::Predictor p = make_residual_predictor(40);
+  serve::TieredRouter tiered(p, sync_tiered(0.f));
+  TieredCounters c;
+  util::Rng rng(41);
+  for (int i = 0; i < 4; ++i) {
+    const Tensor image = random_image(rng);
+    auto future = tiered.try_submit(image);
+    ASSERT_TRUE(future.has_value()) << i;
+    const auto got = future->get();
+    const auto want = classify_at(p, image, 1);
+    EXPECT_EQ(got.label, want.label) << i;
+    for (std::size_t k = 0; k < got.scores.size(); ++k)
+      EXPECT_EQ(got.scores[k], want.scores[k]) << i << " class " << k;
+  }
+  EXPECT_EQ(c.submitted.value() - c.submitted0, 4u);
+  EXPECT_EQ(c.resolved_low.value() - c.resolved_low0, 4u);
+  EXPECT_EQ(c.escalated.value() - c.escalated0, 0u);
+  EXPECT_EQ(tiered.high().stats().requests, 0)
+      << "no request may reach the high tier below the threshold";
+  EXPECT_EQ(tiered.low().stats().requests, 4);
+}
+
+// A low-margin input is provably RE-SERVED at the higher depth: it costs
+// one request in EACH tier (exactly once per tier), the escalation
+// counter moves exactly once per request, and the answer is bit-identical
+// to the full-depth M = 3 classification -- which differs from the M = 1
+// answer, proving the two passes really ran at different depths.
+TEST(Tiered, LowMarginEscalatesToFullDepthExactlyOnce) {
+  const core::Predictor p = make_residual_predictor(42);
+  // margin <= 1 < 2: every request is "low margin" and must escalate.
+  serve::TieredRouter tiered(p, sync_tiered(2.f));
+  TieredCounters c;
+  util::Rng rng(43);
+  bool depths_distinguished = false;
+  for (int i = 0; i < 6; ++i) {
+    const Tensor image = random_image(rng);
+    auto future = tiered.try_submit(image);
+    ASSERT_TRUE(future.has_value()) << i;
+    const auto got = future->get();
+    const auto deep = classify_at(p, image, 3);
+    const auto shallow = classify_at(p, image, 1);
+    for (std::size_t k = 0; k < got.scores.size(); ++k) {
+      EXPECT_EQ(got.scores[k], deep.scores[k])
+          << i << " class " << k << ": answer must be the M = 3 result";
+      if (deep.scores[k] != shallow.scores[k]) depths_distinguished = true;
+    }
+  }
+  EXPECT_TRUE(depths_distinguished)
+      << "M = 1 and M = 3 scores never differed, so the test cannot tell "
+         "the tiers apart";
+  EXPECT_EQ(c.submitted.value() - c.submitted0, 6u);
+  EXPECT_EQ(c.escalated.value() - c.escalated0, 6u)
+      << "each low-margin request escalates exactly once";
+  EXPECT_EQ(c.resolved_low.value() - c.resolved_low0, 0u);
+  EXPECT_EQ(tiered.low().stats().requests, 6)
+      << "escalation re-serves; it does not bypass the low tier";
+  EXPECT_EQ(tiered.high().stats().requests, 6)
+      << "each escalated request is served exactly once at depth";
+}
+
+// When the high tier sheds the escalation, the request degrades to the
+// low-tier answer instead of failing: the client future still resolves,
+// with the M = 1 result, and the shed is counted exactly once.
+TEST(Tiered, EscalationShedDegradesToLowTierAnswer) {
+  const core::Predictor p = make_residual_predictor(44);
+  serve::TieredConfig cfg = sync_tiered(2.f);  // always try to escalate
+  // Watermark 0 sheds every escalation -- but only a QUEUED server
+  // consults the watermark (a synchronous workers == 0 server classifies
+  // inline and never sheds), so the high tier runs one real worker.
+  cfg.high.batcher.workers = 1;
+  cfg.high_max_depth = 0;
+  serve::TieredRouter tiered(p, cfg);
+  TieredCounters c;
+  util::Rng rng(45);
+  for (int i = 0; i < 3; ++i) {
+    const Tensor image = random_image(rng);
+    auto future = tiered.try_submit(image);
+    ASSERT_TRUE(future.has_value())
+        << i << ": a shed escalation must not become a client-visible 503";
+    const auto got = future->get();
+    const auto want = classify_at(p, image, 1);
+    for (std::size_t k = 0; k < got.scores.size(); ++k)
+      EXPECT_EQ(got.scores[k], want.scores[k]) << i << " class " << k;
+  }
+  EXPECT_EQ(c.escalated.value() - c.escalated0, 3u);
+  EXPECT_EQ(c.escalation_shed.value() - c.escalation_shed0, 3u);
+  EXPECT_EQ(tiered.high().stats().requests, 0);
+}
+
+// A LOW-tier admission shed is the client-visible 503 path and keeps the
+// exactly-once rejection ledger, same as a plain Router.
+TEST(Tiered, LowTierShedIsClientVisibleAndCountedOnce) {
+  const core::Predictor p = make_residual_predictor(46);
+  serve::TieredConfig cfg = sync_tiered(2.f);
+  cfg.low.batcher.workers = 1;  // async so a max_depth-0 watermark sheds
+  serve::TieredRouter tiered(p, cfg);
+  TieredCounters c;
+  obs::Counter& rejected =
+      obs::Registry::global().counter("bcop_serve_rejected_total");
+  const std::uint64_t rejected0 = rejected.value();
+  util::Rng rng(47);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_FALSE(tiered.try_submit(random_image(rng), 0).has_value()) << i;
+  EXPECT_EQ(rejected.value() - rejected0, 3u)
+      << "each low-tier shed counts exactly one rejection";
+  EXPECT_EQ(c.submitted.value() - c.submitted0, 0u)
+      << "a shed request was never admitted to the tier pipeline";
 }
 
 }  // namespace

@@ -61,6 +61,43 @@ TEST(Bitstream, RoundTripPreservesLogitsExactly) {
   std::remove(path.c_str());
 }
 
+// v2 bitstreams carry the ReBNet residual descriptors (levels, dyadic
+// scale bits, pattern threshold banks); a reloaded M = 3 network must
+// serve identical logits at the full depth AND at every truncated cap.
+TEST(Bitstream, ResidualRoundTripPreservesLogitsAtEveryLevelCap) {
+  nn::Sequential model =
+      core::build_bnn(core::ArchitectureId::kMicroCnv, 6, /*residual_levels=*/3);
+  util::Rng rng(7);
+  nn::Adam opt(model, 1e-2f);
+  nn::SoftmaxCrossEntropy head;
+  for (int i = 0; i < 4; ++i) {
+    const auto xt =
+        bcop::testhelpers::random_tensor(tensor::Shape{3, 32, 32, 3}, rng);
+    head.forward(model.forward(xt, true), {0, 1, 2});
+    model.backward(head.backward());
+    opt.step();
+  }
+  const xnor::XnorNetwork net = xnor::XnorNetwork::fold(model);
+  ASSERT_EQ(net.max_levels(), 3);
+
+  const std::string path = temp_path("bcop_residual.bcbs");
+  xnor::save_bitstream(net, path);
+  const xnor::XnorNetwork loaded = xnor::load_bitstream(path);
+  EXPECT_EQ(loaded.max_levels(), 3);
+  EXPECT_EQ(loaded.weight_bits(), net.weight_bits());
+
+  const auto x = bcop::testhelpers::random_tensor(
+      tensor::Shape{2, 32, 32, 3}, rng);
+  for (std::int64_t cap = 0; cap <= 3; ++cap) {
+    const auto a = net.forward_batch(x, cap);
+    const auto b = loaded.forward_batch(x, cap);
+    ASSERT_EQ(a.shape(), b.shape());
+    for (std::int64_t j = 0; j < a.numel(); ++j)
+      ASSERT_FLOAT_EQ(a[j], b[j]) << "cap " << cap << " logit " << j;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(Bitstream, WeightBitsSurviveRoundTrip) {
   const xnor::XnorNetwork net = trained_ish_network(3);
   const std::string path = temp_path("bcop_bits.bcbs");

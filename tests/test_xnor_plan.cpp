@@ -12,6 +12,7 @@
 #include "util/rng.hpp"
 #include "xnor/engine.hpp"
 #include "xnor/exec.hpp"
+#include "xnor/exec_residual.hpp"
 #include "xnor/plan.hpp"
 
 namespace {
@@ -141,6 +142,104 @@ TEST(ExecutionPlanTest, PartialNetworkUnpacksBits) {
   ASSERT_EQ(y.shape(), plan.output_shape());
   for (std::int64_t i = 0; i < y.numel(); ++i)
     ASSERT_TRUE(y[i] == 1.f || y[i] == -1.f) << "element " << i;
+}
+
+// --- Residual binarization (docs/residual-binarization.md) -------------
+
+TEST(ExecutionPlanResidual, MultiLevelPlanLaysOutBanksPlanesAndScratch) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 7,
+                                         /*residual_levels=*/3);
+  const XnorNetwork net = XnorNetwork::fold(model);
+  ASSERT_EQ(net.max_levels(), 3);
+  const Shape input{2, 32, 32, 3};
+  const ExecutionPlan plan = ExecutionPlan::compile(net, input);
+
+  // Every activation-producing step emits 3 planes fired from 2^3 - 1
+  // consecutive pattern banks; the classifier consumes 3 scaled planes.
+  std::int64_t residual_steps = 0;
+  for (const auto& st : plan.steps()) {
+    if (st.kind == StepKind::kFirstConv || st.kind == StepKind::kBinConv ||
+        st.kind == StepKind::kBinDense) {
+      EXPECT_EQ(st.levels_out, 3);
+      ASSERT_GE(st.prep, 0);
+      for (std::int64_t b = 0; b < 7; ++b)
+        EXPECT_EQ(plan.prep(st.prep + b).thr.size(),
+                  static_cast<std::size_t>(st.out_cols))
+            << "bank " << b;
+      ++residual_steps;
+    }
+    if (st.kind == StepKind::kBinConv || st.kind == StepKind::kBinDense ||
+        st.kind == StepKind::kLogits) {
+      EXPECT_EQ(st.levels_in, 3);
+      EXPECT_TRUE(st.in_scaled);
+      // Dyadic scale chain: g_0 >= g_1 >= g_2 >= 1, strictly dominant.
+      EXPECT_GT(st.in_scale_bits[0], st.in_scale_bits[1] + st.in_scale_bits[2]);
+      EXPECT_GE(st.in_scale_bits[2], 1);
+    }
+    if (st.kind == StepKind::kLogits)
+      EXPECT_FLOAT_EQ(st.out_scale, 1.f / 256.f);
+  }
+  EXPECT_GT(residual_steps, 0);
+
+  // The acc2 per-plane GEMM scratch is a real region (classic plans keep
+  // it zero-sized, aliased to the float offset).
+  EXPECT_GT(plan.float_offset(), plan.acc2_offset());
+  nn::Sequential classic = core::build_bnn(core::ArchitectureId::kMicroCnv, 7);
+  const XnorNetwork cnet = XnorNetwork::fold(classic);
+  const ExecutionPlan cplan = ExecutionPlan::compile(cnet, input);
+  EXPECT_EQ(cplan.float_offset(), cplan.acc2_offset());
+}
+
+TEST(ExecutionPlanResidual, LevelCapTruncatesBanksAndKeysTheCache) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 13,
+                                         /*residual_levels=*/3);
+  const XnorNetwork net = XnorNetwork::fold(model);
+  const Shape input{1, 32, 32, 3};
+
+  const ExecutionPlan capped = ExecutionPlan::compile(net, input, 2);
+  EXPECT_EQ(capped.levels(), 2);
+  for (const auto& st : capped.steps())
+    if (st.kind == StepKind::kFirstConv || st.kind == StepKind::kBinConv ||
+        st.kind == StepKind::kBinDense) {
+      EXPECT_EQ(st.levels_out, 2);  // 2^2 - 1 = 3 banks laid out
+      EXPECT_LE(st.levels_in, 2);
+    }
+
+  // The cap widens the plan-cache key: same shape, different M -> distinct
+  // plans; a cap at/above the trained depth normalizes to the full entry.
+  const ExecutionPlan& full = net.plan_for(input);
+  const ExecutionPlan& m1 = net.plan_for(input, 1);
+  const ExecutionPlan& m2 = net.plan_for(input, 2);
+  EXPECT_NE(&full, &m1);
+  EXPECT_NE(&full, &m2);
+  EXPECT_NE(&m1, &m2);
+  EXPECT_EQ(&net.plan_for(input, 3), &full);
+  EXPECT_EQ(&net.plan_for(input, 0), &full);
+
+  // Truncated plans shrink monotonically: fewer banks and planes mean a
+  // smaller (or equal) arena.
+  EXPECT_LE(m1.arena_bytes(), m2.arena_bytes());
+  EXPECT_LE(m2.arena_bytes(), full.arena_bytes());
+
+  EXPECT_THROW(ExecutionPlan::compile(net, input, 4), std::runtime_error);
+  EXPECT_THROW(ExecutionPlan::compile(net, input, -1), std::runtime_error);
+}
+
+TEST(ExecutionPlanResidual, DetailExecuteMatchesForwardBatchAtEveryCap) {
+  nn::Sequential model = core::build_bnn(core::ArchitectureId::kMicroCnv, 19,
+                                         /*residual_levels=*/2);
+  const XnorNetwork net = XnorNetwork::fold(model);
+  const Tensor x = random_images(2, 42);
+  for (std::int64_t cap = 0; cap <= 2; ++cap) {
+    const Tensor expected = net.forward_batch(x, cap);
+    const ExecutionPlan& plan = net.plan_for(x.shape(), cap);
+    Workspace ws;
+    ws.prepare(plan);
+    Tensor out(plan.output_shape());
+    xnor::detail::execute(plan, net.stages(), x.data(), ws, out.data());
+    for (std::int64_t i = 0; i < out.numel(); ++i)
+      ASSERT_EQ(out[i], expected[i]) << "cap " << cap << " logit " << i;
+  }
 }
 
 TEST(ExecutionPlanTest, CopiedNetworkKeepsWorking) {

@@ -92,6 +92,33 @@ TEST_P(ZeroAllocPrototype, ForwardBatchSteadyStateIsAllocationFree) {
   kn::clear_level_override();
 }
 
+// The contract extends to ReBNet residual plans: multi-level GEMM passes,
+// pattern-bank firing and the lexicographic pool all run out of the same
+// arena (exec_residual.cpp is in the same R6 allocation-free zone), at
+// the full trained depth and at every truncated level cap.
+TEST_P(ZeroAllocPrototype, ResidualForwardBatchSteadyStateIsAllocationFree) {
+  obs::StageProfiler::global().set_enabled(true);
+  nn::Sequential model = core::build_bnn(GetParam(), 29, /*residual_levels=*/3);
+  const xnor::XnorNetwork net = xnor::XnorNetwork::fold(model);
+
+  const Tensor x = random_images(2, 555);
+  for (std::int64_t cap = 0; cap <= 3; ++cap) {
+    xnor::Workspace ws;
+    Tensor out;
+    net.forward_batch(x, ws, out, cap);  // warm
+    const Tensor expected = out;
+
+    const std::uint64_t mark = util::alloc_count();
+    net.forward_batch(x, ws, out, cap);
+    net.forward_batch(x, ws, out, cap);
+    EXPECT_EQ(util::alloc_count() - mark, 0u)
+        << core::arch_name(GetParam()) << " level cap " << cap
+        << ": steady-state residual forward_batch allocated";
+    for (std::int64_t i = 0; i < out.numel(); ++i)
+      ASSERT_EQ(out[i], expected[i]) << "logit drift at " << i;
+  }
+}
+
 TEST_P(ZeroAllocPrototype, PredictorClassifyBatchSteadyStateIsAllocationFree) {
   obs::StageProfiler::global().set_enabled(true);
   const core::Predictor predictor(core::build_bnn(GetParam(), 31));
